@@ -1,0 +1,37 @@
+//! Figures 12(a)/13(a) micro-companion: index construction time on the two
+//! dataset families, split into mining and shrinking phases for TreePi.
+
+use bench::{chem_db, synthetic_db, treepi_index};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mining::{mine_frequent_trees, shrink_features, MiningLimits, SigmaFn};
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12a_13a_construction");
+    group.sample_size(10);
+    let chem = chem_db(100);
+    let synth = synthetic_db(100, 5);
+    group.bench_function(BenchmarkId::new("treepi_full_build", "chem100"), |b| {
+        b.iter(|| treepi_index(&chem).feature_count())
+    });
+    group.bench_function(BenchmarkId::new("treepi_full_build", "synth100L5"), |b| {
+        b.iter(|| treepi_index(&synth).feature_count())
+    });
+    group.bench_function(BenchmarkId::new("mine_only", "chem100"), |b| {
+        b.iter(|| {
+            mine_frequent_trees(&chem, &SigmaFn::paper_default(), &MiningLimits::default())
+                .0
+                .len()
+        })
+    });
+    group.bench_function(BenchmarkId::new("mine_and_shrink", "chem100"), |b| {
+        b.iter(|| {
+            let (mined, _) =
+                mine_frequent_trees(&chem, &SigmaFn::paper_default(), &MiningLimits::default());
+            shrink_features(mined, 1.5).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

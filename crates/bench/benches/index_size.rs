@@ -1,0 +1,24 @@
+//! Figure 9 micro-companion: feature-count and memory scaling of both
+//! indexes as the database grows (the `experiments fig9` binary produces
+//! the full table; this bench tracks build-path regressions).
+
+use bench::{chem_db, gindex_index, treepi_index};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_index_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_index_size");
+    group.sample_size(10);
+    for n in [30usize, 60, 120] {
+        let db = chem_db(n);
+        group.bench_with_input(BenchmarkId::new("treepi_build", n), &db, |b, db| {
+            b.iter(|| treepi_index(db).feature_count())
+        });
+        group.bench_with_input(BenchmarkId::new("gindex_build", n), &db, |b, db| {
+            b.iter(|| gindex_index(db).feature_count())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_size);
+criterion_main!(benches);

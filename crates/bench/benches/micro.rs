@@ -1,0 +1,86 @@
+//! Microbenchmarks of the primitives whose asymptotics the paper argues
+//! about: tree canonical strings (polynomial) vs general-graph canonical
+//! codes (exponential worst case), center finding, subtree embedding, and
+//! support-set intersection.
+
+use bench::{bench_rng, chem_db};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graph_core::{canonical_code, edge_subgraph, random_connected_edge_subgraph};
+use mining::intersect;
+use tree_core::{canonical_string, center, center_positions, Tree};
+
+fn fixtures(m: usize) -> Vec<Tree> {
+    let db = chem_db(50);
+    let mut rng = bench_rng(31);
+    let mut out = Vec::new();
+    let mut attempts = 0;
+    while out.len() < 20 && attempts < 10_000 {
+        attempts += 1;
+        let g = &db[attempts % db.len()];
+        if g.edge_count() < m {
+            continue;
+        }
+        if let Some(edges) = random_connected_edge_subgraph(g, m, &mut rng) {
+            let sub = edge_subgraph(g, &edges);
+            if let Ok(t) = Tree::from_graph(sub.graph) {
+                out.push(t);
+            }
+        }
+    }
+    assert!(!out.is_empty(), "no tree fixtures of size {m}");
+    out
+}
+
+fn bench_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_primitives");
+    for m in [4usize, 8] {
+        let trees = fixtures(m);
+        group.bench_with_input(
+            BenchmarkId::new("tree_canonical_string", m),
+            &trees,
+            |b, ts| {
+                b.iter(|| {
+                    ts.iter()
+                        .map(|t| canonical_string(t).tokens().len())
+                        .sum::<usize>()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("graph_canonical_code", m),
+            &trees,
+            |b, ts| {
+                b.iter(|| {
+                    ts.iter()
+                        .map(|t| canonical_code(t.graph()).0.len())
+                        .sum::<usize>()
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("tree_center", m), &trees, |b, ts| {
+            b.iter(|| ts.iter().filter(|t| center(t).is_edge()).count())
+        });
+    }
+    let db = chem_db(20);
+    let trees = fixtures(4);
+    group.bench_function("center_positions_4edge_in_20mols", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for t in &trees[..5] {
+                for g in &db {
+                    n += center_positions(t, g).len();
+                }
+            }
+            n
+        })
+    });
+    let a: Vec<u32> = (0..10_000).step_by(3).collect();
+    let bv: Vec<u32> = (0..10_000).step_by(7).collect();
+    group.bench_function("support_intersection_10k", |b| {
+        b.iter(|| intersect(&a, &bv).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figures 10–13(b) micro-companion: end-to-end query latency of TreePi and
+//! gIndex per query size, plus the brute-force scan floor.
+
+use bench::{bench_rng, chem_db, gindex_index, queries, treepi_index};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treepi::scan_support;
+
+fn bench_query(c: &mut Criterion) {
+    let db = chem_db(200);
+    let tp = treepi_index(&db);
+    let gi = gindex_index(&db);
+    let mut group = c.benchmark_group("fig12b_query_time");
+    group.sample_size(20);
+    for m in [4usize, 8, 12, 16] {
+        let qs = queries(&db, m, 10);
+        group.bench_with_input(BenchmarkId::new("treepi", m), &qs, |b, qs| {
+            let mut rng = bench_rng(9);
+            b.iter(|| {
+                qs.iter()
+                    .map(|q| tp.query(q, &mut rng).matches.len())
+                    .sum::<usize>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gindex", m), &qs, |b, qs| {
+            b.iter(|| qs.iter().map(|q| gi.query(q).matches.len()).sum::<usize>())
+        });
+        group.bench_with_input(BenchmarkId::new("full_scan", m), &qs, |b, qs| {
+            b.iter(|| qs.iter().map(|q| scan_support(&tp, q).len()).sum::<usize>())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

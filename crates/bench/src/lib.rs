@@ -1,0 +1,47 @@
+//! Shared fixtures for the Criterion benchmarks: deterministic datasets and
+//! pre-built indexes sized so each Criterion iteration stays sub-second.
+
+use datagen::{extract_queries, generate_chem, generate_synthetic, ChemParams, SyntheticParams};
+use gindex::{GIndex, GIndexParams};
+use graph_core::Graph;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use treepi::{TreePiIndex, TreePiParams};
+
+/// Deterministic RNG for benchmarks.
+pub fn bench_rng(salt: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(0x7ee9 ^ salt)
+}
+
+/// A small AIDS-surrogate database.
+pub fn chem_db(n: usize) -> Vec<Graph> {
+    generate_chem(&ChemParams::sized(n), &mut bench_rng(1))
+}
+
+/// A small synthetic database with `labels` distinct vertex labels.
+pub fn synthetic_db(n: usize, labels: u32) -> Vec<Graph> {
+    let p = SyntheticParams {
+        n_graphs: n,
+        seed_size: 10.0,
+        graph_size: 20.0,
+        seed_count: (n / 8).max(20),
+        vertex_labels: labels,
+        edge_labels: 2,
+    };
+    generate_synthetic(&p, &mut bench_rng(2))
+}
+
+/// Build a TreePi index with the paper's parameters.
+pub fn treepi_index(db: &[Graph]) -> TreePiIndex {
+    TreePiIndex::build(db.to_vec(), TreePiParams::default())
+}
+
+/// Build a gIndex baseline with the paper's parameters.
+pub fn gindex_index(db: &[Graph]) -> GIndex {
+    GIndex::build(db.to_vec(), GIndexParams::paper_default(db.len()))
+}
+
+/// Query workload of `count` random `m`-edge connected subgraphs.
+pub fn queries(db: &[Graph], m: usize, count: usize) -> Vec<Graph> {
+    extract_queries(db, m, count, &mut bench_rng(3 + m as u64))
+}

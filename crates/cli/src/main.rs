@@ -1,0 +1,202 @@
+//! `treepi` — command-line interface to the TreePi graph index.
+//!
+//! ```text
+//! treepi build  <db.gspan> <index.tpi> [--alpha A --beta B --eta E --gamma G]
+//! treepi query  <index.tpi> <queries.gspan> [--stats] [--seed N]
+//! treepi stats  <index.tpi>
+//! treepi gen    <out.gspan> --chem N | --synthetic N L
+//! treepi scan   <db.gspan> <queries.gspan>        (index-free baseline)
+//! ```
+//!
+//! Graph files use the gSpan transaction format (`t # i` / `v id label` /
+//! `e u v label`); see `graph_core::io`.
+
+use graph_core::io::{parse_graphs, write_graphs};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::process::ExitCode;
+use treepi::{TreePiIndex, TreePiParams};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  treepi build  <db.gspan> <index.tpi> [--alpha A] [--beta B] [--eta E] [--gamma G]\n  \
+         treepi query  <index.tpi> <queries.gspan> [--stats] [--seed N]\n  \
+         treepi stats  <index.tpi>\n  \
+         treepi gen    <out.gspan> (--chem N | --synthetic N L) [--seed N]\n  \
+         treepi scan   <db.gspan> <queries.gspan>"
+    );
+    ExitCode::from(2)
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag_value(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value for {name}: {v}")),
+    }
+}
+
+fn read_graphs_file(path: &str) -> Result<Vec<graph_core::Graph>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_graphs(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().cloned().unwrap_or_default();
+    match cmd.as_str() {
+        "build" => {
+            let (Some(db_path), Some(out_path)) = (args.get(1), args.get(2)) else {
+                return Err("build needs <db.gspan> <index.tpi>".into());
+            };
+            let db = read_graphs_file(db_path)?;
+            let defaults = TreePiParams::default();
+            let params = TreePiParams {
+                sigma: mining::SigmaFn {
+                    alpha: parse_flag(&args, "--alpha", defaults.sigma.alpha)?,
+                    beta: parse_flag(&args, "--beta", defaults.sigma.beta)?,
+                    eta: parse_flag(&args, "--eta", defaults.sigma.eta)?,
+                },
+                gamma: parse_flag(&args, "--gamma", defaults.gamma)?,
+                ..defaults
+            };
+            let t = std::time::Instant::now();
+            let n = db.len();
+            let index = TreePiIndex::build(db, params);
+            eprintln!(
+                "indexed {n} graphs: {} features, {} center positions in {:.2?}",
+                index.feature_count(),
+                index.stats().center_positions,
+                t.elapsed()
+            );
+            let mut f = std::fs::File::create(out_path).map_err(|e| e.to_string())?;
+            index.save(&mut f).map_err(|e| e.to_string())?;
+            eprintln!("wrote {out_path}");
+            Ok(())
+        }
+        "query" => {
+            let (Some(idx_path), Some(q_path)) = (args.get(1), args.get(2)) else {
+                return Err("query needs <index.tpi> <queries.gspan>".into());
+            };
+            let mut f = std::fs::File::open(idx_path).map_err(|e| e.to_string())?;
+            let index = TreePiIndex::load(&mut f).map_err(|e| e.to_string())?;
+            let queries = read_graphs_file(q_path)?;
+            let seed = parse_flag(&args, "--seed", 2007u64)?;
+            let want_stats = args.iter().any(|a| a == "--stats");
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            for (i, q) in queries.iter().enumerate() {
+                let r = index.query(q, &mut rng);
+                let ids: Vec<String> = r.matches.iter().map(|g| g.to_string()).collect();
+                println!("q{i}: {}", ids.join(" "));
+                if want_stats {
+                    eprintln!(
+                        "  |q|={} parts={} |SFq|={} |Pq|={} |P'q|={} |Dq|={} time={:.2?}",
+                        q.edge_count(),
+                        r.stats.partition_size,
+                        r.stats.sf_size,
+                        r.stats.filtered,
+                        r.stats.pruned,
+                        r.stats.answers,
+                        r.stats.total()
+                    );
+                }
+            }
+            Ok(())
+        }
+        "stats" => {
+            let Some(idx_path) = args.get(1) else {
+                return Err("stats needs <index.tpi>".into());
+            };
+            let mut f = std::fs::File::open(idx_path).map_err(|e| e.to_string())?;
+            let index = TreePiIndex::load(&mut f).map_err(|e| e.to_string())?;
+            let s = index.stats();
+            println!("graphs:            {}", index.active_count());
+            println!("features:          {}", index.feature_count());
+            println!("mined (pre-shrink): {}", s.mined);
+            println!("center entries:    {}", s.center_entries);
+            println!("center positions:  {}", s.center_positions);
+            println!("memory estimate:   {} KiB", index.memory_estimate() / 1024);
+            let p = index.params();
+            println!(
+                "params:            alpha={} beta={} eta={} gamma={}",
+                p.sigma.alpha, p.sigma.beta, p.sigma.eta, p.gamma
+            );
+            let mut by_size = std::collections::BTreeMap::new();
+            for f in index.features() {
+                *by_size.entry(f.size()).or_insert(0usize) += 1;
+            }
+            for (size, count) in by_size {
+                println!("  {size}-edge features: {count}");
+            }
+            Ok(())
+        }
+        "gen" => {
+            let Some(out_path) = args.get(1) else {
+                return Err("gen needs <out.gspan>".into());
+            };
+            let seed = parse_flag(&args, "--seed", 2007u64)?;
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let graphs = if let Some(n) = flag_value(&args, "--chem") {
+                let n: usize = n.parse().map_err(|_| "bad --chem count")?;
+                datagen::generate_chem(&datagen::ChemParams::sized(n), &mut rng)
+            } else if let Some(n) = flag_value(&args, "--synthetic") {
+                let n: usize = n.parse().map_err(|_| "bad --synthetic count")?;
+                let labels: u32 = parse_flag(&args, "--labels", 4u32)?;
+                datagen::generate_synthetic(
+                    &datagen::SyntheticParams {
+                        n_graphs: n,
+                        seed_size: 10.0,
+                        graph_size: 20.0,
+                        seed_count: (n / 8).max(20),
+                        vertex_labels: labels,
+                        edge_labels: 2,
+                    },
+                    &mut rng,
+                )
+            } else {
+                return Err("gen needs --chem N or --synthetic N".into());
+            };
+            std::fs::write(out_path, write_graphs(&graphs)).map_err(|e| e.to_string())?;
+            eprintln!("wrote {} graphs to {out_path}", graphs.len());
+            Ok(())
+        }
+        "scan" => {
+            let (Some(db_path), Some(q_path)) = (args.get(1), args.get(2)) else {
+                return Err("scan needs <db.gspan> <queries.gspan>".into());
+            };
+            let db = read_graphs_file(db_path)?;
+            let queries = read_graphs_file(q_path)?;
+            for (i, q) in queries.iter().enumerate() {
+                let ids: Vec<String> = db
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, g)| graph_core::is_subgraph_isomorphic(q, g))
+                    .map(|(gid, _)| gid.to_string())
+                    .collect();
+                println!("q{i}: {}", ids.join(" "));
+            }
+            Ok(())
+        }
+        _ => {
+            usage();
+            Err(String::new())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}");
+            }
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Small sampling helpers shared by the generators.
+
+use rand::Rng;
+
+/// Sample a Poisson random variable with mean `lambda` (Knuth's method —
+/// fine for the small means used here: seed size ~10, graph size ~20).
+pub fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> usize {
+    debug_assert!(lambda > 0.0);
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        // Numerical guard for very unlikely long tails.
+        if k > (lambda * 20.0 + 50.0) as usize {
+            return k;
+        }
+    }
+}
+
+/// Sample an index from a weighted discrete distribution. Weights need not
+/// be normalized.
+pub fn weighted_index<R: Rng>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    debug_assert!(total > 0.0);
+    let mut x = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn poisson_mean_close() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 20_000;
+        let sum: usize = (0..n).map(|_| poisson(&mut rng, 10.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 10.0).abs() < 0.2, "mean {mean} too far from 10");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let w = [0.7, 0.2, 0.1];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[weighted_index(&mut rng, &w)] += 1;
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[2]);
+        let f0 = counts[0] as f64 / 10_000.0;
+        assert!((f0 - 0.7).abs() < 0.05);
+    }
+
+    #[test]
+    fn weighted_index_single() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert_eq!(weighted_index(&mut rng, &[1.0]), 0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Synthetic graph generator in the style of Kuramochi & Karypis
+//! (*Frequent subgraph discovery*, ICDE 2001), the generator the paper's
+//! §6.2 uses.
+//!
+//! A pool of `seed_count` seed fragments is generated, each a random
+//! connected graph whose edge size is Poisson with mean `seed_size` (the
+//! paper's `I`). Each database graph has a target edge size Poisson with
+//! mean `graph_size` (`T`); seeds are drawn randomly and overlaid onto the
+//! graph — merging one seed vertex with an existing vertex — until the
+//! target size is reached. Labels are drawn uniformly from `vertex_labels`
+//! (`L`) and `edge_labels` alphabets.
+//!
+//! Dataset names follow the paper: `D8kI10T20S1kL4` = 8000 graphs, seed
+//! mean 10, graph mean 20, 1000 seeds, 4 labels.
+
+use crate::rand_util::poisson;
+use graph_core::{ELabel, Graph, GraphBuilder, VLabel, VertexId};
+use rand::Rng;
+
+/// Parameters of the synthetic generator.
+#[derive(Clone, Debug)]
+pub struct SyntheticParams {
+    /// Number of graphs to generate (`D`).
+    pub n_graphs: usize,
+    /// Mean seed-fragment edge count (`I`).
+    pub seed_size: f64,
+    /// Mean graph edge count (`T`).
+    pub graph_size: f64,
+    /// Number of seed fragments in the pool (`S`).
+    pub seed_count: usize,
+    /// Number of distinct vertex labels (`L`).
+    pub vertex_labels: u32,
+    /// Number of distinct edge labels.
+    pub edge_labels: u32,
+}
+
+impl SyntheticParams {
+    /// The paper's "typical dataset": `D8kI10T20S1kL40`.
+    pub fn typical() -> Self {
+        Self {
+            n_graphs: 8000,
+            seed_size: 10.0,
+            graph_size: 20.0,
+            seed_count: 1000,
+            vertex_labels: 40,
+            edge_labels: 3,
+        }
+    }
+
+    /// Paper-style name, e.g. `D8kI10T20S1kL40`.
+    pub fn name(&self) -> String {
+        fn k(n: usize) -> String {
+            if n.is_multiple_of(1000) && n >= 1000 {
+                format!("{}k", n / 1000)
+            } else {
+                n.to_string()
+            }
+        }
+        format!(
+            "D{}I{}T{}S{}L{}",
+            k(self.n_graphs),
+            self.seed_size as usize,
+            self.graph_size as usize,
+            k(self.seed_count),
+            self.vertex_labels
+        )
+    }
+}
+
+/// A random connected graph with `edges` edges: a random labeled tree plus
+/// random extra edges.
+fn random_connected_graph<R: Rng>(
+    edges: usize,
+    vlabels: u32,
+    elabels: u32,
+    rng: &mut R,
+) -> Graph {
+    let edges = edges.max(1);
+    // Vertex count: trees use e+1 vertices; allow some cycles by using
+    // fewer vertices occasionally.
+    let n = (edges + 1).saturating_sub(rng.gen_range(0..=(edges / 4))).max(2);
+    let mut b = GraphBuilder::with_capacity(n, edges);
+    for _ in 0..n {
+        b.add_vertex(VLabel(rng.gen_range(0..vlabels)));
+    }
+    // Random spanning tree.
+    for i in 1..n {
+        let parent = VertexId(rng.gen_range(0..i) as u32);
+        b.add_edge(VertexId(i as u32), parent, ELabel(rng.gen_range(0..elabels)))
+            .expect("spanning tree edges are fresh");
+    }
+    // Extra edges to reach the target (graph may saturate on small n).
+    let mut attempts = 0;
+    while b.edge_count() < edges && attempts < edges * 20 {
+        attempts += 1;
+        let u = VertexId(rng.gen_range(0..n) as u32);
+        let v = VertexId(rng.gen_range(0..n) as u32);
+        if u == v || b.has_edge(u, v) {
+            continue;
+        }
+        let _ = b.add_edge(u, v, ELabel(rng.gen_range(0..elabels)));
+    }
+    b.build()
+}
+
+/// Generate the seed-fragment pool.
+pub fn generate_seeds<R: Rng>(p: &SyntheticParams, rng: &mut R) -> Vec<Graph> {
+    (0..p.seed_count)
+        .map(|_| {
+            let sz = poisson(rng, p.seed_size).max(1);
+            random_connected_graph(sz, p.vertex_labels, p.edge_labels, rng)
+        })
+        .collect()
+}
+
+/// Overlay `seed` onto the graph under construction, merging one seed
+/// vertex with an existing vertex when the graph is nonempty.
+fn overlay_seed<R: Rng>(b: &mut GraphBuilder, seed: &Graph, rng: &mut R) {
+    let mut map: Vec<Option<VertexId>> = vec![None; seed.vertex_count()];
+    if b.vertex_count() > 0 && seed.vertex_count() > 0 {
+        let sv = rng.gen_range(0..seed.vertex_count());
+        let gv = VertexId(rng.gen_range(0..b.vertex_count()) as u32);
+        // Merge on the host vertex (its label wins; fragments overlap
+        // imperfectly, which keeps supports below 100%).
+        map[sv] = Some(gv);
+    }
+    for v in seed.vertices() {
+        if map[v.idx()].is_none() {
+            map[v.idx()] = Some(b.add_vertex(seed.vlabel(v)));
+        }
+    }
+    for e in seed.edges() {
+        let u = map[e.u.idx()].expect("mapped above");
+        let v = map[e.v.idx()].expect("mapped above");
+        if u != v && !b.has_edge(u, v) {
+            let _ = b.add_edge(u, v, e.label);
+        }
+    }
+}
+
+/// Generate one database graph from the seed pool.
+fn generate_graph<R: Rng>(p: &SyntheticParams, seeds: &[Graph], rng: &mut R) -> Graph {
+    let target = poisson(rng, p.graph_size).max(1);
+    let mut b = GraphBuilder::new();
+    while b.edge_count() < target {
+        let seed = &seeds[rng.gen_range(0..seeds.len())];
+        overlay_seed(&mut b, seed, rng);
+    }
+    b.build()
+}
+
+/// Generate a full synthetic database.
+pub fn generate_synthetic<R: Rng>(p: &SyntheticParams, rng: &mut R) -> Vec<Graph> {
+    let seeds = generate_seeds(p, rng);
+    (0..p.n_graphs)
+        .map(|_| generate_graph(p, &seeds, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_params() -> SyntheticParams {
+        SyntheticParams {
+            n_graphs: 50,
+            seed_size: 5.0,
+            graph_size: 15.0,
+            seed_count: 20,
+            vertex_labels: 4,
+            edge_labels: 2,
+        }
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let db = generate_synthetic(&small_params(), &mut rng);
+        assert_eq!(db.len(), 50);
+        for g in &db {
+            assert!(g.vertex_count() > 0);
+            assert!(g.edge_count() > 0);
+        }
+    }
+
+    #[test]
+    fn labels_within_alphabet() {
+        let p = small_params();
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        for g in generate_synthetic(&p, &mut rng) {
+            for v in g.vertices() {
+                assert!(g.vlabel(v).0 < p.vertex_labels);
+            }
+            for e in g.edges() {
+                assert!(e.label.0 < p.edge_labels);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_size_near_target() {
+        let mut p = small_params();
+        p.n_graphs = 300;
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let db = generate_synthetic(&p, &mut rng);
+        let mean = db.iter().map(|g| g.edge_count()).sum::<usize>() as f64 / db.len() as f64;
+        // Overlaying overshoots the Poisson target by up to one seed.
+        assert!(mean >= p.graph_size * 0.8 && mean <= p.graph_size * 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let p = small_params();
+        let a = generate_synthetic(&p, &mut ChaCha8Rng::seed_from_u64(11));
+        let b = generate_synthetic(&p, &mut ChaCha8Rng::seed_from_u64(11));
+        assert_eq!(a, b);
+        let c = generate_synthetic(&p, &mut ChaCha8Rng::seed_from_u64(12));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dataset_naming() {
+        assert_eq!(SyntheticParams::typical().name(), "D8kI10T20S1kL40");
+        let p = SyntheticParams {
+            n_graphs: 500,
+            ..SyntheticParams::typical()
+        };
+        assert_eq!(p.name(), "D500I10T20S1kL40");
+    }
+
+    #[test]
+    fn seeds_are_connected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        for s in generate_seeds(&small_params(), &mut rng) {
+            assert!(s.is_connected());
+        }
+    }
+}

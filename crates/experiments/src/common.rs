@@ -1,0 +1,135 @@
+//! Shared infrastructure for the figure-regeneration binaries: dataset
+//! construction, query workloads, timing, table/CSV output.
+
+use datagen::{generate_chem, generate_synthetic, ChemParams, SyntheticParams};
+use graph_core::Graph;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Experiment scale: `quick` keeps everything laptop-sized; `full` is the
+/// paper's scale (expect long runtimes).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Scaled ~1:8 from the paper.
+    Quick,
+    /// Paper scale.
+    Full,
+}
+
+impl Scale {
+    /// Scale a paper-sized count down for quick mode.
+    pub fn n(&self, paper: usize) -> usize {
+        match self {
+            Scale::Quick => (paper / 8).max(100),
+            Scale::Full => paper,
+        }
+    }
+
+    /// Queries per query set (paper: 1000).
+    pub fn queries(&self, paper: usize) -> usize {
+        match self {
+            Scale::Quick => (paper / 10).max(30),
+            Scale::Full => paper,
+        }
+    }
+}
+
+/// Global experiment options parsed from the command line.
+#[derive(Clone, Debug)]
+pub struct Opts {
+    /// Scale selector.
+    pub scale: Scale,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+    /// Output directory for CSV artifacts.
+    pub out: PathBuf,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Quick,
+            seed: 2007, // the paper's year
+            out: PathBuf::from("results"),
+        }
+    }
+}
+
+/// Deterministic RNG for a named stage (stable across subcommand order).
+pub fn rng_for(opts: &Opts, stage: &str) -> ChaCha8Rng {
+    let mut h: u64 = opts.seed;
+    for b in stage.bytes() {
+        h = h.wrapping_mul(0x100000001b3).wrapping_add(b as u64);
+    }
+    ChaCha8Rng::seed_from_u64(h)
+}
+
+/// The AIDS-surrogate sample Γ_N (paper §6.1).
+pub fn chem_db(opts: &Opts, n: usize) -> Vec<Graph> {
+    generate_chem(&ChemParams::sized(n), &mut rng_for(opts, "chem"))
+}
+
+/// A synthetic dataset `D{n}I10T20S{s}L{l}` (paper §6.2). The seed pool is
+/// the paper's S1k scaled once by the run's scale — *not* by `n` — so that
+/// size sweeps (Figure 13a) vary only the database size, like the paper.
+pub fn synthetic_db(opts: &Opts, n: usize, labels: u32) -> (Vec<Graph>, String) {
+    let p = SyntheticParams {
+        n_graphs: n,
+        seed_size: 10.0,
+        graph_size: 20.0,
+        seed_count: opts.scale.n(1000),
+        vertex_labels: labels,
+        edge_labels: 2,
+    };
+    let name = p.name();
+    (generate_synthetic(&p, &mut rng_for(opts, "synthetic")), name)
+}
+
+/// Time a closure.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t = Instant::now();
+    let v = f();
+    (v, t.elapsed())
+}
+
+/// Milliseconds as f64 for CSV output.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Write a CSV artifact (header + rows) under the output directory.
+pub fn write_csv(opts: &Opts, name: &str, header: &str, rows: &[String]) {
+    std::fs::create_dir_all(&opts.out).expect("create output directory");
+    let path: PathBuf = Path::new(&opts.out).join(name);
+    let mut f = std::fs::File::create(&path).expect("create CSV");
+    writeln!(f, "{header}").unwrap();
+    for r in rows {
+        writeln!(f, "{r}").unwrap();
+    }
+    println!("  -> wrote {}", path.display());
+}
+
+/// Print an aligned table: header then rows of equal arity.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            widths[i] = widths[i].max(c.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(header.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for r in rows {
+        line(r.clone());
+    }
+}

@@ -1,0 +1,543 @@
+//! One function per paper figure. Each regenerates the figure's series at
+//! the selected scale, prints an aligned table, and writes a CSV artifact.
+//!
+//! Quick scale is ~1:8 of the paper (database sizes, query counts, and the
+//! low/high support split threshold all scale together), so the *shapes* —
+//! who wins, by what factor, where curves cross — remain comparable.
+
+use crate::common::*;
+use datagen::extract_queries;
+use gindex::{GIndex, GIndexParams};
+use graph_core::Graph;
+use treepi::{QueryOptions, SfMode, TreePiIndex, TreePiParams};
+
+/// Build both indexes over one database (timed).
+fn build_both(db: &[Graph]) -> (TreePiIndex, f64, GIndex, f64) {
+    let (tp, t_tp) = timed(|| TreePiIndex::build(db.to_vec(), TreePiParams::default()));
+    let (gi, t_gi) = timed(|| GIndex::build(db.to_vec(), GIndexParams::paper_default(db.len())));
+    (tp, ms(t_tp), gi, ms(t_gi))
+}
+
+/// Figure 9: index size (number of features) as the test dataset Γ_N grows.
+pub fn fig9(opts: &Opts) {
+    println!("== Figure 9: index size vs dataset size (AIDS surrogate) ==");
+    let sizes: Vec<usize> = [1000, 2000, 4000, 8000, 16000]
+        .iter()
+        .map(|&n| opts.scale.n(n))
+        .collect();
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for n in sizes {
+        let db = chem_db(opts, n);
+        let (tp, t_tp, gi, t_gi) = build_both(&db);
+        rows.push(vec![
+            n.to_string(),
+            tp.feature_count().to_string(),
+            gi.feature_count().to_string(),
+            format!("{t_tp:.0}"),
+            format!("{t_gi:.0}"),
+        ]);
+        csv.push(format!(
+            "{n},{},{},{t_tp:.1},{t_gi:.1}",
+            tp.feature_count(),
+            gi.feature_count()
+        ));
+    }
+    print_table(
+        &["N", "treepi features", "gindex features", "treepi ms", "gindex ms"],
+        &rows,
+    );
+    write_csv(
+        opts,
+        "fig9.csv",
+        "n,treepi_features,gindex_features,treepi_build_ms,gindex_build_ms",
+        &csv,
+    );
+}
+
+/// Per-query measurements shared by Figures 10 and 11.
+struct QueryPoint {
+    m: usize,
+    dq: usize,  // |D_q| (truth)
+    cq: usize,  // |C_q| (gIndex candidates)
+    ppq: usize, // |P'_q| (TreePi pruned candidates)
+}
+
+fn measure_queries(
+    opts: &Opts,
+    db: &[Graph],
+    tp: &TreePiIndex,
+    gi: &GIndex,
+    m_values: &[usize],
+    per_size: usize,
+    stage: &str,
+) -> Vec<QueryPoint> {
+    let mut rng = rng_for(opts, stage);
+    let mut points = Vec::new();
+    for &m in m_values {
+        for q in extract_queries(db, m, per_size, &mut rng) {
+            let r = tp.query(&q, &mut rng);
+            let (cands, _) = gi.candidates(&q);
+            points.push(QueryPoint {
+                m,
+                dq: r.stats.answers,
+                cq: cands.len(),
+                ppq: r.stats.pruned,
+            });
+        }
+    }
+    points
+}
+
+/// Figure 10: pruning performance (candidate-set size vs query edge size),
+/// split into low- and high-support query groups.
+pub fn fig10(opts: &Opts, group: Option<&str>) {
+    println!("== Figure 10: pruning performance on Γ_10k (low/high support) ==");
+    let n = opts.scale.n(10_000);
+    // Paper threshold: support 50 on 10k graphs; keep the same fraction.
+    let threshold = (50 * n).div_ceil(10_000);
+    let db = chem_db(opts, n);
+    let (tp, _, gi, _) = build_both(&db);
+    let m_values = [4usize, 8, 12, 16, 20, 24];
+    let per_size = opts.scale.queries(1000);
+    let points = measure_queries(opts, &db, &tp, &gi, &m_values, per_size, "fig10");
+
+    for (name, low) in [("low", true), ("high", false)] {
+        if group.is_some_and(|g| g != name) {
+            continue;
+        }
+        println!("-- {name}-support queries (|Dq| {} {threshold}) --", if low { "<" } else { ">=" });
+        let mut rows = Vec::new();
+        let mut csv = Vec::new();
+        for &m in &m_values {
+            let sel: Vec<&QueryPoint> = points
+                .iter()
+                .filter(|p| p.m == m && ((p.dq < threshold) == low))
+                .collect();
+            if sel.is_empty() {
+                continue;
+            }
+            let k = sel.len();
+            let avg = |f: fn(&QueryPoint) -> usize| {
+                sel.iter().map(|p| f(p)).sum::<usize>() as f64 / k as f64
+            };
+            let (cq, ppq, dq) = (avg(|p| p.cq), avg(|p| p.ppq), avg(|p| p.dq));
+            rows.push(vec![
+                m.to_string(),
+                k.to_string(),
+                format!("{cq:.1}"),
+                format!("{ppq:.1}"),
+                format!("{dq:.1}"),
+            ]);
+            csv.push(format!("{name},{m},{k},{cq:.2},{ppq:.2},{dq:.2}"));
+        }
+        print_table(&["|q|", "queries", "gindex |Cq|", "treepi |P'q|", "actual |Dq|"], &rows);
+        write_csv(
+            opts,
+            &format!("fig10_{name}.csv"),
+            "group,m,queries,gindex_cq,treepi_ppq,actual_dq",
+            &csv,
+        );
+    }
+}
+
+/// Figure 11: prune effectiveness — candidate-set size as a function of the
+/// actual support |Dq| (real dataset in (a), synthetic in (b)).
+pub fn fig11(opts: &Opts, dataset: &str) {
+    let (db, label) = match dataset {
+        "chem" => (chem_db(opts, opts.scale.n(10_000)), "Γ_10k (AIDS surrogate)".to_string()),
+        "synthetic" => {
+            let (db, name) = synthetic_db(opts, opts.scale.n(8_000), 4);
+            (db, name)
+        }
+        other => panic!("unknown dataset {other}; use chem|synthetic"),
+    };
+    println!("== Figure 11 ({dataset}): prune effectiveness on {label} ==");
+    let (tp, _, gi, _) = build_both(&db);
+    let m_values = [4usize, 8, 12, 16, 20];
+    let per_size = opts.scale.queries(1000);
+    let points = measure_queries(opts, &db, &tp, &gi, &m_values, per_size, "fig11");
+
+    // Bucket by |Dq| (scaled from the paper's axis up to ~2000 at 10k).
+    let n = db.len();
+    let buckets: Vec<(usize, usize)> = [(1, 10), (10, 50), (50, 100), (100, 250), (250, 500), (500, 2000)]
+        .iter()
+        .map(|&(a, b)| ((a * n).div_ceil(10_000).max(1), (b * n).div_ceil(10_000).max(2)))
+        .collect();
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (lo, hi) in buckets {
+        let sel: Vec<&QueryPoint> = points
+            .iter()
+            .filter(|p| p.dq >= lo && p.dq < hi)
+            .collect();
+        if sel.is_empty() {
+            continue;
+        }
+        let k = sel.len();
+        let avg =
+            |f: fn(&QueryPoint) -> usize| sel.iter().map(|p| f(p)).sum::<usize>() as f64 / k as f64;
+        let (dq, cq, ppq) = (avg(|p| p.dq), avg(|p| p.cq), avg(|p| p.ppq));
+        rows.push(vec![
+            format!("[{lo},{hi})"),
+            k.to_string(),
+            format!("{dq:.1}"),
+            format!("{cq:.1}"),
+            format!("{ppq:.1}"),
+        ]);
+        csv.push(format!("{lo},{hi},{k},{dq:.2},{cq:.2},{ppq:.2}"));
+    }
+    print_table(
+        &["|Dq| bucket", "queries", "avg |Dq|", "gindex |Cq|", "treepi |P'q|"],
+        &rows,
+    );
+    write_csv(
+        opts,
+        &format!("fig11_{dataset}.csv"),
+        "dq_lo,dq_hi,queries,avg_dq,gindex_cq,treepi_ppq",
+        &csv,
+    );
+}
+
+/// Figures 12(a)/13(a): index construction time vs database size.
+pub fn fig_construction(opts: &Opts, dataset: &str) {
+    let figure = if dataset == "chem" { "12(a)" } else { "13(a)" };
+    println!("== Figure {figure}: index construction time ({dataset}) ==");
+    let sizes: Vec<usize> = [2000, 4000, 6000, 8000, 10_000]
+        .iter()
+        .map(|&n| opts.scale.n(n))
+        .collect();
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for n in sizes {
+        let db = match dataset {
+            "chem" => chem_db(opts, n),
+            _ => synthetic_db(opts, n, 5).0,
+        };
+        let (tp, t_tp, gi, t_gi) = build_both(&db);
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.2}", t_tp / 1e3),
+            format!("{:.2}", t_gi / 1e3),
+            tp.feature_count().to_string(),
+            gi.feature_count().to_string(),
+        ]);
+        csv.push(format!(
+            "{n},{t_tp:.1},{t_gi:.1},{},{}",
+            tp.feature_count(),
+            gi.feature_count()
+        ));
+    }
+    print_table(
+        &["N", "treepi s", "gindex s", "treepi features", "gindex features"],
+        &rows,
+    );
+    write_csv(
+        opts,
+        &format!("fig_construction_{dataset}.csv"),
+        "n,treepi_build_ms,gindex_build_ms,treepi_features,gindex_features",
+        &csv,
+    );
+}
+
+/// Figures 12(b)/13(b): query processing time vs query edge size.
+pub fn fig_query_time(opts: &Opts, dataset: &str) {
+    let figure = if dataset == "chem" { "12(b)" } else { "13(b)" };
+    println!("== Figure {figure}: query processing time ({dataset}) ==");
+    let (db, m_values, paper_queries): (Vec<Graph>, Vec<usize>, usize) = match dataset {
+        "chem" => (
+            chem_db(opts, opts.scale.n(6_000)),
+            vec![4, 8, 12, 16, 20, 24],
+            1000,
+        ),
+        _ => (
+            synthetic_db(opts, opts.scale.n(8_000), 5).0,
+            vec![4, 8, 12, 16],
+            500,
+        ),
+    };
+    let (tp, _, gi, _) = build_both(&db);
+    let per_size = opts.scale.queries(paper_queries);
+    let mut rng = rng_for(opts, "figquery");
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for &m in &m_values {
+        let queries = extract_queries(&db, m, per_size, &mut rng);
+        let (answers_tp, t_tp) = timed(|| {
+            queries
+                .iter()
+                .map(|q| tp.query(q, &mut rng).matches.len())
+                .sum::<usize>()
+        });
+        let (answers_gi, t_gi) = timed(|| {
+            queries.iter().map(|q| gi.query(q).matches.len()).sum::<usize>()
+        });
+        assert_eq!(answers_tp, answers_gi, "systems disagree at m={m}");
+        let k = queries.len() as f64;
+        let (tp_ms, gi_ms) = (ms(t_tp) / k, ms(t_gi) / k);
+        rows.push(vec![
+            m.to_string(),
+            format!("{tp_ms:.2}"),
+            format!("{gi_ms:.2}"),
+            format!("{:.2}", gi_ms / tp_ms),
+        ]);
+        csv.push(format!("{m},{tp_ms:.3},{gi_ms:.3}"));
+    }
+    print_table(&["|q|", "treepi ms/q", "gindex ms/q", "speedup"], &rows);
+    write_csv(
+        opts,
+        &format!("fig_query_{dataset}.csv"),
+        "m,treepi_ms_per_query,gindex_ms_per_query",
+        &csv,
+    );
+}
+
+/// Ablations called out in DESIGN.md: contribution of each pipeline stage
+/// and sensitivity to δ and γ.
+pub fn ablate(opts: &Opts) {
+    println!("== Ablations (not in the paper; DESIGN.md table `tab-ablate`) ==");
+    let n = opts.scale.n(4_000);
+    let db = chem_db(opts, n);
+    let tp = TreePiIndex::build(db.clone(), TreePiParams::default());
+    let per_size = opts.scale.queries(400);
+    let mut rng = rng_for(opts, "ablate");
+    let mut queries = extract_queries(&db, 8, per_size, &mut rng);
+    queries.extend(extract_queries(&db, 16, per_size, &mut rng));
+
+    let configs: Vec<(&str, QueryOptions)> = vec![
+        ("full pipeline", QueryOptions::default()),
+        (
+            "no CDC pruning",
+            QueryOptions {
+                use_cdc: false,
+                ..QueryOptions::default()
+            },
+        ),
+        (
+            "naive verification",
+            QueryOptions {
+                use_reconstruction: false,
+                ..QueryOptions::default()
+            },
+        ),
+        (
+            "SF = partition only",
+            QueryOptions {
+                sf_mode: SfMode::PartitionOnly,
+                ..QueryOptions::default()
+            },
+        ),
+        (
+            "delta = 1",
+            QueryOptions {
+                delta_override: Some(1),
+                ..QueryOptions::default()
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut reference: Option<Vec<usize>> = None;
+    for (name, cfg) in configs {
+        let mut filtered = 0usize;
+        let mut pruned = 0usize;
+        let mut answers: Vec<usize> = Vec::new();
+        let (_, t) = timed(|| {
+            for q in &queries {
+                let r = tp.query_with(q, cfg, &mut rng);
+                filtered += r.stats.filtered;
+                pruned += r.stats.pruned;
+                answers.push(r.stats.answers);
+            }
+        });
+        match &reference {
+            None => reference = Some(answers),
+            Some(r) => assert_eq!(r, &answers, "ablation '{name}' changed answers"),
+        }
+        let k = queries.len() as f64;
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}", filtered as f64 / k),
+            format!("{:.1}", pruned as f64 / k),
+            format!("{:.2}", ms(t) / k),
+        ]);
+        csv.push(format!("{name},{:.2},{:.2},{:.3}", filtered as f64 / k, pruned as f64 / k, ms(t) / k));
+    }
+    print_table(&["configuration", "avg |Pq|", "avg |P'q|", "ms/query"], &rows);
+    write_csv(
+        opts,
+        "ablate_pipeline.csv",
+        "config,avg_pq,avg_ppq,ms_per_query",
+        &csv,
+    );
+
+    // γ sweep: index size and filtering strength trade-off (§4.1.2).
+    println!("-- shrinking parameter γ sweep --");
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for gamma in [0.5, 1.0, 1.5, 2.0, 3.0] {
+        let params = TreePiParams {
+            gamma,
+            ..TreePiParams::default()
+        };
+        let (idx, t_build) = timed(|| TreePiIndex::build(db.clone(), params));
+        let mut pruned = 0usize;
+        for q in &queries {
+            pruned += idx.query(q, &mut rng).stats.pruned;
+        }
+        rows.push(vec![
+            format!("{gamma:.1}"),
+            idx.feature_count().to_string(),
+            format!("{}", idx.memory_estimate() / 1024),
+            format!("{:.1}", pruned as f64 / queries.len() as f64),
+            format!("{:.1}", ms(t_build) / 1e3),
+        ]);
+        csv.push(format!(
+            "{gamma},{},{},{:.2},{:.1}",
+            idx.feature_count(),
+            idx.memory_estimate() / 1024,
+            pruned as f64 / queries.len() as f64,
+            ms(t_build)
+        ));
+    }
+    print_table(
+        &["gamma", "features", "mem KiB", "avg |P'q|", "build s"],
+        &rows,
+    );
+    write_csv(
+        opts,
+        "ablate_gamma.csv",
+        "gamma,features,mem_kib,avg_ppq,build_ms",
+        &csv,
+    );
+}
+
+/// Feature-class comparison (the paper's §1 argument in one table): paths
+/// (GraphGrep) vs frequent subtrees (TreePi) vs frequent subgraphs
+/// (gIndex) on the same database and query mix.
+pub fn classes(opts: &Opts) {
+    println!("== Feature classes: paths vs trees vs graphs ==");
+    let n = opts.scale.n(4_000);
+    let db = chem_db(opts, n);
+    let (tp, t_tp) = timed(|| TreePiIndex::build(db.clone(), TreePiParams::default()));
+    let (gi, t_gi) = timed(|| GIndex::build(db.clone(), GIndexParams::paper_default(n)));
+    let (pg, t_pg) = timed(|| {
+        pathgrep::PathGrep::build(db.clone(), pathgrep::PathGrepParams::default())
+    });
+    println!(
+        "index sizes: pathgrep {} paths ({:.1}s), treepi {} trees ({:.1}s), gindex {} graphs ({:.1}s)",
+        pg.feature_count(),
+        ms(t_pg) / 1e3,
+        tp.feature_count(),
+        ms(t_tp) / 1e3,
+        gi.feature_count(),
+        ms(t_gi) / 1e3,
+    );
+    let per_size = opts.scale.queries(300);
+    let mut rng = rng_for(opts, "classes");
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for m in [4usize, 8, 12, 16] {
+        let queries = extract_queries(&db, m, per_size, &mut rng);
+        let (mut f_pg, mut f_tp, mut f_gi, mut dq) = (0usize, 0usize, 0usize, 0usize);
+        let mut t_pgq = std::time::Duration::ZERO;
+        let mut t_tpq = std::time::Duration::ZERO;
+        let mut t_giq = std::time::Duration::ZERO;
+        for q in &queries {
+            let (r, t) = timed(|| pg.query(q));
+            f_pg += r.stats.filtered;
+            t_pgq += t;
+            let answers = r.matches.len();
+            let (r, t) = timed(|| tp.query(q, &mut rng));
+            f_tp += r.stats.pruned;
+            t_tpq += t;
+            assert_eq!(r.matches.len(), answers);
+            let (r, t) = timed(|| gi.query(q));
+            f_gi += r.stats.filtered;
+            t_giq += t;
+            assert_eq!(r.matches.len(), answers);
+            dq += answers;
+        }
+        let k = queries.len() as f64;
+        rows.push(vec![
+            m.to_string(),
+            format!("{:.1}", f_pg as f64 / k),
+            format!("{:.1}", f_tp as f64 / k),
+            format!("{:.1}", f_gi as f64 / k),
+            format!("{:.1}", dq as f64 / k),
+            format!("{:.2}", ms(t_pgq) / k),
+            format!("{:.2}", ms(t_tpq) / k),
+            format!("{:.2}", ms(t_giq) / k),
+        ]);
+        csv.push(format!(
+            "{m},{:.2},{:.2},{:.2},{:.2},{:.3},{:.3},{:.3}",
+            f_pg as f64 / k,
+            f_tp as f64 / k,
+            f_gi as f64 / k,
+            dq as f64 / k,
+            ms(t_pgq) / k,
+            ms(t_tpq) / k,
+            ms(t_giq) / k
+        ));
+    }
+    print_table(
+        &["|q|", "paths cand", "trees |P'q|", "graphs |Cq|", "|Dq|", "paths ms", "trees ms", "graphs ms"],
+        &rows,
+    );
+    write_csv(
+        opts,
+        "feature_classes.csv",
+        "m,path_cand,tree_ppq,graph_cq,dq,path_ms,tree_ms,graph_ms",
+        &csv,
+    );
+}
+
+/// Dataset summaries (the paper's §6 dataset descriptions, recomputed for
+/// the surrogates actually used).
+pub fn datasets(opts: &Opts) {
+    println!("== Dataset statistics ==");
+    let chem = chem_db(opts, opts.scale.n(10_000));
+    let (syn4, name4) = synthetic_db(opts, opts.scale.n(8_000), 4);
+    let (syn40, name40) = synthetic_db(opts, opts.scale.n(8_000), 40);
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (name, db) in [
+        ("AIDS surrogate".to_string(), &chem),
+        (name4, &syn4),
+        (name40, &syn40),
+    ] {
+        let s = graph_core::db_stats(db);
+        rows.push(vec![
+            name.clone(),
+            s.graphs.to_string(),
+            format!("{:.1}", s.mean_vertices),
+            format!("{:.1}", s.mean_edges),
+            format!("{:.2}", s.mean_degree),
+            s.vertex_labels.to_string(),
+            s.edge_labels.to_string(),
+            format!("{:.2}", s.tree_fraction),
+            format!("{:.2}", s.mean_cycles),
+        ]);
+        csv.push(format!(
+            "{name},{},{:.2},{:.2},{:.3},{},{},{:.3},{:.3}",
+            s.graphs,
+            s.mean_vertices,
+            s.mean_edges,
+            s.mean_degree,
+            s.vertex_labels,
+            s.edge_labels,
+            s.tree_fraction,
+            s.mean_cycles
+        ));
+    }
+    print_table(
+        &["dataset", "graphs", "|V|", "|E|", "deg", "vlabels", "elabels", "tree frac", "cycles"],
+        &rows,
+    );
+    write_csv(
+        opts,
+        "datasets.csv",
+        "dataset,graphs,mean_v,mean_e,mean_degree,vlabels,elabels,tree_fraction,mean_cycles",
+        &csv,
+    );
+}

@@ -1,0 +1,88 @@
+//! Regenerate the TreePi paper's evaluation (one subcommand per figure).
+//!
+//! ```text
+//! experiments <subcommand> [--quick|--full] [--seed N] [--out DIR]
+//!
+//! subcommands:
+//!   fig9     index size vs dataset size               (Figure 9)
+//!   fig10    pruning, low/high support queries        (Figure 10a/10b)
+//!            [--group low|high]
+//!   fig11    prune effectiveness vs |Dq|              (Figure 11a/11b)
+//!            [--dataset chem|synthetic]
+//!   fig12a   construction time, real dataset          (Figure 12a)
+//!   fig12b   query time, real dataset                 (Figure 12b)
+//!   fig13a   construction time, synthetic             (Figure 13a)
+//!   fig13b   query time, synthetic                    (Figure 13b)
+//!   ablate   pipeline-stage ablations + γ sweep       (DESIGN.md)
+//!   classes  paths vs trees vs graphs comparison      (§1 argument)
+//!   datasets dataset summary statistics               (§6 descriptions)
+//!   all      everything above
+//! ```
+//!
+//! `--quick` (default) scales the paper's sizes ~1:8; `--full` uses the
+//! paper's sizes (slow). CSVs land in `--out` (default `results/`).
+
+mod common;
+mod figs;
+
+use common::{Opts, Scale};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <fig9|fig10|fig11|fig12a|fig12b|fig13a|fig13b|ablate|classes|all> \
+         [--quick|--full] [--seed N] [--out DIR] [--group low|high] [--dataset chem|synthetic]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        usage()
+    };
+    let mut opts = Opts::default();
+    let mut group: Option<String> = None;
+    let mut dataset: Option<String> = None;
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => opts.scale = Scale::Quick,
+            "--full" => opts.scale = Scale::Full,
+            "--seed" => {
+                opts.seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--out" => opts.out = it.next().map(Into::into).unwrap_or_else(|| usage()),
+            "--group" => group = it.next().cloned(),
+            "--dataset" => dataset = it.next().cloned(),
+            _ => usage(),
+        }
+    }
+    let t = std::time::Instant::now();
+    match cmd.as_str() {
+        "fig9" => figs::fig9(&opts),
+        "fig10" => figs::fig10(&opts, group.as_deref()),
+        "fig11" => figs::fig11(&opts, dataset.as_deref().unwrap_or("chem")),
+        "fig12a" => figs::fig_construction(&opts, "chem"),
+        "fig12b" => figs::fig_query_time(&opts, "chem"),
+        "fig13a" => figs::fig_construction(&opts, "synthetic"),
+        "fig13b" => figs::fig_query_time(&opts, "synthetic"),
+        "ablate" => figs::ablate(&opts),
+        "classes" => figs::classes(&opts),
+        "datasets" => figs::datasets(&opts),
+        "all" => {
+            figs::fig9(&opts);
+            figs::fig10(&opts, None);
+            figs::fig11(&opts, "chem");
+            figs::fig11(&opts, "synthetic");
+            figs::fig_construction(&opts, "chem");
+            figs::fig_query_time(&opts, "chem");
+            figs::fig_construction(&opts, "synthetic");
+            figs::fig_query_time(&opts, "synthetic");
+            figs::ablate(&opts);
+            figs::classes(&opts);
+            figs::datasets(&opts);
+        }
+        _ => usage(),
+    }
+    println!("done in {:.1?}", t.elapsed());
+}

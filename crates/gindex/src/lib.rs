@@ -1,0 +1,32 @@
+//! The **gIndex** baseline (Yan, Yu & Han, SIGMOD'04), implemented from
+//! scratch for head-to-head comparison with TreePi, exactly as the paper's
+//! §6 evaluates it: frequent general subgraph fragments under ψ(l),
+//! discriminative selection at γ_min, filter-by-intersection, and naive
+//! isomorphism verification.
+
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod query;
+
+pub use index::{Fragment, GBuildStats, GIndex, GIndexParams};
+pub use query::{GQueryResult, GQueryStats};
+
+use graph_core::{canonical_code, CanonCode, Graph};
+
+/// Codes of all connected one-edge-removed subgraphs of `g` — the direct
+/// sub-fragments used by the discriminative test.
+pub(crate) fn removal_codes(g: &Graph) -> Vec<CanonCode> {
+    let mut out = Vec::new();
+    if g.edge_count() <= 1 {
+        return out;
+    }
+    for skip in g.edge_ids() {
+        let keep: Vec<graph_core::EdgeId> = g.edge_ids().filter(|&e| e != skip).collect();
+        let sub = graph_core::edge_subgraph(g, &keep);
+        if sub.graph.is_connected() && sub.graph.vertex_count() > 0 {
+            out.push(canonical_code(&sub.graph));
+        }
+    }
+    out
+}

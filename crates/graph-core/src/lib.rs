@@ -1,0 +1,43 @@
+//! Labeled undirected graph substrate for the TreePi reproduction.
+//!
+//! This crate provides everything below the tree/index layers of the paper:
+//!
+//! - [`graph`]: the immutable labeled graph type and its builder;
+//! - [`dist`]: BFS distances and the cached [`dist::DistanceOracle`] used by
+//!   Center Distance Constraint pruning;
+//! - [`iso`]: VF2-style subgraph isomorphism, isomorphism, automorphisms,
+//!   and rooted embedding enumeration;
+//! - [`canon`]: canonical codes for arbitrary small graphs (the expensive
+//!   operation TreePi avoids and the gIndex baseline must pay for);
+//! - [`subgraph`]: edge-subgraph extraction and connected edge-subset /
+//!   subtree enumeration;
+//! - [`io`]: the gSpan transaction text format and a label interner.
+
+#![warn(missing_docs)]
+
+pub mod canon;
+pub mod digraph;
+pub mod dist;
+pub mod graph;
+pub mod io;
+pub mod iso;
+pub mod stats;
+pub mod subgraph;
+
+pub use canon::{canonical_code, CanonCode};
+pub use digraph::{
+    digraph_from, is_sub_digraph_isomorphic, Arc, DiBuildError, DiGraph, DiGraphBuilder,
+    MIDPOINT_LABEL_BASE,
+};
+pub use dist::{bfs_distances, distance, eccentricity, DistanceOracle, UNREACHABLE};
+pub use graph::{graph_from, BuildError, ELabel, Edge, EdgeId, Graph, GraphBuilder, VLabel, VertexId};
+pub use iso::{
+    all_embeddings, automorphisms, find_embedding, for_each_embedding,
+    for_each_embedding_pinned, for_each_embedding_rooted, is_isomorphic,
+    is_subgraph_isomorphic, Embedding,
+};
+pub use stats::{component_count, db_stats, vertex_label_histogram, DbStats};
+pub use subgraph::{
+    edge_components, edge_subgraph, for_each_connected_edge_subset,
+    for_each_subtree_edge_subset, random_connected_edge_subgraph, ExtractedSubgraph,
+};

@@ -1,0 +1,180 @@
+//! Database statistics: size, degree, label, and connectivity summaries.
+//!
+//! The paper characterizes its datasets by graph count, average size, seed
+//! size and label count (§6); these helpers compute the same summaries for
+//! any database so experiments can report what they actually ran on.
+
+use crate::dist::{bfs_distances, UNREACHABLE};
+use crate::graph::Graph;
+use rustc_hash::FxHashMap;
+
+/// Summary statistics of one graph database.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DbStats {
+    /// Number of graphs.
+    pub graphs: usize,
+    /// Mean vertex count.
+    pub mean_vertices: f64,
+    /// Mean edge count.
+    pub mean_edges: f64,
+    /// Largest vertex count.
+    pub max_vertices: usize,
+    /// Largest edge count.
+    pub max_edges: usize,
+    /// Mean vertex degree.
+    pub mean_degree: f64,
+    /// Maximum vertex degree.
+    pub max_degree: usize,
+    /// Distinct vertex labels across the database.
+    pub vertex_labels: usize,
+    /// Distinct edge labels across the database.
+    pub edge_labels: usize,
+    /// Fraction of graphs that are trees (connected and acyclic).
+    pub tree_fraction: f64,
+    /// Fraction of graphs that are connected.
+    pub connected_fraction: f64,
+    /// Mean cyclomatic number (|E| − |V| + components), the "ring count".
+    pub mean_cycles: f64,
+}
+
+/// Frequency of each vertex label, descending.
+pub fn vertex_label_histogram(db: &[Graph]) -> Vec<(u32, usize)> {
+    let mut counts: FxHashMap<u32, usize> = FxHashMap::default();
+    for g in db {
+        for v in g.vertices() {
+            *counts.entry(g.vlabel(v).0).or_insert(0) += 1;
+        }
+    }
+    let mut out: Vec<(u32, usize)> = counts.into_iter().collect();
+    out.sort_by_key(|&(l, c)| (std::cmp::Reverse(c), l));
+    out
+}
+
+/// Number of connected components of `g`.
+pub fn component_count(g: &Graph) -> usize {
+    let n = g.vertex_count();
+    if n == 0 {
+        return 0;
+    }
+    let mut seen = vec![false; n];
+    let mut comps = 0;
+    for v in g.vertices() {
+        if seen[v.idx()] {
+            continue;
+        }
+        comps += 1;
+        let d = bfs_distances(g, v);
+        for w in g.vertices() {
+            if d[w.idx()] != UNREACHABLE {
+                seen[w.idx()] = true;
+            }
+        }
+    }
+    comps
+}
+
+/// Compute database summary statistics.
+pub fn db_stats(db: &[Graph]) -> DbStats {
+    if db.is_empty() {
+        return DbStats::default();
+    }
+    let mut s = DbStats {
+        graphs: db.len(),
+        ..DbStats::default()
+    };
+    let mut vlabels = FxHashMap::default();
+    let mut elabels = FxHashMap::default();
+    let (mut tv, mut te, mut tdeg, mut degs, mut trees, mut conn, mut cycles) =
+        (0usize, 0usize, 0usize, 0usize, 0usize, 0usize, 0usize);
+    for g in db {
+        tv += g.vertex_count();
+        te += g.edge_count();
+        s.max_vertices = s.max_vertices.max(g.vertex_count());
+        s.max_edges = s.max_edges.max(g.edge_count());
+        for v in g.vertices() {
+            let d = g.degree(v);
+            tdeg += d;
+            s.max_degree = s.max_degree.max(d);
+            degs += 1;
+            *vlabels.entry(g.vlabel(v).0).or_insert(0usize) += 1;
+        }
+        for e in g.edges() {
+            *elabels.entry(e.label.0).or_insert(0usize) += 1;
+        }
+        let comps = component_count(g);
+        if comps <= 1 {
+            conn += 1;
+        }
+        if g.is_tree() {
+            trees += 1;
+        }
+        cycles += g.edge_count() + comps - g.vertex_count();
+    }
+    s.mean_vertices = tv as f64 / db.len() as f64;
+    s.mean_edges = te as f64 / db.len() as f64;
+    s.mean_degree = if degs > 0 { tdeg as f64 / degs as f64 } else { 0.0 };
+    s.vertex_labels = vlabels.len();
+    s.edge_labels = elabels.len();
+    s.tree_fraction = trees as f64 / db.len() as f64;
+    s.connected_fraction = conn as f64 / db.len() as f64;
+    s.mean_cycles = cycles as f64 / db.len() as f64;
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::graph_from;
+
+    fn sample() -> Vec<Graph> {
+        vec![
+            // tree, 3 vertices
+            graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 1)]),
+            // triangle (one cycle)
+            graph_from(&[0, 1, 1], &[(0, 1, 0), (1, 2, 0), (2, 0, 0)]),
+            // disconnected forest
+            graph_from(&[2, 2, 0, 0], &[(0, 1, 0), (2, 3, 0)]),
+        ]
+    }
+
+    #[test]
+    fn component_counting() {
+        let db = sample();
+        assert_eq!(component_count(&db[0]), 1);
+        assert_eq!(component_count(&db[1]), 1);
+        assert_eq!(component_count(&db[2]), 2);
+        assert_eq!(component_count(&graph_from(&[], &[])), 0);
+    }
+
+    #[test]
+    fn stats_values() {
+        let s = db_stats(&sample());
+        assert_eq!(s.graphs, 3);
+        assert!((s.mean_vertices - 10.0 / 3.0).abs() < 1e-9);
+        assert!((s.mean_edges - 7.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.max_vertices, 4);
+        assert_eq!(s.max_edges, 3);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.vertex_labels, 3); // labels 0, 1, 2
+        assert_eq!(s.edge_labels, 2); // labels 0, 1
+        assert!((s.tree_fraction - 1.0 / 3.0).abs() < 1e-9);
+        assert!((s.connected_fraction - 2.0 / 3.0).abs() < 1e-9);
+        // cycles: 0 + 1 + 0
+        assert!((s.mean_cycles - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_sorted_by_frequency() {
+        let h = vertex_label_histogram(&sample());
+        // label 0 appears 4 times, 1 appears 3, 2 appears 2... count:
+        // g0: 0,0,1; g1: 0,1,1; g2: 2,2,0,0 → 0×5, 1×3, 2×2
+        assert_eq!(h[0], (0, 5));
+        assert_eq!(h[1], (1, 3));
+        assert_eq!(h[2], (2, 2));
+    }
+
+    #[test]
+    fn empty_db() {
+        assert_eq!(db_stats(&[]), DbStats::default());
+    }
+}

@@ -1,0 +1,191 @@
+//! Support sets and the size-dependent support threshold σ(s) (paper
+//! Eq. 1).
+//!
+//! Support sets are sorted vectors of graph ids; the query pipeline lives
+//! on their intersections (Algorithm 1), so a galloping intersection is
+//! provided.
+
+/// The paper's support threshold function (Eq. 1):
+///
+/// ```text
+///           ⎧ 1                 if s ≤ α
+///    σ(s) = ⎨ 1 + βs − αβ       if α < s ≤ η
+///           ⎩ +∞                if s > η
+/// ```
+///
+/// σ(1) = 1 guarantees completeness (every query can be partitioned into
+/// single-edge feature trees in the worst case); the growing threshold
+/// keeps large, rarely-useful trees out of the index.
+#[derive(Clone, Copy, Debug)]
+pub struct SigmaFn {
+    /// Size up to which every observed tree is kept (σ = 1).
+    pub alpha: usize,
+    /// Threshold growth rate per extra edge.
+    pub beta: f64,
+    /// Maximum feature-tree edge size (σ = +∞ beyond).
+    pub eta: usize,
+}
+
+impl SigmaFn {
+    /// The paper's AIDS-dataset setting: α = 5, β = 2, η = 10 (§6.1).
+    pub fn paper_default() -> Self {
+        Self {
+            alpha: 5,
+            beta: 2.0,
+            eta: 10,
+        }
+    }
+
+    /// Threshold for edge size `s`, or `None` for +∞ (size not indexed).
+    pub fn threshold(&self, s: usize) -> Option<u64> {
+        if s == 0 {
+            return None; // single vertices are never features
+        }
+        if s <= self.alpha {
+            Some(1)
+        } else if s <= self.eta {
+            let v = 1.0 + self.beta * s as f64 - self.alpha as f64 * self.beta;
+            Some(v.ceil().max(1.0) as u64)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the function is non-decreasing over `1..=eta` (required for
+    /// the apriori pruning to be sound); true for all valid parameters.
+    pub fn is_monotone(&self) -> bool {
+        let mut prev = 0u64;
+        for s in 1..=self.eta {
+            match self.threshold(s) {
+                Some(t) if t >= prev => prev = t,
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+/// Sorted-vector support set of a pattern: ids of the database graphs that
+/// contain it (Definition 6).
+pub type SupportSet = Vec<u32>;
+
+/// Intersect two sorted id sets.
+///
+/// Two-pointer merge when the sizes are comparable; when one side is much
+/// smaller, binary-search each of its elements in the larger side instead.
+pub fn intersect(a: &[u32], b: &[u32]) -> SupportSet {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(small.len());
+    if large.len() > small.len().saturating_mul(16) {
+        // Asymmetric: binary search with a moving left bound.
+        let mut lo = 0usize;
+        for &x in small {
+            match large[lo..].binary_search(&x) {
+                Ok(i) => {
+                    out.push(x);
+                    lo += i + 1;
+                }
+                Err(i) => lo += i,
+            }
+            if lo >= large.len() {
+                break;
+            }
+        }
+    } else {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < small.len() && j < large.len() {
+            match small[i].cmp(&large[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(small[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Intersect many sorted id sets, smallest first (empty input yields the
+/// universe `0..n_graphs`).
+pub fn intersect_many(sets: &[&[u32]], n_graphs: usize) -> SupportSet {
+    if sets.is_empty() {
+        return (0..n_graphs as u32).collect();
+    }
+    let mut order: Vec<&&[u32]> = sets.iter().collect();
+    order.sort_by_key(|s| s.len());
+    let mut acc: SupportSet = order[0].to_vec();
+    for s in &order[1..] {
+        if acc.is_empty() {
+            break;
+        }
+        acc = intersect(&acc, s);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigma_paper_values() {
+        let s = SigmaFn::paper_default();
+        assert_eq!(s.threshold(1), Some(1));
+        assert_eq!(s.threshold(5), Some(1));
+        // 1 + 2*6 - 5*2 = 3
+        assert_eq!(s.threshold(6), Some(3));
+        // 1 + 2*10 - 10 = 11
+        assert_eq!(s.threshold(10), Some(11));
+        assert_eq!(s.threshold(11), None);
+        assert_eq!(s.threshold(0), None);
+        assert!(s.is_monotone());
+    }
+
+    #[test]
+    fn sigma_degenerate_params() {
+        // alpha = eta: uniform threshold 1.
+        let s = SigmaFn { alpha: 3, beta: 5.0, eta: 3 };
+        assert_eq!(s.threshold(3), Some(1));
+        assert_eq!(s.threshold(4), None);
+        assert!(s.is_monotone());
+    }
+
+    #[test]
+    fn intersect_basic() {
+        assert_eq!(intersect(&[1, 3, 5, 7], &[3, 4, 5, 8]), vec![3, 5]);
+        assert_eq!(intersect(&[], &[1, 2]), Vec::<u32>::new());
+        assert_eq!(intersect(&[2], &[2]), vec![2]);
+        assert_eq!(intersect(&[1, 2, 3], &[4, 5]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn intersect_asymmetric_sizes() {
+        let big: Vec<u32> = (0..1000).collect();
+        let small = vec![5, 500, 999, 1500];
+        assert_eq!(intersect(&small, &big), vec![5, 500, 999]);
+        assert_eq!(intersect(&big, &small), vec![5, 500, 999]);
+    }
+
+    #[test]
+    fn intersect_many_with_universe() {
+        assert_eq!(intersect_many(&[], 3), vec![0, 1, 2]);
+        let a = vec![0, 1, 2, 3];
+        let b = vec![1, 3];
+        let c = vec![0, 1, 3];
+        assert_eq!(intersect_many(&[&a, &b, &c], 10), vec![1, 3]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn intersect_matches_naive(mut a in proptest::collection::vec(0u32..200, 0..60),
+                                   mut b in proptest::collection::vec(0u32..200, 0..60)) {
+            a.sort_unstable(); a.dedup();
+            b.sort_unstable(); b.dedup();
+            let naive: Vec<u32> = a.iter().copied().filter(|x| b.contains(x)).collect();
+            proptest::prop_assert_eq!(intersect(&a, &b), naive);
+        }
+    }
+}

@@ -1,0 +1,923 @@
+//! Level-wise frequent subtree mining (paper §4.1.3).
+//!
+//! "First, all the frequent trees according to the σ function are
+//! discovered by any level wise edge-increasing graph mining method."
+//!
+//! We use an apriori-style pattern-growth:
+//!
+//! 1. level 1 = all distinct single-edge trees, with exact support sets
+//!    from one database scan;
+//! 2. level s+1 candidates = each level-s tree extended by one leaf edge
+//!    using a globally observed `(attach label, edge label, leaf label)`
+//!    triple, deduplicated by canonical string;
+//! 3. apriori pruning: every leaf-removal subtree of a candidate must be
+//!    frequent at the previous level (sound because σ is non-decreasing),
+//!    and the candidate's support is a subset of the intersection of those
+//!    subtrees' supports;
+//! 4. exact support counting by subtree-embedding tests over that
+//!    intersection.
+//!
+//! This is deliberately complete: with σ(s) = 1 for s ≤ α (the paper's
+//! completeness requirement) *every* distinct subtree up to α edges is
+//! found.
+
+use crate::support::{intersect_many, SigmaFn, SupportSet};
+use graph_core::{ELabel, Graph, GraphBuilder, VLabel, VertexId};
+use rustc_hash::{FxHashMap, FxHashSet};
+use tree_core::{canonical_string, CanonString, Tree};
+
+/// A mined frequent tree with its exact support set.
+#[derive(Clone, Debug)]
+pub struct MinedTree {
+    /// The pattern.
+    pub tree: Tree,
+    /// Canonical string (index key).
+    pub canon: CanonString,
+    /// Sorted ids of database graphs containing the pattern.
+    pub support: SupportSet,
+}
+
+impl MinedTree {
+    /// Edge size of the pattern.
+    pub fn size(&self) -> usize {
+        self.tree.edge_count()
+    }
+}
+
+/// Safety limits for mining (the paper tunes σ parameters "until the
+/// feature tree set can fit in the memory"; these are the hard stops).
+#[derive(Clone, Copy, Debug)]
+pub struct MiningLimits {
+    /// Hard cap on the total number of patterns kept across levels.
+    pub max_patterns: usize,
+    /// Hard cap on candidates generated per level.
+    pub max_candidates_per_level: usize,
+}
+
+impl Default for MiningLimits {
+    fn default() -> Self {
+        Self {
+            max_patterns: 200_000,
+            max_candidates_per_level: 20_000_000,
+        }
+    }
+}
+
+/// Statistics of one mining run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MiningStats {
+    /// Patterns found per level are summed here.
+    pub patterns: usize,
+    /// Candidates generated (before support counting).
+    pub candidates: usize,
+    /// Candidates rejected by the apriori subtree check.
+    pub apriori_pruned: usize,
+    /// Embedding tests performed.
+    pub embed_tests: usize,
+    /// Whether a hard limit stopped mining early.
+    pub truncated: bool,
+}
+
+/// Cheap per-graph summaries used to skip hopeless embedding tests.
+struct GraphSummary {
+    vlabel_counts: FxHashMap<VLabel, u32>,
+    triple_counts: FxHashMap<(VLabel, ELabel, VLabel), u32>,
+}
+
+impl GraphSummary {
+    fn new(g: &Graph) -> Self {
+        let mut vlabel_counts = FxHashMap::default();
+        for v in g.vertices() {
+            *vlabel_counts.entry(g.vlabel(v)).or_insert(0) += 1;
+        }
+        let mut triple_counts = FxHashMap::default();
+        for e in g.edges() {
+            let a = g.vlabel(e.u);
+            let b = g.vlabel(e.v);
+            *triple_counts.entry((a.min(b), e.label, a.max(b))).or_insert(0) += 1;
+        }
+        Self {
+            vlabel_counts,
+            triple_counts,
+        }
+    }
+
+    fn may_contain(&self, p: &Graph) -> bool {
+        let mut need_v: FxHashMap<VLabel, u32> = FxHashMap::default();
+        for v in p.vertices() {
+            *need_v.entry(p.vlabel(v)).or_insert(0) += 1;
+        }
+        for (l, n) in need_v {
+            if self.vlabel_counts.get(&l).copied().unwrap_or(0) < n {
+                return false;
+            }
+        }
+        let mut need_e: FxHashMap<(VLabel, ELabel, VLabel), u32> = FxHashMap::default();
+        for e in p.edges() {
+            let a = p.vlabel(e.u);
+            let b = p.vlabel(e.v);
+            *need_e.entry((a.min(b), e.label, a.max(b))).or_insert(0) += 1;
+        }
+        for (t, n) in need_e {
+            if self.triple_counts.get(&t).copied().unwrap_or(0) < n {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Build the canonical single-edge tree for a labeled edge.
+fn single_edge_tree(a: VLabel, el: ELabel, b: VLabel) -> Tree {
+    let (a, b) = (a.min(b), a.max(b));
+    let mut gb = GraphBuilder::with_capacity(2, 1);
+    let u = gb.add_vertex(a);
+    let v = gb.add_vertex(b);
+    gb.add_edge(u, v, el).expect("single edge");
+    Tree::from_graph(gb.build()).expect("an edge is a tree")
+}
+
+/// Extend `t` with a new leaf labeled `leaf` attached to vertex `at` via an
+/// edge labeled `el`.
+fn extend_with_leaf(t: &Tree, at: VertexId, el: ELabel, leaf: VLabel) -> Tree {
+    let g = t.graph();
+    let mut b = GraphBuilder::with_capacity(g.vertex_count() + 1, g.edge_count() + 1);
+    for v in g.vertices() {
+        b.add_vertex(g.vlabel(v));
+    }
+    for e in g.edges() {
+        b.add_edge(e.u, e.v, e.label).expect("copying a tree");
+    }
+    let nv = b.add_vertex(leaf);
+    b.add_edge(at, nv, el).expect("fresh leaf edge");
+    Tree::from_graph(b.build()).expect("adding a leaf keeps a tree a tree")
+}
+
+/// All leaf-removal subtrees of `t` (each with one degree-1 vertex and its
+/// edge removed), as canonical strings. These are `t`'s maximal proper
+/// subtrees; every proper subtree of `t` is contained in one of them.
+pub fn leaf_removal_canons(t: &Tree) -> Vec<CanonString> {
+    let g = t.graph();
+    if g.edge_count() <= 1 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for v in g.vertices() {
+        if g.degree(v) != 1 {
+            continue;
+        }
+        let mut b = GraphBuilder::with_capacity(g.vertex_count() - 1, g.edge_count() - 1);
+        let mut map = vec![VertexId(u32::MAX); g.vertex_count()];
+        for w in g.vertices() {
+            if w != v {
+                map[w.idx()] = b.add_vertex(g.vlabel(w));
+            }
+        }
+        for e in g.edges() {
+            if e.u != v && e.v != v {
+                b.add_edge(map[e.u.idx()], map[e.v.idx()], e.label)
+                    .expect("copying tree edges");
+            }
+        }
+        let sub = Tree::from_graph(b.build()).expect("leaf removal keeps a tree");
+        out.push(canonical_string(&sub));
+    }
+    out
+}
+
+/// Mine all σ-frequent subtrees of `db`.
+///
+/// Dispatches to [`mine_frequent_trees_enum`], which is exact and fastest
+/// at the paper's low thresholds (σ(s) = 1 for s ≤ α forces complete
+/// enumeration anyway). [`mine_frequent_trees_apriori`] implements the
+/// classical level-wise candidate-generation alternative and is kept as a
+/// cross-checking oracle and for high-threshold configurations.
+pub fn mine_frequent_trees(
+    db: &[Graph],
+    sigma: &SigmaFn,
+    limits: &MiningLimits,
+) -> (Vec<MinedTree>, MiningStats) {
+    mine_frequent_trees_levelwise(db, sigma, limits)
+}
+
+/// Occurrence-list level-wise mining — the default engine, and the "level
+/// wise edge-increasing" method the paper prescribes.
+///
+/// Level s holds every frequent s-edge tree together with **all** of its
+/// occurrence instances: `(graph, mapping)` pairs where the mapping embeds
+/// a fixed *representative* tree of the pattern. Level s+1 extends each
+/// instance by one adjacent acyclic host edge; the extension's identity is
+/// just `(attach pattern vertex, edge label, leaf label)`, so the child's
+/// canonical string is computed **once per (representative, extension
+/// kind)** and shared by every instance — canonicalization cost scales
+/// with the number of patterns, not the (much larger) number of instances.
+/// Instances are deduplicated by `(graph, edge set)`; supports fall out of
+/// the instance lists, so no embedding tests are ever run. Instances of
+/// *infrequent* patterns are dropped and never extended — with the σ(s)
+/// thresholds growing past α this prunes the (combinatorially dominant)
+/// large-and-rare subtrees that plain enumeration would still visit.
+///
+/// Exactness: every instance of a frequent (s+1)-tree restricts (by
+/// removing a leaf edge) to an instance of a frequent s-tree (σ is
+/// non-decreasing), which is present at level s, so all instances and all
+/// supports are complete.
+pub fn mine_frequent_trees_levelwise(
+    db: &[Graph],
+    sigma: &SigmaFn,
+    limits: &MiningLimits,
+) -> (Vec<MinedTree>, MiningStats) {
+    use smallvec::SmallVec;
+    type Mapping = SmallVec<[u32; 11]>; // pattern vertex -> host vertex
+    type EdgeSet = SmallVec<[u32; 10]>; // sorted host edge ids
+
+    assert!(sigma.is_monotone(), "σ(s) must be non-decreasing");
+    let mut stats = MiningStats::default();
+
+    /// One instance of a representative tree in a host graph.
+    struct Instance {
+        gid: u32,
+        mapping: Mapping,
+        edges: EdgeSet,
+    }
+    /// A representative tree with its instances. Several representatives
+    /// (different vertex numberings) can share one canonical string.
+    struct Rep {
+        tree: Tree,
+        occs: Vec<Instance>,
+    }
+    type Level = FxHashMap<CanonString, Vec<Rep>>;
+
+    fn canon_support(reps: &[Rep]) -> SupportSet {
+        let mut s: SupportSet = reps
+            .iter()
+            .flat_map(|r| r.occs.iter().map(|o| o.gid))
+            .collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+
+    // ---- Level 1: single-edge patterns, one instance per host edge. ----
+    let mut level: Level = FxHashMap::default();
+    for (gid, g) in db.iter().enumerate() {
+        let gid = gid as u32;
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            let (lu, lv) = (g.vlabel(edge.u), g.vlabel(edge.v));
+            let tree = single_edge_tree(lu, edge.label, lv);
+            // Orient the mapping to the representative (smaller label first).
+            let mapping: Mapping = if lu <= lv {
+                smallvec::smallvec![edge.u.0, edge.v.0]
+            } else {
+                smallvec::smallvec![edge.v.0, edge.u.0]
+            };
+            let canon = canonical_string(&tree);
+            let reps = level.entry(canon).or_default();
+            if reps.is_empty() {
+                reps.push(Rep {
+                    tree,
+                    occs: Vec::new(),
+                });
+            }
+            reps[0].occs.push(Instance {
+                gid,
+                mapping,
+                edges: smallvec::smallvec![e.0],
+            });
+        }
+    }
+    let t1 = sigma.threshold(1).expect("σ(1) must be finite") as usize;
+    level.retain(|_, reps| canon_support(reps).len() >= t1);
+
+    let mut result: Vec<MinedTree> = level
+        .iter()
+        .map(|(canon, reps)| MinedTree {
+            tree: reps[0].tree.clone(),
+            canon: canon.clone(),
+            support: canon_support(reps),
+        })
+        .collect();
+    if result.len() >= limits.max_patterns {
+        stats.truncated = true;
+    }
+
+    let mut size = 1usize;
+    while size < sigma.eta && !level.is_empty() && result.len() < limits.max_patterns {
+        let Some(next_threshold) = sigma.threshold(size + 1) else {
+            break;
+        };
+        let next_threshold = next_threshold as usize;
+
+        let mut seen: FxHashSet<(u32, EdgeSet)> = FxHashSet::default();
+        let mut next: Level = FxHashMap::default();
+        let mut truncated = false;
+
+        'ext: for reps in level.values() {
+            for rep in reps {
+                // (attach vertex, edge label, leaf label) -> (child canon,
+                // rep slot within next[canon]); computed once per kind.
+                let mut ext_cache: FxHashMap<(u32, u32, u32), (CanonString, usize)> =
+                    FxHashMap::default();
+                for occ in &rep.occs {
+                    let g = &db[occ.gid as usize];
+                    for (pv, &hv) in occ.mapping.iter().enumerate() {
+                        for &(w, he) in g.neighbors(VertexId(hv)) {
+                            if occ.mapping.contains(&w.0) {
+                                continue; // cycle or already-used edge
+                            }
+                            let mut nedges = occ.edges.clone();
+                            let pos = match nedges.binary_search(&he.0) {
+                                Ok(_) => continue, // parallel guard (unreachable)
+                                Err(p) => p,
+                            };
+                            nedges.insert(pos, he.0);
+                            if !seen.insert((occ.gid, nedges.clone())) {
+                                continue;
+                            }
+                            stats.candidates += 1;
+                            let el = g.edge(he).label;
+                            let lv = g.vlabel(w);
+                            let key = (pv as u32, el.0, lv.0);
+                            let (canon, slot) = match ext_cache.get(&key) {
+                                Some(v) => v.clone(),
+                                None => {
+                                    let child =
+                                        extend_with_leaf(&rep.tree, VertexId(pv as u32), el, lv);
+                                    let canon = canonical_string(&child);
+                                    let reps = next.entry(canon.clone()).or_default();
+                                    reps.push(Rep {
+                                        tree: child,
+                                        occs: Vec::new(),
+                                    });
+                                    let v = (canon, reps.len() - 1);
+                                    ext_cache.insert(key, v.clone());
+                                    v
+                                }
+                            };
+                            let mut nmapping = occ.mapping.clone();
+                            nmapping.push(w.0);
+                            next.get_mut(&canon).expect("slot registered")[slot]
+                                .occs
+                                .push(Instance {
+                                    gid: occ.gid,
+                                    mapping: nmapping,
+                                    edges: nedges,
+                                });
+                            if seen.len() >= limits.max_candidates_per_level {
+                                truncated = true;
+                                break 'ext;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if truncated {
+            // A mid-level stop would leave supports under-counted, which is
+            // unsound for filtering; discard the partial level entirely.
+            stats.truncated = true;
+            break;
+        }
+        next.retain(|_, reps| canon_support(reps).len() >= next_threshold);
+        if next.is_empty() {
+            break;
+        }
+        result.extend(next.iter().map(|(canon, reps)| MinedTree {
+            tree: reps[0].tree.clone(),
+            canon: canon.clone(),
+            support: canon_support(reps),
+        }));
+        if result.len() >= limits.max_patterns {
+            stats.truncated = true;
+            result.sort_by(|a, b| {
+                (a.size(), std::cmp::Reverse(a.support.len()), &a.canon)
+                    .cmp(&(b.size(), std::cmp::Reverse(b.support.len()), &b.canon))
+            });
+            result.truncate(limits.max_patterns);
+            break;
+        }
+        level = next;
+        size += 1;
+    }
+
+    result.sort_by(|a, b| (a.size(), &a.canon).cmp(&(b.size(), &b.canon)));
+    stats.patterns = result.len();
+    (result, stats)
+}
+
+
+/// Enumeration-based mining: for every graph, enumerate all subtree edge
+/// subsets up to η edges (each exactly once), canonicalize, and accumulate
+/// support sets directly. No candidate generation, no embedding tests —
+/// supports are exact by construction.
+pub fn mine_frequent_trees_enum(
+    db: &[Graph],
+    sigma: &SigmaFn,
+    limits: &MiningLimits,
+) -> (Vec<MinedTree>, MiningStats) {
+    assert!(sigma.is_monotone(), "σ(s) must be non-decreasing");
+    let mut stats = MiningStats::default();
+    struct Entry {
+        tree: Tree,
+        support: SupportSet,
+    }
+    let mut patterns: FxHashMap<CanonString, Entry> = FxHashMap::default();
+    // Graphs whose enumeration hit the per-graph cap: their membership in
+    // any pattern is unknown, so they are added to *every* support set.
+    // That over-approximation is sound — the index build re-validates each
+    // (feature, graph) pair when computing center positions.
+    let mut overflow: Vec<u32> = Vec::new();
+    for (gid, g) in db.iter().enumerate() {
+        let gid = gid as u32;
+        let mut enumerated = 0usize;
+        let flow = graph_core::for_each_subtree_edge_subset(g, sigma.eta, |edges| {
+            enumerated += 1;
+            stats.candidates += 1;
+            let sub = graph_core::edge_subgraph(g, edges);
+            let tree = Tree::from_graph(sub.graph)
+                .expect("subtree enumeration yields trees");
+            let canon = canonical_string(&tree);
+            match patterns.get_mut(&canon) {
+                Some(e) => {
+                    if e.support.last() != Some(&gid) {
+                        e.support.push(gid);
+                    }
+                }
+                None => {
+                    patterns.insert(
+                        canon,
+                        Entry {
+                            tree,
+                            support: vec![gid],
+                        },
+                    );
+                }
+            }
+            if enumerated >= limits.max_candidates_per_level {
+                stats.truncated = true;
+                std::ops::ControlFlow::Break(())
+            } else {
+                std::ops::ControlFlow::Continue(())
+            }
+        });
+        if flow.is_break() {
+            overflow.push(gid);
+        }
+    }
+    let mut result: Vec<MinedTree> = patterns
+        .into_iter()
+        .filter_map(|(canon, e)| {
+            let thr = sigma.threshold(e.tree.edge_count())? as usize;
+            let mut support = e.support;
+            if !overflow.is_empty() {
+                support.extend(overflow.iter().copied());
+                support.sort_unstable();
+                support.dedup();
+            }
+            (support.len() >= thr).then(|| MinedTree {
+                tree: e.tree,
+                canon,
+                support,
+            })
+        })
+        .collect();
+    if result.len() > limits.max_patterns {
+        stats.truncated = true;
+        // Keep the most frequent patterns of each size (deterministic).
+        result.sort_by(|a, b| {
+            (a.size(), std::cmp::Reverse(a.support.len()), &a.canon)
+                .cmp(&(b.size(), std::cmp::Reverse(b.support.len()), &b.canon))
+        });
+        result.truncate(limits.max_patterns);
+    }
+    result.sort_by(|a, b| (a.size(), &a.canon).cmp(&(b.size(), &b.canon)));
+    stats.patterns = result.len();
+    (result, stats)
+}
+
+/// Level-wise apriori mining (candidate generation + embedding-test support
+/// counting). Kept as an oracle for [`mine_frequent_trees_enum`] and for
+/// high-threshold settings where candidate pruning pays off.
+pub fn mine_frequent_trees_apriori(
+    db: &[Graph],
+    sigma: &SigmaFn,
+    limits: &MiningLimits,
+) -> (Vec<MinedTree>, MiningStats) {
+    assert!(sigma.is_monotone(), "σ(s) must be non-decreasing for apriori mining");
+    let mut stats = MiningStats::default();
+    let summaries: Vec<GraphSummary> = db.iter().map(GraphSummary::new).collect();
+
+    // ---- Level 1: single-edge trees by direct scan. ----
+    let mut level: FxHashMap<CanonString, MinedTree> = FxHashMap::default();
+    for (gid, g) in db.iter().enumerate() {
+        let mut seen_here: FxHashSet<CanonString> = FxHashSet::default();
+        for e in g.edges() {
+            let t = single_edge_tree(g.vlabel(e.u), e.label, g.vlabel(e.v));
+            let canon = canonical_string(&t);
+            if !seen_here.insert(canon.clone()) {
+                continue;
+            }
+            level
+                .entry(canon.clone())
+                .or_insert_with(|| MinedTree {
+                    tree: t,
+                    canon,
+                    support: Vec::new(),
+                })
+                .support
+                .push(gid as u32);
+        }
+    }
+    let t1 = sigma.threshold(1).expect("σ(1) must be finite") as usize;
+    level.retain(|_, m| m.support.len() >= t1);
+
+    // Global extension alphabet: (attach vertex label, edge label, leaf
+    // vertex label), both directions of every observed edge.
+    let mut triples: FxHashSet<(VLabel, ELabel, VLabel)> = FxHashSet::default();
+    for g in db {
+        for e in g.edges() {
+            let a = g.vlabel(e.u);
+            let b = g.vlabel(e.v);
+            triples.insert((a, e.label, b));
+            triples.insert((b, e.label, a));
+        }
+    }
+    let mut triples: Vec<_> = triples.into_iter().collect();
+    triples.sort_unstable();
+
+    let mut result: Vec<MinedTree> = level.values().cloned().collect();
+    stats.patterns = result.len();
+
+    // ---- Levels 2..=eta ----
+    let mut size = 1usize;
+    while size < sigma.eta {
+        let Some(next_threshold) = sigma.threshold(size + 1) else {
+            break;
+        };
+        let next_threshold = next_threshold as usize;
+        let mut candidates: FxHashMap<CanonString, Tree> = FxHashMap::default();
+        'outer: for m in level.values() {
+            let g = m.tree.graph();
+            for at in g.vertices() {
+                let at_label = g.vlabel(at);
+                for &(a, el, leaf) in triples.iter() {
+                    if a != at_label {
+                        continue;
+                    }
+                    let cand = extend_with_leaf(&m.tree, at, el, leaf);
+                    let canon = canonical_string(&cand);
+                    if candidates.contains_key(&canon) {
+                        continue;
+                    }
+                    stats.candidates += 1;
+                    candidates.insert(canon, cand);
+                    if candidates.len() >= limits.max_candidates_per_level {
+                        stats.truncated = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+
+        let mut next_level: FxHashMap<CanonString, MinedTree> = FxHashMap::default();
+        for (canon, cand) in candidates {
+            // Apriori: all maximal proper subtrees must be frequent.
+            let subs = leaf_removal_canons(&cand);
+            let mut sub_supports: Vec<&[u32]> = Vec::with_capacity(subs.len());
+            let mut pruned = false;
+            for s in &subs {
+                match level.get(s) {
+                    Some(m) => sub_supports.push(&m.support),
+                    None => {
+                        pruned = true;
+                        break;
+                    }
+                }
+            }
+            if pruned {
+                stats.apriori_pruned += 1;
+                continue;
+            }
+            let candidates_set = intersect_many(&sub_supports, db.len());
+            if candidates_set.len() < next_threshold {
+                continue;
+            }
+            // Exact support by embedding tests.
+            let mut support: SupportSet = Vec::new();
+            let remaining = candidates_set.len();
+            for (i, &gid) in candidates_set.iter().enumerate() {
+                // Not enough graphs left to reach the threshold: bail.
+                if support.len() + (remaining - i) < next_threshold {
+                    break;
+                }
+                let g = &db[gid as usize];
+                if !summaries[gid as usize].may_contain(cand.graph()) {
+                    continue;
+                }
+                stats.embed_tests += 1;
+                if graph_core::is_subgraph_isomorphic(cand.graph(), g) {
+                    support.push(gid);
+                }
+            }
+            if support.len() >= next_threshold {
+                next_level.insert(
+                    canon.clone(),
+                    MinedTree {
+                        tree: cand,
+                        canon,
+                        support,
+                    },
+                );
+            }
+        }
+
+        if next_level.is_empty() {
+            break;
+        }
+        result.extend(next_level.values().cloned());
+        stats.patterns = result.len();
+        if result.len() >= limits.max_patterns {
+            stats.truncated = true;
+            break;
+        }
+        level = next_level;
+        size += 1;
+    }
+
+    // Deterministic output order: by size then canonical string.
+    result.sort_by(|a, b| (a.size(), &a.canon).cmp(&(b.size(), &b.canon)));
+    (result, stats)
+}
+
+/// Shrink a mined feature set (paper §4.1.2): remove every tree `r` with
+/// `|⋂ᵢ D_rᵢ| / |D_r| ≤ γ`, where the `rᵢ` are `r`'s proper subtrees —
+/// such an `r` adds little beyond its subtrees' intersection.
+///
+/// The intersection over all proper subtrees equals the intersection over
+/// the maximal (leaf-removal) subtrees, since every proper subtree contains
+/// no more information than some maximal one. Decisions are taken against
+/// the *input* set, so removal order does not matter. Single-edge trees are
+/// always kept (completeness).
+pub fn shrink_features(mined: Vec<MinedTree>, gamma: f64) -> Vec<MinedTree> {
+    let by_canon: FxHashMap<CanonString, SupportSet> = mined
+        .iter()
+        .map(|m| (m.canon.clone(), m.support.clone()))
+        .collect();
+    mined
+        .into_iter()
+        .filter(|m| {
+            if m.size() <= 1 {
+                return true;
+            }
+            let subs = leaf_removal_canons(&m.tree);
+            let sets: Vec<&[u32]> = subs
+                .iter()
+                .filter_map(|c| by_canon.get(c).map(|s| s.as_slice()))
+                .collect();
+            if sets.len() != subs.len() {
+                // Some subtree was not mined (only possible when mining was
+                // truncated); keep r conservatively.
+                return true;
+            }
+            let inter = intersect_many(&sets, usize::MAX);
+            let ratio = inter.len() as f64 / m.support.len() as f64;
+            ratio > gamma
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_core::graph_from;
+
+    /// The running-example-style database: simple labeled graphs.
+    fn tiny_db() -> Vec<Graph> {
+        vec![
+            // triangle a-a-b with labels
+            graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 0, 1)]),
+            // path a-a-b
+            graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]),
+            // star
+            graph_from(&[0, 0, 1, 1], &[(0, 1, 0), (0, 2, 0), (0, 3, 1)]),
+        ]
+    }
+
+    fn uniform_sigma(eta: usize) -> SigmaFn {
+        SigmaFn { alpha: eta, beta: 1.0, eta }
+    }
+
+    #[test]
+    fn level1_counts_distinct_edges() {
+        let db = tiny_db();
+        let (mined, _) = mine_frequent_trees(&db, &uniform_sigma(1), &MiningLimits::default());
+        // Distinct single-edge trees: (0,0,0), (0,0,1), (0,1,1)
+        assert_eq!(mined.len(), 3);
+        for m in &mined {
+            assert_eq!(m.size(), 1);
+            assert!(!m.support.is_empty());
+        }
+        // (0-0 with edge 0) appears in all three graphs
+        let aa = mined
+            .iter()
+            .find(|m| {
+                let g = m.tree.graph();
+                g.vlabel(VertexId(0)).0 == 0 && g.vlabel(VertexId(1)).0 == 0
+            })
+            .unwrap();
+        assert_eq!(aa.support, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn supports_are_exact() {
+        let db = tiny_db();
+        let (mined, _) = mine_frequent_trees(&db, &uniform_sigma(3), &MiningLimits::default());
+        for m in &mined {
+            let brute: Vec<u32> = db
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| graph_core::is_subgraph_isomorphic(m.tree.graph(), g))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(m.support, brute, "wrong support for {:?}", m.tree);
+        }
+    }
+
+    #[test]
+    fn mining_is_complete_at_threshold_one() {
+        // Every subtree (up to eta edges) of every graph must be mined.
+        let db = tiny_db();
+        let eta = 3;
+        let (mined, _) = mine_frequent_trees(&db, &uniform_sigma(eta), &MiningLimits::default());
+        let mined_canons: FxHashSet<CanonString> =
+            mined.iter().map(|m| m.canon.clone()).collect();
+        for g in &db {
+            let _ = graph_core::for_each_subtree_edge_subset(g, eta, |edges| {
+                let sub = graph_core::edge_subgraph(g, edges);
+                let t = Tree::from_graph(sub.graph).expect("subtree enumeration yields trees");
+                let c = canonical_string(&t);
+                assert!(mined_canons.contains(&c), "missing subtree {t:?}");
+                std::ops::ControlFlow::Continue(())
+            });
+        }
+    }
+
+    #[test]
+    fn threshold_filters_rare_patterns() {
+        let db = tiny_db();
+        let sigma = SigmaFn { alpha: 0, beta: 0.0, eta: 2 };
+        // σ(s) = 1 + 0 = 1 for s ≤ 2 — wait, alpha=0 means formula applies:
+        // σ(1) = 1, σ(2) = 1. Instead use beta to demand support 3:
+        let sigma3 = SigmaFn { alpha: 0, beta: 2.0, eta: 2 };
+        // σ(1) = 1 + 2*1 - 0 = 3, σ(2) = 5
+        assert_eq!(sigma3.threshold(1), Some(3));
+        let (mined, _) = mine_frequent_trees(&db, &sigma3, &MiningLimits::default());
+        for m in &mined {
+            assert!(m.support.len() >= 3);
+        }
+        // exactly the (0,0,l0) and (0,1,l0) edges appear in all 3 graphs
+        assert_eq!(mined.len(), 2);
+        let _ = sigma;
+    }
+
+    #[test]
+    fn eta_caps_pattern_size() {
+        let db = tiny_db();
+        let (mined, _) = mine_frequent_trees(&db, &uniform_sigma(2), &MiningLimits::default());
+        assert!(mined.iter().all(|m| m.size() <= 2));
+    }
+
+    #[test]
+    fn shrinking_removes_redundant_trees() {
+        // Database where a 2-edge path's support equals the intersection of
+        // its single-edge subtrees' supports → ratio 1 ≤ γ, removed.
+        let db = vec![
+            graph_from(&[0, 1, 2], &[(0, 1, 0), (1, 2, 0)]),
+            graph_from(&[0, 1, 2], &[(0, 1, 0), (1, 2, 0)]),
+        ];
+        let (mined, _) = mine_frequent_trees(&db, &uniform_sigma(2), &MiningLimits::default());
+        let before = mined.len();
+        let shrunk = shrink_features(mined, 1.0);
+        assert!(shrunk.len() < before);
+        // All single-edge trees stay.
+        assert!(shrunk.iter().all(|m| m.size() == 1));
+    }
+
+    #[test]
+    fn shrinking_keeps_discriminative_trees() {
+        // 0-1 and 1-2 edges both appear in g0 and g1, but the path 0-1-2
+        // only in g0 → ratio 2/1 = 2 > γ=1.5, kept.
+        let db = vec![
+            graph_from(&[0, 1, 2], &[(0, 1, 0), (1, 2, 0)]),
+            graph_from(&[0, 1, 2, 1], &[(0, 1, 0), (2, 3, 0)]),
+        ];
+        let (mined, _) = mine_frequent_trees(&db, &uniform_sigma(2), &MiningLimits::default());
+        let shrunk = shrink_features(mined, 1.5);
+        assert!(
+            shrunk.iter().any(|m| m.size() == 2),
+            "discriminative 2-edge tree should survive"
+        );
+    }
+
+    #[test]
+    fn leaf_removals_of_path() {
+        let t = tree_core::tree_from(&[0, 1, 2], &[(0, 1, 0), (1, 2, 0)]);
+        let subs = leaf_removal_canons(&t);
+        assert_eq!(subs.len(), 2);
+        // they are the 0-1 and 1-2 edges, distinct
+        assert_ne!(subs[0], subs[1]);
+    }
+
+    #[test]
+    fn stats_populated() {
+        let db = tiny_db();
+        let (_, stats) = mine_frequent_trees(&db, &uniform_sigma(3), &MiningLimits::default());
+        assert!(stats.patterns > 0);
+        assert!(stats.candidates > 0);
+        assert!(!stats.truncated);
+    }
+
+    #[test]
+    fn pattern_cap_truncates() {
+        let db = tiny_db();
+        let limits = MiningLimits {
+            max_patterns: 2,
+            max_candidates_per_level: 1_000_000,
+        };
+        let (mined, stats) = mine_frequent_trees(&db, &uniform_sigma(5), &limits);
+        assert!(stats.truncated);
+        // The cap stops mining after the first level that crosses it, so at
+        // most two levels were produced.
+        assert!(mined.iter().all(|m| m.size() <= 2));
+    }
+}
+
+#[cfg(test)]
+mod enum_vs_apriori {
+    use super::*;
+    use graph_core::graph_from;
+
+    #[test]
+    fn miners_agree_on_small_databases() {
+        let dbs = vec![
+            vec![
+                graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 0, 1)]),
+                graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]),
+                graph_from(&[0, 0, 1, 1], &[(0, 1, 0), (0, 2, 0), (0, 3, 1)]),
+            ],
+            vec![
+                graph_from(&[2, 1, 0, 1], &[(0, 1, 0), (1, 2, 1), (2, 3, 0), (3, 0, 1)]),
+                graph_from(&[1, 1, 2], &[(0, 1, 1), (1, 2, 0)]),
+            ],
+        ];
+        let sigmas = vec![
+            SigmaFn { alpha: 3, beta: 1.0, eta: 3 },
+            SigmaFn { alpha: 1, beta: 1.0, eta: 4 },
+            SigmaFn { alpha: 0, beta: 2.0, eta: 2 },
+        ];
+        for db in &dbs {
+            for sigma in &sigmas {
+                let (a, _) = mine_frequent_trees_enum(db, sigma, &MiningLimits::default());
+                let (b, _) = mine_frequent_trees_apriori(db, sigma, &MiningLimits::default());
+                let (c, _) = mine_frequent_trees_levelwise(db, sigma, &MiningLimits::default());
+                let mut kc: Vec<(CanonString, SupportSet)> =
+                    c.into_iter().map(|m| (m.canon, m.support)).collect();
+                kc.sort();
+                let mut ka: Vec<(CanonString, SupportSet)> =
+                    a.into_iter().map(|m| (m.canon, m.support)).collect();
+                let mut kb: Vec<(CanonString, SupportSet)> =
+                    b.into_iter().map(|m| (m.canon, m.support)).collect();
+                ka.sort();
+                kb.sort();
+                assert_eq!(ka, kb, "enum vs apriori disagree for sigma {sigma:?}");
+                assert_eq!(ka, kc, "enum vs levelwise disagree for sigma {sigma:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn enum_truncation_overapproximates_but_never_undercounts() {
+        let db = vec![
+            graph_from(&[0, 0, 0, 0], &[(0, 1, 0), (1, 2, 0), (2, 3, 0)]),
+            graph_from(&[0, 0], &[(0, 1, 0)]),
+        ];
+        let limits = MiningLimits {
+            max_patterns: usize::MAX,
+            max_candidates_per_level: 3, // graph 0 will overflow
+        };
+        let sigma = SigmaFn { alpha: 3, beta: 1.0, eta: 3 };
+        let (mined, stats) = mine_frequent_trees_enum(&db, &sigma, &limits);
+        assert!(stats.truncated);
+        // every pattern's true support must be a subset of the reported one
+        for m in &mined {
+            for (gid, g) in db.iter().enumerate() {
+                if graph_core::is_subgraph_isomorphic(m.tree.graph(), g) {
+                    assert!(
+                        m.support.contains(&(gid as u32)),
+                        "undercounted support under truncation"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for mining: the three subtree-mining engines agree on
+//! arbitrary databases, supports are exact, and σ thresholds are honored.
+
+use graph_core::{ELabel, Graph, GraphBuilder, VLabel, VertexId};
+use mining::*;
+use proptest::prelude::*;
+
+fn arb_connected_graph(nmax: usize) -> impl Strategy<Value = Graph> {
+    (2..=nmax).prop_flat_map(move |n| {
+        let vlabels = proptest::collection::vec(0u32..3, n);
+        let parents = proptest::collection::vec((0usize..nmax, 0u32..2), n - 1);
+        let extras = proptest::collection::vec((0usize..nmax, 0usize..nmax, 0u32..2), 0..2);
+        (vlabels, parents, extras).prop_map(move |(vl, ps, ex)| {
+            let mut b = GraphBuilder::new();
+            for l in &vl {
+                b.add_vertex(VLabel(*l));
+            }
+            for (i, (p, el)) in ps.iter().enumerate() {
+                b.add_edge(VertexId((i + 1) as u32), VertexId((p % (i + 1)) as u32), ELabel(*el))
+                    .expect("tree edge");
+            }
+            for (u, v, el) in ex {
+                let (u, v) = (VertexId((u % n) as u32), VertexId((v % n) as u32));
+                if u != v && !b.has_edge(u, v) {
+                    let _ = b.add_edge(u, v, ELabel(el));
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+fn keyed(mined: Vec<MinedTree>) -> Vec<(tree_core::CanonString, Vec<u32>)> {
+    let mut out: Vec<_> = mined.into_iter().map(|m| (m.canon, m.support)).collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn three_engines_agree(
+        db in proptest::collection::vec(arb_connected_graph(6), 1..6),
+        alpha in 1usize..3,
+        beta in 1u32..3,
+        eta in 2usize..4,
+    ) {
+        let sigma = SigmaFn { alpha, beta: beta as f64, eta: eta.max(alpha) };
+        let limits = MiningLimits::default();
+        let a = keyed(mine_frequent_trees_enum(&db, &sigma, &limits).0);
+        let b = keyed(mine_frequent_trees_levelwise(&db, &sigma, &limits).0);
+        let c = keyed(mine_frequent_trees_apriori(&db, &sigma, &limits).0);
+        prop_assert_eq!(&a, &b, "enum vs levelwise");
+        prop_assert_eq!(&a, &c, "enum vs apriori");
+    }
+
+    #[test]
+    fn supports_are_exact_and_thresholds_hold(
+        db in proptest::collection::vec(arb_connected_graph(6), 1..6),
+    ) {
+        let sigma = SigmaFn { alpha: 2, beta: 1.0, eta: 3 };
+        let (mined, _) = mine_frequent_trees(&db, &sigma, &MiningLimits::default());
+        for m in &mined {
+            let brute: Vec<u32> = db
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| graph_core::is_subgraph_isomorphic(m.tree.graph(), g))
+                .map(|(i, _)| i as u32)
+                .collect();
+            prop_assert_eq!(&m.support, &brute);
+            let thr = sigma.threshold(m.size()).expect("mined sizes are finite") as usize;
+            prop_assert!(m.support.len() >= thr);
+            prop_assert!(m.size() <= sigma.eta);
+        }
+        // no duplicates
+        let mut canons: Vec<_> = mined.iter().map(|m| &m.canon).collect();
+        let n = canons.len();
+        canons.sort();
+        canons.dedup();
+        prop_assert_eq!(canons.len(), n);
+    }
+
+    #[test]
+    fn shrinking_is_a_subset_and_keeps_edges(
+        db in proptest::collection::vec(arb_connected_graph(6), 1..6),
+        gamma in 1u32..4,
+    ) {
+        let sigma = SigmaFn { alpha: 3, beta: 1.0, eta: 3 };
+        let (mined, _) = mine_frequent_trees(&db, &sigma, &MiningLimits::default());
+        let before: std::collections::HashSet<_> =
+            mined.iter().map(|m| m.canon.clone()).collect();
+        let singles: Vec<_> = mined.iter().filter(|m| m.size() == 1).map(|m| m.canon.clone()).collect();
+        let kept = shrink_features(mined, gamma as f64);
+        for m in &kept {
+            prop_assert!(before.contains(&m.canon), "shrinking invented a feature");
+        }
+        // every single-edge tree survives (completeness)
+        let kept_set: std::collections::HashSet<_> = kept.iter().map(|m| m.canon.clone()).collect();
+        for c in singles {
+            prop_assert!(kept_set.contains(&c), "shrinking dropped a single edge");
+        }
+    }
+}

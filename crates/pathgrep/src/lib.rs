@@ -1,0 +1,14 @@
+//! **GraphGrep-style path index** (Shasha, Wang & Giugno, PODS'02) — the
+//! path-based baseline the paper positions TreePi against: "paths are
+//! easier to manipulate, \[but\] they also lose a large amount of structural
+//! information" (§2). Indexing label paths up to a length cap gives fast
+//! filtering but a weaker candidate set than trees or subgraphs, and the
+//! path vocabulary grows quickly with database diversity.
+
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod paths;
+
+pub use index::{PBuildStats, PQueryResult, PQueryStats, PathGrep, PathGrepParams};
+pub use paths::{label_paths, PathKey};

@@ -1,0 +1,146 @@
+//! Tree centers (paper Theorem 1 and §4.2.1).
+//!
+//! *The center of a tree consists of one vertex or two adjacent vertices,
+//! i.e. it can be represented by a vertex or an edge.* It is found by
+//! repeatedly removing leaves in rounds until one vertex or one edge
+//! remains — O(n), demonstrated in the paper's Figure 4.
+
+use crate::tree::Tree;
+use graph_core::{EdgeId, VertexId};
+
+/// The center of a tree: a single vertex or a single edge.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Center {
+    /// Unicentral tree.
+    Vertex(VertexId),
+    /// Bicentral tree; the center is the edge between the two central
+    /// vertices.
+    Edge(EdgeId),
+}
+
+impl Center {
+    /// Whether the center is an edge.
+    pub fn is_edge(&self) -> bool {
+        matches!(self, Center::Edge(_))
+    }
+}
+
+/// Compute the center of `t` by leaf peeling.
+pub fn center(t: &Tree) -> Center {
+    let g = t.graph();
+    let n = g.vertex_count();
+    if n == 1 {
+        return Center::Vertex(VertexId(0));
+    }
+    let mut degree: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+    let mut removed = vec![false; n];
+    let mut layer: Vec<VertexId> = g
+        .vertices()
+        .filter(|&v| degree[v.idx()] == 1)
+        .collect();
+    let mut remaining = n;
+    while remaining > 2 {
+        let mut next = Vec::new();
+        for &v in &layer {
+            removed[v.idx()] = true;
+            remaining -= 1;
+            for &(w, _) in g.neighbors(v) {
+                if !removed[w.idx()] {
+                    degree[w.idx()] -= 1;
+                    if degree[w.idx()] == 1 {
+                        next.push(w);
+                    }
+                }
+            }
+        }
+        layer = next;
+    }
+    let survivors: Vec<VertexId> = g.vertices().filter(|&v| !removed[v.idx()]).collect();
+    match survivors.as_slice() {
+        [c] => Center::Vertex(*c),
+        [a, b] => Center::Edge(
+            g.edge_between(*a, *b)
+                .expect("two peeling survivors of a tree are adjacent (Theorem 1)"),
+        ),
+        _ => unreachable!("peeling a tree leaves one or two vertices"),
+    }
+}
+
+/// Eccentricity-based center check, used as a test oracle: the center
+/// vertices are exactly those of minimum eccentricity.
+pub fn center_by_eccentricity(t: &Tree) -> Vec<VertexId> {
+    let g = t.graph();
+    let eccs: Vec<u32> = g.vertices().map(|v| graph_core::eccentricity(g, v)).collect();
+    let min = *eccs.iter().min().expect("tree is nonempty");
+    g.vertices().filter(|v| eccs[v.idx()] == min).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::tree_from;
+
+    #[test]
+    fn path_even_length_has_vertex_center() {
+        // 5 vertices: center is the middle vertex 2
+        let t = tree_from(&[0; 5], &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 4, 0)]);
+        assert_eq!(center(&t), Center::Vertex(VertexId(2)));
+    }
+
+    #[test]
+    fn path_odd_length_has_edge_center() {
+        // 4 vertices: center is the middle edge (1,2) = edge id 1
+        let t = tree_from(&[0; 4], &[(0, 1, 0), (1, 2, 0), (2, 3, 0)]);
+        assert_eq!(center(&t), Center::Edge(EdgeId(1)));
+        assert!(center(&t).is_edge());
+    }
+
+    #[test]
+    fn single_vertex_and_single_edge() {
+        let v = tree_from(&[7], &[]);
+        assert_eq!(center(&v), Center::Vertex(VertexId(0)));
+        let e = tree_from(&[1, 2], &[(0, 1, 0)]);
+        assert_eq!(center(&e), Center::Edge(EdgeId(0)));
+    }
+
+    #[test]
+    fn star_center_is_hub() {
+        let t = tree_from(&[9, 0, 0, 0, 0], &[(0, 1, 0), (0, 2, 0), (0, 3, 0), (0, 4, 0)]);
+        assert_eq!(center(&t), Center::Vertex(VertexId(0)));
+    }
+
+    #[test]
+    fn caterpillar_center() {
+        // spine 0-1-2-3-4 with legs on 1 and 3; center stays at 2
+        let t = tree_from(
+            &[0; 7],
+            &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 4, 0), (1, 5, 0), (3, 6, 0)],
+        );
+        assert_eq!(center(&t), Center::Vertex(VertexId(2)));
+    }
+
+    #[test]
+    fn peeling_matches_eccentricity_oracle() {
+        let trees = vec![
+            tree_from(&[0; 5], &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 4, 0)]),
+            tree_from(&[0; 4], &[(0, 1, 0), (1, 2, 0), (2, 3, 0)]),
+            tree_from(&[0; 6], &[(0, 1, 0), (0, 2, 0), (2, 3, 0), (2, 4, 0), (4, 5, 0)]),
+            tree_from(&[0; 2], &[(0, 1, 0)]),
+            tree_from(&[0], &[]),
+        ];
+        for t in &trees {
+            let oracle = center_by_eccentricity(t);
+            match center(t) {
+                Center::Vertex(v) => assert_eq!(oracle, vec![v]),
+                Center::Edge(e) => {
+                    let edge = t.graph().edge(e);
+                    let mut pair = vec![edge.u, edge.v];
+                    pair.sort();
+                    let mut o = oracle.clone();
+                    o.sort();
+                    assert_eq!(o, pair);
+                }
+            }
+        }
+    }
+}

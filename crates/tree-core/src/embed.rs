@@ -1,0 +1,279 @@
+//! Embedding feature trees into database graphs, tracking where the
+//! embeddings are *centered*.
+//!
+//! This is the location information TreePi stores (paper §4.2.1): for each
+//! feature tree `t` and each graph `g` containing it, the set of vertices
+//! (or edges, for bicentral `t`) of `g` at which some embedding of `t` is
+//! centered. The pruning and verification stages never need full
+//! embeddings, only these centers — which is what makes the location store
+//! fit in memory where gIndex had to discard occurrence information.
+
+use crate::center::{center, Center};
+use crate::tree::Tree;
+use graph_core::{for_each_embedding_pinned, for_each_embedding_rooted, EdgeId, Graph, VertexId};
+use std::ops::ControlFlow;
+
+/// A position in a *host graph* where a feature-tree embedding is centered.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum CenterPos {
+    /// Image of a vertex center.
+    Vertex(VertexId),
+    /// Image of an edge center.
+    Edge(EdgeId),
+}
+
+impl CenterPos {
+    /// Representative vertices of the position (1 for a vertex, the two
+    /// endpoints for an edge). Distances between positions are measured
+    /// between representatives.
+    pub fn representatives(&self, g: &Graph) -> smallvec::SmallVec<[VertexId; 2]> {
+        match *self {
+            CenterPos::Vertex(v) => smallvec::smallvec![v],
+            CenterPos::Edge(e) => {
+                let edge = g.edge(e);
+                smallvec::smallvec![edge.u, edge.v]
+            }
+        }
+    }
+}
+
+/// All positions in `g` at which some embedding of `t` is centered.
+///
+/// Exhaustive (every position is found): soundness of Center Distance
+/// Constraint pruning requires that the center of the *true* embedding of
+/// each partitioned feature tree is among the stored positions.
+pub fn center_positions(t: &Tree, g: &Graph) -> Vec<CenterPos> {
+    let mut out = Vec::new();
+    match center(t) {
+        Center::Vertex(c) => {
+            let want = t.graph().vlabel(c);
+            for v in g.vertices() {
+                if g.vlabel(v) != want {
+                    continue;
+                }
+                let mut hit = false;
+                let _ = for_each_embedding_rooted(t.graph(), g, c, v, |_| {
+                    hit = true;
+                    ControlFlow::Break(())
+                });
+                if hit {
+                    out.push(CenterPos::Vertex(v));
+                }
+            }
+        }
+        Center::Edge(ce) => {
+            let cedge = t.graph().edge(ce);
+            for ge in g.edge_ids() {
+                let gedge = g.edge(ge);
+                if gedge.label != cedge.label {
+                    continue;
+                }
+                let mut hit = false;
+                // Try both orientations of the center edge onto the host
+                // edge; the host edge is the center image either way.
+                for (a, b) in [(gedge.u, gedge.v), (gedge.v, gedge.u)] {
+                    let _ = for_each_embedding_pinned(
+                        t.graph(),
+                        g,
+                        &[(cedge.u, a), (cedge.v, b)],
+                        |_| {
+                            hit = true;
+                            ControlFlow::Break(())
+                        },
+                    );
+                    if hit {
+                        break;
+                    }
+                }
+                if hit {
+                    out.push(CenterPos::Edge(ge));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Enumerate embeddings of `t` into `g` whose center maps to `pos`,
+/// invoking `f` with the vertex mapping (tree vertex i → `mapping[i]`).
+///
+/// For an edge position both orientations of the center edge are tried.
+/// This is the verification stage's rooted retrieval (paper §5.3.2). Hot
+/// callers probing one tree against many (graph, position) pairs should
+/// hold a [`CenteredMatcher`] instead.
+pub fn for_each_embedding_centered<F>(t: &Tree, g: &Graph, pos: CenterPos, f: F) -> ControlFlow<()>
+where
+    F: FnMut(&[VertexId]) -> ControlFlow<()>,
+{
+    CenteredMatcher::new(t).for_each_embedding_centered(g, pos, f)
+}
+
+/// A feature tree prepared for repeated centered-embedding retrieval: the
+/// search plan (rooted at the tree's center) is computed once and reused
+/// for every candidate graph and stored center position.
+pub struct CenteredMatcher<'t> {
+    tree: &'t Tree,
+    center: Center,
+    prepared: graph_core::iso::PreparedPattern<'t>,
+}
+
+impl<'t> CenteredMatcher<'t> {
+    /// Prepare `t` for centered retrieval.
+    pub fn new(t: &'t Tree) -> Self {
+        let c = center(t);
+        let root = match c {
+            Center::Vertex(v) => v,
+            Center::Edge(e) => t.graph().edge(e).u,
+        };
+        Self {
+            tree: t,
+            center: c,
+            prepared: graph_core::iso::PreparedPattern::new(t.graph(), Some(root)),
+        }
+    }
+
+    /// The prepared tree.
+    pub fn tree(&self) -> &Tree {
+        self.tree
+    }
+
+    /// Enumerate embeddings into `g` centered at `pos` (both orientations
+    /// for edge centers).
+    pub fn for_each_embedding_centered<F>(
+        &self,
+        g: &Graph,
+        pos: CenterPos,
+        mut f: F,
+    ) -> ControlFlow<()>
+    where
+        F: FnMut(&[VertexId]) -> ControlFlow<()>,
+    {
+        match (self.center, pos) {
+            (Center::Vertex(c), CenterPos::Vertex(v)) => {
+                self.prepared.for_each_embedding_pinned(g, &[(c, v)], f)
+            }
+            (Center::Edge(ce), CenterPos::Edge(ge)) => {
+                let cedge = self.tree.graph().edge(ce);
+                let gedge = g.edge(ge);
+                if gedge.label != cedge.label {
+                    return ControlFlow::Continue(());
+                }
+                for (a, b) in [(gedge.u, gedge.v), (gedge.v, gedge.u)] {
+                    self.prepared
+                        .for_each_embedding_pinned(g, &[(cedge.u, a), (cedge.v, b)], &mut f)?;
+                }
+                ControlFlow::Continue(())
+            }
+            // Mismatched kinds can never align a center onto the position.
+            _ => ControlFlow::Continue(()),
+        }
+    }
+}
+
+/// Whether tree `a` is a subtree of tree `b` (used by index shrinking and
+/// delete maintenance; the paper notes tree-in-tree tests are faster than
+/// graph-in-graph).
+pub fn is_subtree_of(a: &Tree, b: &Tree) -> bool {
+    graph_core::is_subgraph_isomorphic(a.graph(), b.graph())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::tree_from;
+    use graph_core::graph_from;
+
+    #[test]
+    fn vertex_center_positions_on_path() {
+        // Feature: path a-b-a centered at b. Host: path a-b-a-b-a.
+        let t = tree_from(&[1, 2, 1], &[(0, 1, 0), (1, 2, 0)]);
+        let g = graph_from(&[1, 2, 1, 2, 1], &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 4, 0)]);
+        let pos = center_positions(&t, &g);
+        assert_eq!(
+            pos,
+            vec![CenterPos::Vertex(VertexId(1)), CenterPos::Vertex(VertexId(3))]
+        );
+    }
+
+    #[test]
+    fn edge_center_positions() {
+        // Feature: single edge a-b (bicentral). Host has two such edges.
+        let t = tree_from(&[1, 2], &[(0, 1, 5)]);
+        let g = graph_from(
+            &[1, 2, 1, 2],
+            &[(0, 1, 5), (1, 2, 6), (2, 3, 5)],
+        );
+        let pos = center_positions(&t, &g);
+        assert_eq!(pos, vec![CenterPos::Edge(EdgeId(0)), CenterPos::Edge(EdgeId(2))]);
+    }
+
+    #[test]
+    fn no_positions_when_absent() {
+        let t = tree_from(&[9, 9], &[(0, 1, 0)]);
+        let g = graph_from(&[1, 2], &[(0, 1, 0)]);
+        assert!(center_positions(&t, &g).is_empty());
+    }
+
+    #[test]
+    fn centered_embeddings_are_centered() {
+        let t = tree_from(&[1, 2, 1], &[(0, 1, 0), (1, 2, 0)]);
+        let g = graph_from(&[1, 2, 1, 2, 1], &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 4, 0)]);
+        let mut count = 0;
+        let _ = for_each_embedding_centered(&t, &g, CenterPos::Vertex(VertexId(1)), |m| {
+            assert_eq!(m[1], VertexId(1)); // tree center is vertex 1
+            count += 1;
+            ControlFlow::Continue(())
+        });
+        // leaves 0 and 2 of the host flank vertex 1: two embeddings (swap)
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn centered_embeddings_edge_orientations() {
+        // Bicentral path x-a-b-y with distinct ends; host identical.
+        let t = tree_from(&[7, 1, 2, 8], &[(0, 1, 0), (1, 2, 3), (2, 3, 0)]);
+        let g = graph_from(&[7, 1, 2, 8], &[(0, 1, 0), (1, 2, 3), (2, 3, 0)]);
+        let pos = center_positions(&t, &g);
+        assert_eq!(pos, vec![CenterPos::Edge(EdgeId(1))]);
+        let mut count = 0;
+        let _ = for_each_embedding_centered(&t, &g, pos[0], |_| {
+            count += 1;
+            ControlFlow::Continue(())
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn symmetric_edge_center_counts_both_orientations() {
+        // Symmetric single-edge pattern a-a on host edge a-a: both
+        // orientations are distinct embeddings.
+        let t = tree_from(&[1, 1], &[(0, 1, 0)]);
+        let g = graph_from(&[1, 1], &[(0, 1, 0)]);
+        let mut count = 0;
+        let _ = for_each_embedding_centered(&t, &g, CenterPos::Edge(EdgeId(0)), |_| {
+            count += 1;
+            ControlFlow::Continue(())
+        });
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn subtree_check() {
+        let small = tree_from(&[1, 2], &[(0, 1, 0)]);
+        let big = tree_from(&[2, 1, 3], &[(1, 0, 0), (0, 2, 4)]);
+        assert!(is_subtree_of(&small, &big));
+        assert!(!is_subtree_of(&big, &small));
+    }
+
+    #[test]
+    fn positions_in_cyclic_host() {
+        // Star feature centered at hub; host is a wheel-ish graph.
+        let t = tree_from(&[0, 1, 1, 1], &[(0, 1, 0), (0, 2, 0), (0, 3, 0)]);
+        let g = graph_from(
+            &[0, 1, 1, 1, 0],
+            &[(0, 1, 0), (0, 2, 0), (0, 3, 0), (1, 2, 0), (4, 1, 0)],
+        );
+        let pos = center_positions(&t, &g);
+        assert_eq!(pos, vec![CenterPos::Vertex(VertexId(0))]);
+    }
+}

@@ -1,0 +1,548 @@
+//! Index construction and maintenance (paper §4 "Database Preprocessing"
+//! and §7.1 "Insert/Delete Maintenance").
+//!
+//! Construction mines the σ-frequent subtrees, shrinks them by γ, and for
+//! every surviving feature records (a) its support set and (b) its **center
+//! positions** in every supporting graph — the location information that
+//! prior indexes had to discard and that powers TreePi's pruning and
+//! verification.
+
+use crate::params::TreePiParams;
+use crate::trie::{CanonTrie, FeatureId};
+use graph_core::Graph;
+use mining::{mine_frequent_trees, shrink_features, SupportSet};
+use rustc_hash::FxHashMap;
+use tree_core::{center, center_positions, CanonString, Center, CenterPos, Tree};
+
+/// One indexed feature tree.
+#[derive(Clone, Debug)]
+pub struct Feature {
+    /// The pattern tree.
+    pub tree: Tree,
+    /// Its canonical string (trie key).
+    pub canon: CanonString,
+    /// Sorted ids of database graphs containing the tree.
+    pub support: SupportSet,
+    /// The center of the pattern itself (vertex or edge; Theorem 1).
+    pub center: Center,
+}
+
+impl Feature {
+    /// Edge size of the feature.
+    pub fn size(&self) -> usize {
+        self.tree.edge_count()
+    }
+}
+
+/// Statistics of an index build.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BuildStats {
+    /// Frequent trees before shrinking.
+    pub mined: usize,
+    /// Features after shrinking (= index size, the paper's Figure 9 metric).
+    pub features: usize,
+    /// Total (feature, graph) center-position lists stored.
+    pub center_entries: usize,
+    /// Total stored center positions.
+    pub center_positions: usize,
+    /// Milliseconds spent mining.
+    pub t_mine_ms: u128,
+    /// Milliseconds spent computing center positions.
+    pub t_centers_ms: u128,
+    /// Whether mining hit a hard limit.
+    pub truncated: bool,
+}
+
+/// The TreePi index over a graph database.
+///
+/// Graph ids are stable across insertions and deletions; deleted slots
+/// become inactive tombstones (queries never return them because supports
+/// are updated on delete).
+pub struct TreePiIndex {
+    pub(crate) db: Vec<Graph>,
+    pub(crate) active: Vec<bool>,
+    pub(crate) features: Vec<Feature>,
+    pub(crate) trie: CanonTrie,
+    /// centers[feature][graph id] = positions where an embedding of the
+    /// feature is centered (paper §4.2.1 bit-per-vertex/edge store).
+    pub(crate) centers: Vec<FxHashMap<u32, Vec<CenterPos>>>,
+    pub(crate) params: TreePiParams,
+    pub(crate) stats: BuildStats,
+}
+
+/// Per-feature center store: graph id → positions.
+type CenterTable = FxHashMap<u32, Vec<CenterPos>>;
+
+/// Center extraction for one mined tree: re-validate each supporting graph
+/// (mining may over-approximate under truncation) and collect the center
+/// positions. Returns `None` only when every support entry was spurious.
+fn extract_feature(db: &[Graph], mut m: mining::MinedTree) -> Option<(Feature, CenterTable)> {
+    let mut per_graph = FxHashMap::default();
+    m.support.retain(|&gid| {
+        let pos = center_positions(&m.tree, &db[gid as usize]);
+        if pos.is_empty() {
+            return false;
+        }
+        per_graph.insert(gid, pos);
+        true
+    });
+    if m.support.is_empty() {
+        return None; // only possible under mining truncation
+    }
+    Some((
+        Feature {
+            center: center(&m.tree),
+            tree: m.tree,
+            canon: m.canon,
+            support: m.support,
+        },
+        per_graph,
+    ))
+}
+
+impl TreePiIndex {
+    /// Build the index over `db` (paper §4: mine → shrink → store
+    /// supports and center positions). Center extraction fans out over all
+    /// available cores.
+    pub fn build(db: Vec<Graph>, params: TreePiParams) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::build_with_threads(db, params, threads)
+    }
+
+    /// [`Self::build`] with an explicit worker count (1 = fully
+    /// sequential; useful for benchmarking the parallel speedup).
+    pub fn build_with_threads(db: Vec<Graph>, params: TreePiParams, threads: usize) -> Self {
+        let t0 = std::time::Instant::now();
+        let (mined, mstats) = mine_frequent_trees(&db, &params.sigma, &params.limits);
+        let mined_count = mined.len();
+        let kept = shrink_features(mined, params.gamma);
+        let t_mine = t0.elapsed().as_millis();
+
+        // Center extraction is independent per feature: chunk and fan out.
+        let t1 = std::time::Instant::now();
+        let threads = threads.max(1).min(kept.len().max(1));
+        let extracted: Vec<Option<(Feature, CenterTable)>> = if threads == 1 {
+            kept.into_iter().map(|m| extract_feature(&db, m)).collect()
+        } else {
+            let chunk_size = kept.len().div_ceil(threads);
+            let chunks: Vec<Vec<mining::MinedTree>> = kept
+                .chunks(chunk_size)
+                .map(|c| c.to_vec())
+                .collect();
+            let db_ref = &db;
+            crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| {
+                        s.spawn(move |_| {
+                            chunk
+                                .into_iter()
+                                .map(|m| extract_feature(db_ref, m))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("extraction worker panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope")
+        };
+
+        let mut features = Vec::with_capacity(extracted.len());
+        let mut trie = CanonTrie::new();
+        let mut centers: Vec<FxHashMap<u32, Vec<CenterPos>>> = Vec::with_capacity(extracted.len());
+        let mut center_entries = 0usize;
+        let mut n_positions = 0usize;
+        for item in extracted.into_iter().flatten() {
+            let (feature, per_graph) = item;
+            let fid = FeatureId(features.len() as u32);
+            center_entries += per_graph.len();
+            n_positions += per_graph.values().map(|v| v.len()).sum::<usize>();
+            trie.insert(&feature.canon, fid);
+            centers.push(per_graph);
+            features.push(feature);
+        }
+        let stats = BuildStats {
+            mined: mined_count,
+            features: features.len(),
+            center_entries,
+            center_positions: n_positions,
+            t_mine_ms: t_mine,
+            t_centers_ms: t1.elapsed().as_millis(),
+            truncated: mstats.truncated,
+        };
+        let active = vec![true; db.len()];
+        Self {
+            db,
+            active,
+            features,
+            trie,
+            centers,
+            params,
+            stats,
+        }
+    }
+
+    /// The database (including inactive tombstones; see [`Self::is_active`]).
+    pub fn db(&self) -> &[Graph] {
+        &self.db
+    }
+
+    /// Whether graph `gid` is still in the database.
+    pub fn is_active(&self, gid: u32) -> bool {
+        self.active.get(gid as usize).copied().unwrap_or(false)
+    }
+
+    /// Number of active graphs.
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// The indexed features.
+    pub fn features(&self) -> &[Feature] {
+        &self.features
+    }
+
+    /// Number of features (the paper's "index size", Figure 9).
+    pub fn feature_count(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Configuration used to build the index.
+    pub fn params(&self) -> &TreePiParams {
+        &self.params
+    }
+
+    /// Build statistics.
+    pub fn stats(&self) -> &BuildStats {
+        &self.stats
+    }
+
+    /// Look up a canonical string in the feature trie.
+    pub fn feature_by_canon(&self, canon: &CanonString) -> Option<FeatureId> {
+        self.trie.get(canon)
+    }
+
+    /// The feature with id `fid`.
+    pub fn feature(&self, fid: FeatureId) -> &Feature {
+        &self.features[fid.idx()]
+    }
+
+    /// Stored center positions of feature `fid` in graph `gid` (empty slice
+    /// if the graph does not support the feature).
+    pub fn center_positions_of(&self, fid: FeatureId, gid: u32) -> &[CenterPos] {
+        self.centers[fid.idx()]
+            .get(&gid)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Insert a graph (paper §7.1): "we simply update the support sets and
+    /// center positions of the existing feature trees". Returns the new
+    /// graph's id. The feature set itself is not re-mined — call
+    /// [`Self::rebuild`] after bulk changes — with one exception: any
+    /// single-edge tree of `g` that is not yet indexed becomes a new
+    /// feature, because query completeness (the `MissingFeature` empty-
+    /// support proof and worst-case partitioning) relies on the σ(1) = 1
+    /// invariant that *every* edge in the database is a feature.
+    pub fn insert(&mut self, g: Graph) -> u32 {
+        let gid = self.db.len() as u32;
+        // Update existing features, cheapest sizes first, with a label
+        // pre-check.
+        for (i, f) in self.features.iter_mut().enumerate() {
+            if !may_contain(&g, f.tree.graph()) {
+                continue;
+            }
+            let pos = center_positions(&f.tree, &g);
+            if pos.is_empty() {
+                continue;
+            }
+            // Supports are sorted; gid is larger than any existing id.
+            f.support.push(gid);
+            self.centers[i].insert(gid, pos);
+        }
+        // Register novel single-edge trees as fresh features.
+        for e in g.edges() {
+            let t = {
+                let mut b = graph_core::GraphBuilder::with_capacity(2, 1);
+                let (lu, lv) = (g.vlabel(e.u), g.vlabel(e.v));
+                let u = b.add_vertex(lu.min(lv));
+                let v = b.add_vertex(lu.max(lv));
+                b.add_edge(u, v, e.label).expect("single edge");
+                Tree::from_graph(b.build()).expect("an edge is a tree")
+            };
+            let canon = tree_core::canonical_string(&t);
+            if self.trie.contains(&canon) {
+                continue;
+            }
+            let fid = FeatureId(self.features.len() as u32);
+            let pos = center_positions(&t, &g);
+            debug_assert!(!pos.is_empty(), "g contains its own edges");
+            let mut per_graph = FxHashMap::default();
+            per_graph.insert(gid, pos);
+            self.trie.insert(&canon, fid);
+            self.centers.push(per_graph);
+            self.features.push(Feature {
+                center: center(&t),
+                tree: t,
+                canon,
+                support: vec![gid],
+            });
+        }
+        self.db.push(g);
+        self.active.push(true);
+        gid
+    }
+
+    /// Delete graph `gid` (paper §7.1): remove it from every feature's
+    /// support set and center store. Returns whether the graph was active.
+    pub fn remove(&mut self, gid: u32) -> bool {
+        if !self.is_active(gid) {
+            return false;
+        }
+        self.active[gid as usize] = false;
+        for (i, f) in self.features.iter_mut().enumerate() {
+            if let Ok(pos) = f.support.binary_search(&gid) {
+                f.support.remove(pos);
+                self.centers[i].remove(&gid);
+            }
+        }
+        true
+    }
+
+    /// Rebuild the index from the current active graphs (the paper's advice
+    /// when "too many insert/delete operations" have accumulated). Graph
+    /// ids are re-densified; returns the new index.
+    pub fn rebuild(self) -> Self {
+        let graphs: Vec<Graph> = self
+            .db
+            .into_iter()
+            .zip(self.active)
+            .filter_map(|(g, a)| a.then_some(g))
+            .collect();
+        Self::build(graphs, self.params)
+    }
+
+    /// Estimated memory footprint of the index payload in bytes (supports +
+    /// center positions + trie nodes); used by the index-size experiments.
+    pub fn memory_estimate(&self) -> usize {
+        let supports: usize = self
+            .features
+            .iter()
+            .map(|f| f.support.len() * std::mem::size_of::<u32>())
+            .sum();
+        let centers: usize = self
+            .centers
+            .iter()
+            .flat_map(|m| m.values())
+            .map(|v| v.len() * std::mem::size_of::<CenterPos>() + 16)
+            .sum();
+        let trie = self.trie.node_count() * 48;
+        supports + centers + trie
+    }
+}
+
+/// Label-multiset pre-check: can `p` possibly embed in `g`?
+pub(crate) fn may_contain(g: &Graph, p: &Graph) -> bool {
+    if p.vertex_count() > g.vertex_count() || p.edge_count() > g.edge_count() {
+        return false;
+    }
+    let mut counts: FxHashMap<u32, i64> = FxHashMap::default();
+    for v in g.vertices() {
+        *counts.entry(g.vlabel(v).0).or_insert(0) += 1;
+    }
+    for v in p.vertices() {
+        let c = counts.entry(p.vlabel(v).0).or_insert(0);
+        *c -= 1;
+        if *c < 0 {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tree_core::canonical_string;
+    use graph_core::graph_from;
+
+    fn tiny_db() -> Vec<Graph> {
+        vec![
+            graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 0, 1)]),
+            graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]),
+            graph_from(&[0, 0, 1, 1], &[(0, 1, 0), (0, 2, 0), (0, 3, 1)]),
+        ]
+    }
+
+    fn quick_index() -> TreePiIndex {
+        TreePiIndex::build(tiny_db(), TreePiParams::quick())
+    }
+
+    #[test]
+    fn build_produces_features_with_centers() {
+        let idx = quick_index();
+        assert!(idx.feature_count() > 0);
+        assert_eq!(idx.active_count(), 3);
+        for (i, f) in idx.features().iter().enumerate() {
+            assert!(!f.support.is_empty());
+            for &gid in &f.support {
+                let pos = idx.center_positions_of(FeatureId(i as u32), gid);
+                assert!(!pos.is_empty(), "feature {i} has no centers in {gid}");
+            }
+        }
+    }
+
+    #[test]
+    fn trie_lookup_round_trips() {
+        let idx = quick_index();
+        for (i, f) in idx.features().iter().enumerate() {
+            assert_eq!(idx.feature_by_canon(&f.canon), Some(FeatureId(i as u32)));
+        }
+    }
+
+    #[test]
+    fn single_edge_features_cover_database() {
+        // σ(1) = 1 ⟹ every distinct edge of every graph is a feature.
+        let idx = quick_index();
+        for g in idx.db() {
+            for e in g.edges() {
+                let t = tree_core::tree_from(
+                    &[g.vlabel(e.u).0, g.vlabel(e.v).0],
+                    &[(0, 1, e.label.0)],
+                );
+                let c = canonical_string(&t);
+                assert!(idx.feature_by_canon(&c).is_some(), "missing edge feature");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_updates_supports_and_centers() {
+        let mut idx = quick_index();
+        let g = graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]); // same as db[1]
+        let gid = idx.insert(g);
+        assert_eq!(gid, 3);
+        assert!(idx.is_active(gid));
+        assert_eq!(idx.active_count(), 4);
+        // every feature supported by db[1] must now also list gid
+        for (i, f) in idx.features().iter().enumerate() {
+            if f.support.contains(&1) {
+                assert!(f.support.contains(&gid), "feature {i} missed the insert");
+                assert!(!idx.center_positions_of(FeatureId(i as u32), gid).is_empty());
+            }
+            // supports stay sorted
+            let mut s = f.support.clone();
+            s.sort_unstable();
+            assert_eq!(s, f.support);
+        }
+    }
+
+    #[test]
+    fn remove_clears_graph_everywhere() {
+        let mut idx = quick_index();
+        assert!(idx.remove(1));
+        assert!(!idx.is_active(1));
+        assert!(!idx.remove(1), "double remove must be a no-op");
+        for (i, f) in idx.features().iter().enumerate() {
+            assert!(!f.support.contains(&1));
+            assert!(idx.center_positions_of(FeatureId(i as u32), 1).is_empty());
+        }
+    }
+
+    #[test]
+    fn rebuild_after_churn_matches_fresh_build() {
+        let mut idx = quick_index();
+        let extra = graph_from(&[1, 1], &[(0, 1, 1)]);
+        idx.insert(extra.clone());
+        idx.remove(0);
+        let rebuilt = idx.rebuild();
+        let fresh = TreePiIndex::build(
+            vec![
+                tiny_db()[1].clone(),
+                tiny_db()[2].clone(),
+                extra,
+            ],
+            TreePiParams::quick(),
+        );
+        assert_eq!(rebuilt.feature_count(), fresh.feature_count());
+        let mut a: Vec<&CanonString> = rebuilt.features().iter().map(|f| &f.canon).collect();
+        let mut b: Vec<&CanonString> = fresh.features().iter().map(|f| &f.canon).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn insert_then_remove_is_identity_on_supports() {
+        let mut idx = quick_index();
+        let before: Vec<SupportSet> =
+            idx.features().iter().map(|f| f.support.clone()).collect();
+        let gid = idx.insert(graph_from(&[0, 1], &[(0, 1, 0)]));
+        idx.remove(gid);
+        let after: Vec<SupportSet> = idx.features().iter().map(|f| f.support.clone()).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn memory_estimate_positive() {
+        let idx = quick_index();
+        assert!(idx.memory_estimate() > 0);
+    }
+
+    #[test]
+    fn build_stats_recorded() {
+        let idx = quick_index();
+        let s = idx.stats();
+        assert!(s.mined >= s.features);
+        assert!(s.features == idx.feature_count());
+        assert!(s.center_entries > 0);
+        assert!(s.center_positions >= s.center_entries);
+        assert!(!s.truncated);
+    }
+
+    #[test]
+    fn may_contain_precheck() {
+        let g = graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]);
+        let p_ok = graph_from(&[0, 1], &[(0, 1, 0)]);
+        let p_too_many = graph_from(&[1, 1], &[(0, 1, 0)]);
+        assert!(may_contain(&g, &p_ok));
+        assert!(!may_contain(&g, &p_too_many));
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use crate::params::TreePiParams;
+    use graph_core::graph_from;
+
+    #[test]
+    fn parallel_build_equals_sequential() {
+        let db = vec![
+            graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 0, 1)]),
+            graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]),
+            graph_from(&[0, 0, 1, 1], &[(0, 1, 0), (0, 2, 0), (0, 3, 1)]),
+            graph_from(&[1, 1, 0, 0], &[(0, 1, 1), (1, 2, 0), (2, 3, 0)]),
+        ];
+        let seq = TreePiIndex::build_with_threads(db.clone(), TreePiParams::quick(), 1);
+        let par = TreePiIndex::build_with_threads(db, TreePiParams::quick(), 4);
+        assert_eq!(seq.feature_count(), par.feature_count());
+        for (a, b) in seq.features().iter().zip(par.features()) {
+            assert_eq!(a.canon, b.canon);
+            assert_eq!(a.support, b.support);
+        }
+        for i in 0..seq.feature_count() as u32 {
+            for gid in 0..4 {
+                assert_eq!(
+                    seq.center_positions_of(crate::trie::FeatureId(i), gid),
+                    par.center_positions_of(crate::trie::FeatureId(i), gid)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! **TreePi** (Zhang, Hu & Yang, ICDE 2007): a graph index built from
+//! frequent subtrees, reproduced in Rust.
+//!
+//! Containment queries over a database of labeled graphs run in four
+//! stages:
+//!
+//! 1. **Partition** ([`partition`]): the query is randomly split into
+//!    indexed feature subtrees (δ runs; the smallest partition becomes
+//!    `TP_q`, the union of features `SF_q`);
+//! 2. **Filter** ([`filter`]): intersect the features' support sets
+//!    (Algorithm 1) → candidate set `P_q`;
+//! 3. **Prune** ([`prune`]): Center Distance Constraints (Algorithm 2)
+//!    shrink `P_q` to `P'_q` using stored feature-center locations;
+//! 4. **Verify** ([`verify`]): reconstruct the query from feature subtrees
+//!    retrieved at the stored centers (Algorithm 3) — no naive isomorphism
+//!    search.
+//!
+//! ```
+//! use graph_core::graph_from;
+//! use treepi::{TreePiIndex, TreePiParams};
+//!
+//! let db = vec![
+//!     graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]),
+//!     graph_from(&[0, 1], &[(0, 1, 1)]),
+//! ];
+//! let index = TreePiIndex::build(db, TreePiParams::default());
+//! let q = graph_from(&[0, 0], &[(0, 1, 0)]);
+//! let mut rng = rand::thread_rng();
+//! assert_eq!(index.query(&q, &mut rng).matches, vec![0]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod directed;
+pub mod filter;
+pub mod index;
+pub mod params;
+pub mod partition;
+pub mod persist;
+pub mod prune;
+pub mod query;
+pub mod trie;
+pub mod verify;
+pub mod workload;
+
+pub use index::{BuildStats, Feature, TreePiIndex};
+pub use params::{Delta, TreePiParams};
+pub use directed::DirectedTreePiIndex;
+pub use filter::enumerate_query_features;
+pub use partition::{
+    partition_runs, random_partition, random_partition_collecting, Part, PartitionOutcome,
+    PartitionRuns,
+};
+pub use query::{QueryOptions, QueryResult, QueryStats, SfMode};
+pub use trie::{CanonTrie, FeatureId};
+pub use verify::scan_support;
+pub use workload::{query_batch, summarize, WorkloadSummary};

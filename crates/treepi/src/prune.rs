@@ -1,0 +1,233 @@
+//! Pruning by Center Distance Constraints (paper §5.2.2, Algorithm 2).
+//!
+//! If `q ⊆ g` via embedding `f`, then the images under `f` of the centers
+//! of `q`'s partitioned feature subtrees are stored center positions in
+//! `g`, and because an embedding maps paths to walks,
+//! `d_g(f(x), f(y)) ≤ d_q(x, y)` for every vertex pair. A candidate graph
+//! therefore survives only if *some* assignment of stored center positions
+//! to the partition's parts satisfies every pairwise distance constraint.
+//! (The constraint direction matches the rationale in the paper's prose —
+//! its formal statement has the inequality typo'd the other way around.)
+//!
+//! Distances between centers (which may be edges) are measured as the
+//! minimum over representative endpoint pairs, identically in `q` and `g`,
+//! preserving the soundness argument above.
+
+use crate::index::TreePiIndex;
+use crate::partition::Part;
+use graph_core::{bfs_distances, DistanceOracle, Graph, VertexId};
+use rustc_hash::FxHashMap;
+use tree_core::CenterPos;
+
+/// Pairwise center distances of the partition's parts inside the query.
+/// `dq[i][j]` = min distance between a center representative of part `i`
+/// and one of part `j` (`u32::MAX` if disconnected).
+pub fn query_center_distances(q: &Graph, parts: &[Part]) -> Vec<Vec<u32>> {
+    // BFS once per distinct representative vertex.
+    let mut rows: FxHashMap<VertexId, Vec<u32>> = FxHashMap::default();
+    for p in parts {
+        for &r in &p.center_reps_in_q {
+            rows.entry(r).or_insert_with(|| bfs_distances(q, r));
+        }
+    }
+    let n = parts.len();
+    let mut dq = vec![vec![0u32; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut best = u32::MAX;
+            for &a in &parts[i].center_reps_in_q {
+                let row = &rows[&a];
+                for &b in &parts[j].center_reps_in_q {
+                    best = best.min(row[b.idx()]);
+                }
+            }
+            dq[i][j] = best;
+            dq[j][i] = best;
+        }
+    }
+    dq
+}
+
+/// Distance between two center positions in `g` (min over representatives).
+fn pos_distance(g: &Graph, oracle: &mut DistanceOracle, a: CenterPos, b: CenterPos) -> u32 {
+    let ra = a.representatives(g);
+    let rb = b.representatives(g);
+    let mut best = u32::MAX;
+    for &x in &ra {
+        for &y in &rb {
+            best = best.min(oracle.dist(x, y));
+        }
+    }
+    best
+}
+
+/// Whether graph `gid` admits an assignment of stored center positions to
+/// the parts that satisfies all Center Distance Constraints (Algorithm 2's
+/// per-graph test).
+pub fn satisfies_cdc(index: &TreePiIndex, gid: u32, parts: &[Part], dq: &[Vec<u32>]) -> bool {
+    let g = &index.db()[gid as usize];
+    // Candidates per part; fail fast on an empty list.
+    let mut cands: Vec<&[CenterPos]> = Vec::with_capacity(parts.len());
+    for p in parts {
+        let c = index.center_positions_of(p.feature, gid);
+        if c.is_empty() {
+            return false;
+        }
+        cands.push(c);
+    }
+    // Assign most-constrained parts first.
+    let mut order: Vec<usize> = (0..parts.len()).collect();
+    order.sort_by_key(|&i| cands[i].len());
+
+    let mut oracle = DistanceOracle::new(g);
+    let mut assigned: Vec<(usize, CenterPos)> = Vec::with_capacity(parts.len());
+
+    fn backtrack(
+        order: &[usize],
+        k: usize,
+        cands: &[&[CenterPos]],
+        dq: &[Vec<u32>],
+        g: &Graph,
+        oracle: &mut DistanceOracle,
+        assigned: &mut Vec<(usize, CenterPos)>,
+    ) -> bool {
+        if k == order.len() {
+            return true;
+        }
+        let part_i = order[k];
+        'cand: for &c in cands[part_i] {
+            for &(part_j, cj) in assigned.iter() {
+                let limit = dq[part_i][part_j];
+                // BFS from the assigned center: its row is shared by every
+                // candidate center probed at this level.
+                if limit != u32::MAX && pos_distance(g, oracle, cj, c) > limit {
+                    continue 'cand;
+                }
+            }
+            assigned.push((part_i, c));
+            if backtrack(order, k + 1, cands, dq, g, oracle, assigned) {
+                return true;
+            }
+            assigned.pop();
+        }
+        false
+    }
+
+    backtrack(&order, 0, &cands, dq, g, &mut oracle, &mut assigned)
+}
+
+/// Algorithm 2: reduce the filtered set `P_q` to `P'_q`.
+pub fn center_prune(index: &TreePiIndex, pq: &[u32], parts: &[Part], dq: &[Vec<u32>]) -> Vec<u32> {
+    pq.iter()
+        .copied()
+        .filter(|&gid| satisfies_cdc(index, gid, parts, dq))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::TreePiParams;
+    use crate::partition::{partition_runs, PartitionRuns};
+    use graph_core::graph_from;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Figure 7's scenario in miniature: the query is two labeled edges at
+    /// distance 1; one database graph places them adjacently, the other
+    /// far apart. Filtering keeps both; CDC pruning must drop the far one.
+    #[test]
+    fn cdc_drops_distance_violators() {
+        let near = graph_from(
+            &[5, 0, 6, 0],
+            &[(0, 1, 1), (1, 2, 2), (2, 3, 0)],
+        );
+        // same two feature edges, separated by a 4-hop path
+        let far = graph_from(
+            &[5, 0, 0, 0, 0, 0, 6],
+            &[(0, 1, 1), (1, 2, 0), (2, 3, 0), (3, 4, 0), (4, 5, 0), (5, 6, 2)],
+        );
+        let q = graph_from(&[5, 0, 6], &[(0, 1, 1), (1, 2, 2)]);
+        let db = vec![near.clone(), far.clone()];
+        let idx = TreePiIndex::build(
+            db,
+            TreePiParams {
+                sigma: mining::SigmaFn { alpha: 1, beta: 10.0, eta: 1 },
+                ..TreePiParams::quick()
+            },
+        );
+        // With η = 1 only single-edge features exist, so every partition
+        // consists of the two query edges.
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let PartitionRuns::Ok { min_partition, sf } = partition_runs(&q, &idx, 4, &mut rng)
+        else {
+            panic!("all query edges are features");
+        };
+        assert_eq!(min_partition.len(), 2);
+        let pq = crate::filter::filter(&idx, &sf);
+        assert_eq!(pq, vec![0, 1], "filtering alone keeps the false positive");
+        let dq = query_center_distances(&q, &min_partition);
+        let pruned = center_prune(&idx, &pq, &min_partition, &dq);
+        assert_eq!(pruned, vec![0], "CDC must prune the far-apart graph");
+    }
+
+    #[test]
+    fn cdc_never_prunes_true_positives() {
+        // Database of small graphs; queries cut from them; the true support
+        // must always survive pruning.
+        let db = vec![
+            graph_from(&[0, 1, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 0, 0)]),
+            graph_from(&[0, 1, 0], &[(0, 1, 0), (1, 2, 0)]),
+            graph_from(&[1, 0, 1, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 4, 0)]),
+        ];
+        let idx = TreePiIndex::build(db.clone(), TreePiParams::quick());
+        let q = graph_from(&[0, 1, 0], &[(0, 1, 0), (1, 2, 0)]);
+        let truth: Vec<u32> = db
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| graph_core::is_subgraph_isomorphic(&q, g))
+            .map(|(i, _)| i as u32)
+            .collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..10 {
+            let PartitionRuns::Ok { min_partition, sf } =
+                partition_runs(&q, &idx, 3, &mut rng)
+            else {
+                panic!()
+            };
+            let pq = crate::filter::filter(&idx, &sf);
+            let dq = query_center_distances(&q, &min_partition);
+            let pruned = center_prune(&idx, &pq, &min_partition, &dq);
+            for t in &truth {
+                assert!(pruned.contains(t), "true positive {t} was pruned");
+            }
+        }
+    }
+
+    #[test]
+    fn query_distances_symmetric_and_zero_diagonal() {
+        let db = vec![graph_from(&[0, 1, 2], &[(0, 1, 0), (1, 2, 1)])];
+        let idx = TreePiIndex::build(
+            db,
+            TreePiParams {
+                sigma: mining::SigmaFn { alpha: 1, beta: 10.0, eta: 1 },
+                ..TreePiParams::quick()
+            },
+        );
+        let q = graph_from(&[0, 1, 2], &[(0, 1, 0), (1, 2, 1)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let PartitionRuns::Ok { min_partition, .. } = partition_runs(&q, &idx, 1, &mut rng)
+        else {
+            panic!()
+        };
+        let dq = query_center_distances(&q, &min_partition);
+        let n = min_partition.len();
+        for (i, row) in dq.iter().enumerate() {
+            assert_eq!(row[i], 0);
+            for (j, cell) in row.iter().enumerate() {
+                assert_eq!(*cell, dq[j][i]);
+            }
+        }
+        assert_eq!(dq.len(), n);
+    }
+}

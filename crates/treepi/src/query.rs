@@ -1,0 +1,327 @@
+//! The full TreePi query pipeline (paper §3, "Query Processing"):
+//! partition → filter → center-distance prune → reconstruction verify,
+//! with per-stage statistics (the quantities plotted in Figures 10–13).
+
+use crate::filter::filter;
+use crate::index::TreePiIndex;
+use crate::partition::{partition_runs, PartitionRuns};
+use crate::prune::{center_prune, query_center_distances};
+use crate::verify::verify_all;
+use graph_core::Graph;
+use rand::Rng;
+use std::time::{Duration, Instant};
+
+/// How the filter set `SF_q` is assembled.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SfMode {
+    /// Enumerate every indexed subtree of `q` (paper §1) — the default and
+    /// strongest filter.
+    FullEnumeration,
+    /// Only the parts produced by the δ partition runs (cheaper, weaker;
+    /// an ablation point).
+    PartitionOnly,
+}
+
+/// Ablation switches (used by the `ablate` experiment; the defaults are the
+/// full paper pipeline).
+#[derive(Clone, Copy, Debug)]
+pub struct QueryOptions {
+    /// Filter-set construction policy.
+    pub sf_mode: SfMode,
+    /// Apply Center Distance Constraint pruning (Algorithm 2). Off = filter
+    /// only, like gIndex's candidate generation.
+    pub use_cdc: bool,
+    /// Verify by reconstruction from stored centers (Algorithm 3). Off =
+    /// naive VF2 subgraph isomorphism per candidate, like gIndex.
+    pub use_reconstruction: bool,
+    /// Override the index's δ (partition run count); `None` keeps the
+    /// configured policy.
+    pub delta_override: Option<usize>,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        Self {
+            sf_mode: SfMode::FullEnumeration,
+            use_cdc: true,
+            use_reconstruction: true,
+            delta_override: None,
+        }
+    }
+}
+
+/// Per-query statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueryStats {
+    /// Parts in the minimum partition `TP_q`.
+    pub partition_size: usize,
+    /// Distinct features in the filter set `SF_q`.
+    pub sf_size: usize,
+    /// `|P_q|` — candidates after filtering (gIndex's `|C_q|` analogue).
+    pub filtered: usize,
+    /// `|P'_q|` — candidates after Center Distance pruning.
+    pub pruned: usize,
+    /// `|D_q|` — the exact answer count.
+    pub answers: usize,
+    /// The query contained an edge that is not a feature (empty support
+    /// proven without touching the database).
+    pub missing_feature: bool,
+    /// Time in the partition stage.
+    pub t_partition: Duration,
+    /// Time in the filter stage.
+    pub t_filter: Duration,
+    /// Time in the prune stage.
+    pub t_prune: Duration,
+    /// Time in the verify stage.
+    pub t_verify: Duration,
+}
+
+impl QueryStats {
+    /// Total processing time.
+    pub fn total(&self) -> Duration {
+        self.t_partition + self.t_filter + self.t_prune + self.t_verify
+    }
+}
+
+/// Result of a TreePi query.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// Sorted ids of the graphs containing the query (`D_q`).
+    pub matches: Vec<u32>,
+    /// Stage statistics.
+    pub stats: QueryStats,
+}
+
+impl TreePiIndex {
+    /// Answer the containment query `q` (paper §3): all active database
+    /// graphs of which `q` is a subgraph.
+    pub fn query<R: Rng>(&self, q: &Graph, rng: &mut R) -> QueryResult {
+        self.query_with(q, QueryOptions::default(), rng)
+    }
+
+    /// [`Self::query`] with ablation switches.
+    pub fn query_with<R: Rng>(
+        &self,
+        q: &Graph,
+        opts: QueryOptions,
+        rng: &mut R,
+    ) -> QueryResult {
+        assert!(q.edge_count() > 0, "queries must have at least one edge");
+        let mut stats = QueryStats::default();
+
+        // ---- Feature-tree shortcut (§5.1: RP first checks whether q
+        // itself "is a feature tree in the index list"). Its stored
+        // support set *is* the exact answer. ----
+        let t = Instant::now();
+        if let Ok(qt) = tree_core::Tree::from_graph(q.clone()) {
+            if let Some(fid) = self.feature_by_canon(&tree_core::canonical_string(&qt)) {
+                let matches: Vec<u32> = self
+                    .feature(fid)
+                    .support
+                    .iter()
+                    .copied()
+                    .filter(|&gid| self.is_active(gid))
+                    .collect();
+                stats.t_partition = t.elapsed();
+                stats.partition_size = 1;
+                stats.sf_size = 1;
+                stats.filtered = matches.len();
+                stats.pruned = matches.len();
+                stats.answers = matches.len();
+                return QueryResult { matches, stats };
+            }
+        }
+
+        // ---- Partition (δ randomized runs) ----
+        let delta = opts
+            .delta_override
+            .unwrap_or_else(|| self.params().delta.resolve(q.edge_count()));
+        let runs = partition_runs(q, self, delta, rng);
+        let (parts, mut sf) = match runs {
+            PartitionRuns::MissingFeature(_) => {
+                stats.t_partition = t.elapsed();
+                stats.missing_feature = true;
+                return QueryResult {
+                    matches: Vec::new(),
+                    stats,
+                };
+            }
+            PartitionRuns::Ok { min_partition, sf } => (min_partition, sf),
+        };
+        if opts.sf_mode == SfMode::FullEnumeration {
+            match crate::filter::enumerate_query_features(self, q) {
+                Some(full) => sf = full,
+                None => {
+                    stats.t_partition = t.elapsed();
+                    stats.missing_feature = true;
+                    return QueryResult {
+                        matches: Vec::new(),
+                        stats,
+                    };
+                }
+            }
+        }
+        stats.t_partition = t.elapsed();
+        stats.partition_size = parts.len();
+        stats.sf_size = sf.len();
+
+        // ---- Filter (Algorithm 1) ----
+        let t = Instant::now();
+        let pq = filter(self, &sf);
+        stats.t_filter = t.elapsed();
+        stats.filtered = pq.len();
+
+        // ---- Prune (Algorithm 2) ----
+        let t = Instant::now();
+        let dq = query_center_distances(q, &parts);
+        let pruned = if opts.use_cdc {
+            center_prune(self, &pq, &parts, &dq)
+        } else {
+            pq
+        };
+        stats.t_prune = t.elapsed();
+        stats.pruned = pruned.len();
+
+        // ---- Verify (Algorithm 3) ----
+        let t = Instant::now();
+        let matches = if opts.use_reconstruction {
+            verify_all(self, q, &pruned, &parts, &dq)
+        } else {
+            pruned
+                .into_iter()
+                .filter(|&gid| graph_core::is_subgraph_isomorphic(q, &self.db()[gid as usize]))
+                .collect()
+        };
+        stats.t_verify = t.elapsed();
+        stats.answers = matches.len();
+
+        QueryResult { matches, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::TreePiParams;
+    use crate::verify::scan_support;
+    use graph_core::graph_from;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn index() -> TreePiIndex {
+        let db = vec![
+            graph_from(&[0, 0, 1, 1], &[(0, 1, 0), (1, 2, 0), (2, 0, 1), (2, 3, 0)]),
+            graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]),
+            graph_from(&[0, 0, 1, 1], &[(0, 1, 0), (0, 2, 0), (0, 3, 1)]),
+            graph_from(&[0, 1, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 0, 0)]),
+        ];
+        TreePiIndex::build(db, TreePiParams::quick())
+    }
+
+    #[test]
+    fn query_matches_oracle_and_stats_are_consistent() {
+        let idx = index();
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let queries = vec![
+            graph_from(&[0, 0], &[(0, 1, 0)]),
+            graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]),
+            graph_from(&[0, 1, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 0, 0)]),
+        ];
+        for q in &queries {
+            let r = idx.query(q, &mut rng);
+            assert_eq!(r.matches, scan_support(&idx, q));
+            let s = &r.stats;
+            assert!(s.partition_size >= 1);
+            assert!(s.sf_size >= 1);
+            // the funnel only narrows
+            assert!(s.filtered >= s.pruned);
+            assert!(s.pruned >= s.answers);
+            assert_eq!(s.answers, r.matches.len());
+            assert!(!s.missing_feature);
+        }
+    }
+
+    #[test]
+    fn missing_feature_short_circuits() {
+        let idx = index();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let q = graph_from(&[42, 42], &[(0, 1, 0)]);
+        let r = idx.query(&q, &mut rng);
+        assert!(r.matches.is_empty());
+        assert!(r.stats.missing_feature);
+        assert_eq!(r.stats.filtered, 0);
+    }
+
+    #[test]
+    fn ablations_preserve_correctness() {
+        let idx = index();
+        let q = graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 0, 1)]);
+        let truth = scan_support(&idx, &q);
+        for (cdc, recon) in [(true, true), (true, false), (false, true), (false, false)] {
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            let r = idx.query_with(
+                &q,
+                QueryOptions {
+                    use_cdc: cdc,
+                    use_reconstruction: recon,
+                    ..QueryOptions::default()
+                },
+                &mut rng,
+            );
+            assert_eq!(r.matches, truth, "cdc={cdc} recon={recon}");
+        }
+    }
+
+    #[test]
+    fn cdc_prunes_at_least_as_hard_as_filter() {
+        let idx = index();
+        let q = graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 0, 1)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let with = idx.query(&q, &mut rng);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let without = idx.query_with(
+            &q,
+            QueryOptions {
+                use_cdc: false,
+                ..QueryOptions::default()
+            },
+            &mut rng,
+        );
+        assert!(with.stats.pruned <= without.stats.pruned);
+        assert_eq!(with.matches, without.matches);
+    }
+
+    #[test]
+    fn delta_override_controls_partition_runs() {
+        let idx = index();
+        let q = graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let r = idx.query_with(
+            &q,
+            QueryOptions {
+                delta_override: Some(1),
+                ..QueryOptions::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(r.matches, scan_support(&idx, &q));
+    }
+
+    #[test]
+    fn query_after_insert_and_remove() {
+        let mut idx = index();
+        let q = graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]);
+        let g_new = graph_from(&[0, 0, 1, 0], &[(0, 1, 0), (1, 2, 0), (2, 3, 0)]);
+        let gid = idx.insert(g_new);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let r = idx.query(&q, &mut rng);
+        assert!(r.matches.contains(&gid), "inserted graph must be found");
+        assert_eq!(r.matches, scan_support(&idx, &q));
+        idx.remove(gid);
+        idx.remove(1);
+        let r2 = idx.query(&q, &mut rng);
+        assert!(!r2.matches.contains(&gid));
+        assert!(!r2.matches.contains(&1));
+        assert_eq!(r2.matches, scan_support(&idx, &q));
+    }
+}

@@ -1,0 +1,152 @@
+//! Prefix-trie index over tree canonical strings (paper §4.2.2: "a prefix
+//! tree based indexing is used to index all feature trees").
+//!
+//! Keys are the token sequences of [`tree_core::CanonString`]; values are
+//! feature ids. Lookups are O(key length) — the polynomial-time feature
+//! matching that motivates tree features.
+
+use rustc_hash::FxHashMap;
+use tree_core::CanonString;
+
+/// Identifier of a feature tree inside a [`crate::TreePiIndex`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FeatureId(pub u32);
+
+impl FeatureId {
+    /// The id as a usize, for indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct TrieNode {
+    children: FxHashMap<u32, u32>,
+    value: Option<FeatureId>,
+}
+
+/// Prefix trie from canonical strings to feature ids.
+#[derive(Clone, Debug)]
+pub struct CanonTrie {
+    nodes: Vec<TrieNode>,
+    len: usize,
+}
+
+impl Default for CanonTrie {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CanonTrie {
+    /// New empty trie (with a root node).
+    pub fn new() -> Self {
+        Self {
+            nodes: vec![TrieNode::default()],
+            len: 0,
+        }
+    }
+
+    /// Insert a key, returning the previous value if the key was present.
+    pub fn insert(&mut self, key: &CanonString, value: FeatureId) -> Option<FeatureId> {
+        let mut node = 0usize;
+        for &tok in key.tokens() {
+            let next = match self.nodes[node].children.get(&tok) {
+                Some(&n) => n as usize,
+                None => {
+                    let n = self.nodes.len();
+                    self.nodes.push(TrieNode::default());
+                    self.nodes[node].children.insert(tok, n as u32);
+                    n
+                }
+            };
+            node = next;
+        }
+        let prev = self.nodes[node].value.replace(value);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// Look a key up.
+    pub fn get(&self, key: &CanonString) -> Option<FeatureId> {
+        let mut node = 0usize;
+        for &tok in key.tokens() {
+            node = *self.nodes[node].children.get(&tok)? as usize;
+        }
+        self.nodes[node].value
+    }
+
+    /// Whether the key is present.
+    pub fn contains(&self, key: &CanonString) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of trie nodes (memory diagnostic; shared prefixes compress).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tokens: &[u32]) -> CanonString {
+        CanonString(tokens.to_vec())
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = CanonTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(&key(&[1, 2, 3]), FeatureId(0)), None);
+        assert_eq!(t.insert(&key(&[1, 2]), FeatureId(1)), None);
+        assert_eq!(t.insert(&key(&[4]), FeatureId(2)), None);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(&key(&[1, 2, 3])), Some(FeatureId(0)));
+        assert_eq!(t.get(&key(&[1, 2])), Some(FeatureId(1)));
+        assert_eq!(t.get(&key(&[4])), Some(FeatureId(2)));
+        assert_eq!(t.get(&key(&[1])), None);
+        assert_eq!(t.get(&key(&[1, 2, 3, 4])), None);
+        assert_eq!(t.get(&key(&[9])), None);
+    }
+
+    #[test]
+    fn overwrite_returns_previous() {
+        let mut t = CanonTrie::new();
+        t.insert(&key(&[7, 8]), FeatureId(5));
+        assert_eq!(t.insert(&key(&[7, 8]), FeatureId(6)), Some(FeatureId(5)));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&key(&[7, 8])), Some(FeatureId(6)));
+    }
+
+    #[test]
+    fn shared_prefixes_share_nodes() {
+        let mut t = CanonTrie::new();
+        t.insert(&key(&[1, 2, 3]), FeatureId(0));
+        t.insert(&key(&[1, 2, 4]), FeatureId(1));
+        // root + 1 + 2 + {3,4} = 5 nodes
+        assert_eq!(t.node_count(), 5);
+    }
+
+    #[test]
+    fn empty_key_is_a_valid_key() {
+        let mut t = CanonTrie::new();
+        assert_eq!(t.get(&key(&[])), None);
+        t.insert(&key(&[]), FeatureId(9));
+        assert_eq!(t.get(&key(&[])), Some(FeatureId(9)));
+    }
+}

@@ -1,0 +1,383 @@
+//! Reconstruction-based subgraph isomorphism (paper §5.3, Algorithm 3).
+//!
+//! Instead of a naive isomorphism search over the whole candidate graph,
+//! verification re-finds each part of the query's Feature-Tree-Partition
+//! rooted at its *stored center positions* (a rooted DFS, §5.3.2), then
+//! joins the retrieved subtrees back into the query. The join never runs an
+//! isomorphism test: two retrieved embeddings of the same part are
+//! interchangeable iff they agree on the part's *boundary* (vertices shared
+//! with other parts) and on the *set* of interior images — our realization
+//! of the paper's Canonical Reconstruction Form (§5.3.1; see DESIGN.md
+//! substitution 4). Each equivalence class is explored once per join node,
+//! candidate center assignments are filtered by the Center Distance
+//! Constraints (Algorithm 3's loop header), and the search unwinds on the
+//! first complete reconstruction.
+
+use crate::index::TreePiIndex;
+use crate::partition::Part;
+use graph_core::{DistanceOracle, Graph, VertexId};
+use rustc_hash::FxHashSet;
+use std::ops::ControlFlow;
+use tree_core::{CenterPos, CenteredMatcher};
+
+const UNMAPPED: VertexId = VertexId(u32::MAX);
+
+/// Join state shared across recursion levels. Immutable inputs are passed
+/// separately so embedding enumeration can borrow them while the state is
+/// mutated.
+struct JoinState<'g> {
+    /// query vertex → host vertex
+    m: Vec<VertexId>,
+    /// host vertices already used by the join (injectivity)
+    used: Vec<bool>,
+    assigned_centers: Vec<(usize, CenterPos)>,
+    oracle: DistanceOracle<'g>,
+}
+
+fn pos_distance(
+    g: &Graph,
+    oracle: &mut DistanceOracle<'_>,
+    a: CenterPos,
+    b: CenterPos,
+) -> u32 {
+    let ra = a.representatives(g);
+    let rb = b.representatives(g);
+    let mut best = u32::MAX;
+    for &x in &ra {
+        for &y in &rb {
+            best = best.min(oracle.dist(x, y));
+        }
+    }
+    best
+}
+
+/// Signature of an embedding for CRF deduplication: boundary images in
+/// vertex order, separator, then the sorted interior image set.
+fn signature(emb: &[VertexId], boundary: &[bool]) -> Vec<u32> {
+    let mut sig: Vec<u32> = Vec::with_capacity(emb.len() + 1);
+    let mut interior: Vec<u32> = Vec::new();
+    for (i, &gv) in emb.iter().enumerate() {
+        if boundary[i] {
+            sig.push(gv.0);
+        } else {
+            interior.push(gv.0);
+        }
+    }
+    sig.push(u32::MAX);
+    interior.sort_unstable();
+    sig.extend(interior);
+    sig
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    index: &TreePiIndex,
+    g: &Graph,
+    gid: u32,
+    parts: &[Part],
+    dq: &[Vec<u32>],
+    order: &[usize],
+    boundaries: &[Vec<bool>],
+    matchers: &[CenteredMatcher<'_>],
+    st: &mut JoinState<'_>,
+    k: usize,
+) -> bool {
+    if k == order.len() {
+        return true;
+    }
+    let pi = order[k];
+    let part = &parts[pi];
+    let centers = index.center_positions_of(part.feature, gid);
+    'center: for &c in centers {
+        // Cheap rejection: the part's center corresponds to known query
+        // vertices (`center_reps_in_q`); if the join has already mapped
+        // one of them, the candidate center must sit on that image.
+        let mut fully_pinned = true;
+        {
+            let reps = c.representatives(g);
+            for &qr in &part.center_reps_in_q {
+                let img = st.m[qr.idx()];
+                if img == UNMAPPED {
+                    fully_pinned = false;
+                } else if !reps.contains(&img) {
+                    continue 'center;
+                }
+            }
+        }
+        // Center Distance Constraints against already-placed parts. When
+        // the join has already forced every center representative onto this
+        // position, the true embedding realizes the distances and the check
+        // is implied — skip the BFS work.
+        if !fully_pinned {
+            for j in 0..st.assigned_centers.len() {
+                let (pj, cj) = st.assigned_centers[j];
+                let limit = dq[pi][pj];
+                // BFS rows are cached per source; source from the *assigned*
+                // center so all candidate centers share one row.
+                if limit != u32::MAX && pos_distance(g, &mut st.oracle, cj, c) > limit {
+                    continue 'center;
+                }
+            }
+        }
+        st.assigned_centers.push((pi, c));
+        // Lazily enumerate embeddings centered at c; dedupe by CRF
+        // signature; unwind on first success.
+        let mut seen: FxHashSet<Vec<u32>> = FxHashSet::default();
+        let mut found = false;
+        let _ = matchers[pi].for_each_embedding_centered(g, c, |emb| {
+            // Compatibility with the partial join.
+            for (i, &gv) in emb.iter().enumerate() {
+                let qv = part.q_vertices[i];
+                let cur = st.m[qv.idx()];
+                if cur != UNMAPPED {
+                    if cur != gv {
+                        return ControlFlow::Continue(());
+                    }
+                } else if st.used[gv.idx()] {
+                    return ControlFlow::Continue(());
+                }
+            }
+            if !seen.insert(signature(emb, &boundaries[pi])) {
+                return ControlFlow::Continue(());
+            }
+            // Apply, recurse, undo.
+            let mut newly: smallvec::SmallVec<[VertexId; 12]> = smallvec::SmallVec::new();
+            for (i, &gv) in emb.iter().enumerate() {
+                let qv = part.q_vertices[i];
+                if st.m[qv.idx()] == UNMAPPED {
+                    st.m[qv.idx()] = gv;
+                    st.used[gv.idx()] = true;
+                    newly.push(qv);
+                }
+            }
+            if search(index, g, gid, parts, dq, order, boundaries, matchers, st, k + 1) {
+                found = true;
+                return ControlFlow::Break(());
+            }
+            for &qv in &newly {
+                let gv = st.m[qv.idx()];
+                st.used[gv.idx()] = false;
+                st.m[qv.idx()] = UNMAPPED;
+            }
+            ControlFlow::Continue(())
+        });
+        if found {
+            return true;
+        }
+        st.assigned_centers.pop();
+    }
+    false
+}
+
+/// Algorithm 3: is `q` subgraph isomorphic to graph `gid`, reconstructed
+/// from the partition `parts` (with query center-distance matrix `dq`)?
+pub fn verify(index: &TreePiIndex, q: &Graph, gid: u32, parts: &[Part], dq: &[Vec<u32>]) -> bool {
+    let boundaries = part_boundaries(q, parts);
+    let matchers: Vec<CenteredMatcher<'_>> =
+        parts.iter().map(|p| CenteredMatcher::new(&p.tree)).collect();
+    verify_with_boundaries(index, q, gid, parts, dq, &boundaries, &matchers)
+}
+
+/// Boundary flags per part: a part-tree vertex is boundary iff its query
+/// vertex belongs to more than one part. Computed once per query.
+pub(crate) fn part_boundaries(q: &Graph, parts: &[Part]) -> Vec<Vec<bool>> {
+    let mut owners = vec![0u32; q.vertex_count()];
+    for p in parts {
+        for &qv in &p.q_vertices {
+            owners[qv.idx()] += 1;
+        }
+    }
+    parts
+        .iter()
+        .map(|p| p.q_vertices.iter().map(|&qv| owners[qv.idx()] > 1).collect())
+        .collect()
+}
+
+pub(crate) fn verify_with_boundaries(
+    index: &TreePiIndex,
+    q: &Graph,
+    gid: u32,
+    parts: &[Part],
+    dq: &[Vec<u32>],
+    boundaries: &[Vec<bool>],
+    matchers: &[CenteredMatcher<'_>],
+) -> bool {
+    let g = &index.db()[gid as usize];
+
+    // Every part needs at least one stored center; most-constrained first.
+    let mut counts: Vec<usize> = Vec::with_capacity(parts.len());
+    for p in parts {
+        let c = index.center_positions_of(p.feature, gid);
+        if c.is_empty() {
+            return false;
+        }
+        counts.push(c.len());
+    }
+    // A single-part partition means the query *is* that feature tree and a
+    // stored center position is itself proof of containment.
+    if parts.len() == 1 {
+        return true;
+    }
+    let mut order: Vec<usize> = (0..parts.len()).collect();
+    order.sort_by_key(|&i| counts[i]);
+
+    let mut st = JoinState {
+        m: vec![UNMAPPED; q.vertex_count()],
+        used: vec![false; g.vertex_count()],
+        assigned_centers: Vec::with_capacity(parts.len()),
+        oracle: DistanceOracle::new(g),
+    };
+    search(index, g, gid, parts, dq, &order, boundaries, matchers, &mut st, 0)
+}
+
+/// Verify every graph in `pruned`, returning the exact answer set.
+pub fn verify_all(
+    index: &TreePiIndex,
+    q: &Graph,
+    pruned: &[u32],
+    parts: &[Part],
+    dq: &[Vec<u32>],
+) -> Vec<u32> {
+    let boundaries = part_boundaries(q, parts);
+    let matchers: Vec<CenteredMatcher<'_>> =
+        parts.iter().map(|p| CenteredMatcher::new(&p.tree)).collect();
+    pruned
+        .iter()
+        .copied()
+        .filter(|&gid| verify_with_boundaries(index, q, gid, parts, dq, &boundaries, &matchers))
+        .collect()
+}
+
+/// Brute-force oracle: scan the whole database with VF2 (what a system
+/// without an index must do; also the ground truth in tests).
+pub fn scan_support(index: &TreePiIndex, q: &Graph) -> Vec<u32> {
+    index
+        .db()
+        .iter()
+        .enumerate()
+        .filter(|(gid, g)| {
+            index.is_active(*gid as u32) && graph_core::is_subgraph_isomorphic(q, g)
+        })
+        .map(|(gid, _)| gid as u32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::TreePiParams;
+    use crate::partition::{partition_runs, PartitionRuns};
+    use crate::prune::query_center_distances;
+    use graph_core::graph_from;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn db() -> Vec<Graph> {
+        vec![
+            // triangle with tail
+            graph_from(&[0, 0, 1, 1], &[(0, 1, 0), (1, 2, 0), (2, 0, 1), (2, 3, 0)]),
+            // path
+            graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]),
+            // star
+            graph_from(&[0, 0, 1, 1], &[(0, 1, 0), (0, 2, 0), (0, 3, 1)]),
+            // 4-cycle
+            graph_from(&[0, 1, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 0, 0)]),
+        ]
+    }
+
+    fn run_query(q: &Graph, idx: &TreePiIndex, seed: u64) -> Vec<u32> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        match partition_runs(q, idx, q.edge_count().max(1), &mut rng) {
+            PartitionRuns::MissingFeature(_) => Vec::new(),
+            PartitionRuns::Ok { min_partition, sf } => {
+                let pq = crate::filter::filter(idx, &sf);
+                let dq = query_center_distances(q, &min_partition);
+                let pruned = crate::prune::center_prune(idx, &pq, &min_partition, &dq);
+                verify_all(idx, q, &pruned, &min_partition, &dq)
+            }
+        }
+    }
+
+    #[test]
+    fn verified_answers_match_brute_force() {
+        let idx = TreePiIndex::build(db(), TreePiParams::quick());
+        let queries = [
+            graph_from(&[0, 0], &[(0, 1, 0)]),
+            graph_from(&[0, 1], &[(0, 1, 1)]),
+            graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]),
+            graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 0, 1)]), // cyclic query
+            graph_from(&[0, 1, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 0, 0)]),
+            graph_from(&[1, 0, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 3, 0)]),
+            graph_from(&[9, 9], &[(0, 1, 0)]), // absent labels
+        ];
+        for (qi, q) in queries.iter().enumerate() {
+            let truth = scan_support(&idx, q);
+            for seed in 0..5 {
+                let got = run_query(q, &idx, seed);
+                assert_eq!(got, truth, "query {qi} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_query_needs_multi_part_join() {
+        // A cyclic query can never be a single feature tree; verification
+        // must reconstruct it from ≥ 2 tree parts.
+        let idx = TreePiIndex::build(db(), TreePiParams::quick());
+        let q = graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 0, 1)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let PartitionRuns::Ok { min_partition, .. } =
+            partition_runs(&q, &idx, 5, &mut rng)
+        else {
+            panic!()
+        };
+        assert!(min_partition.len() >= 2);
+        let dq = query_center_distances(&q, &min_partition);
+        assert!(verify(&idx, &q, 0, &min_partition, &dq));
+        assert!(!verify(&idx, &q, 1, &min_partition, &dq));
+    }
+
+    #[test]
+    fn injectivity_enforced_across_parts() {
+        // Query: path of 3 zero-labeled vertices (needs 3 distinct hosts).
+        // Graph 1 (path 0-0-1) contains only two 0-vertices.
+        let idx = TreePiIndex::build(db(), TreePiParams::quick());
+        let q = graph_from(&[0, 0, 0], &[(0, 1, 0), (1, 2, 0)]);
+        let truth = scan_support(&idx, &q);
+        for seed in 0..5 {
+            assert_eq!(run_query(&q, &idx, seed), truth);
+        }
+    }
+
+    #[test]
+    fn crf_signatures_collapse_interchangeable_embeddings() {
+        // Star embeddings that permute interior leaves share a signature;
+        // boundary differences keep signatures distinct.
+        let e1 = [VertexId(0), VertexId(1), VertexId(2)];
+        let e2 = [VertexId(0), VertexId(2), VertexId(1)];
+        let e3 = [VertexId(3), VertexId(1), VertexId(2)];
+        let boundary = [true, false, false];
+        assert_eq!(signature(&e1, &boundary), signature(&e2, &boundary));
+        assert_ne!(signature(&e1, &boundary), signature(&e3, &boundary));
+        // fully-boundary parts keep everything distinct
+        let all = [true, true, true];
+        assert_ne!(signature(&e1, &all), signature(&e2, &all));
+    }
+
+    #[test]
+    fn boundary_flags_follow_part_overlap() {
+        let idx = TreePiIndex::build(db(), TreePiParams::quick());
+        let q = graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 0, 1)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let PartitionRuns::Ok { min_partition, .. } =
+            partition_runs(&q, &idx, 5, &mut rng)
+        else {
+            panic!()
+        };
+        let b = part_boundaries(&q, &min_partition);
+        assert_eq!(b.len(), min_partition.len());
+        // in a partition of a triangle, shared vertices exist
+        let shared: usize = b.iter().flatten().filter(|&&x| x).count();
+        assert!(shared >= 2, "triangle partitions must share vertices");
+    }
+}

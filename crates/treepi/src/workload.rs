@@ -1,0 +1,205 @@
+//! Workload-level aggregation of per-query statistics: means, percentiles,
+//! and funnel ratios over a batch of queries — the quantities the paper's
+//! evaluation plots (average candidate-set sizes, average processing time)
+//! plus tail behavior the averages hide.
+
+use crate::index::TreePiIndex;
+use crate::query::{QueryResult, QueryStats};
+use graph_core::Graph;
+use rand::Rng;
+use std::time::Duration;
+
+/// Aggregated statistics over a query workload.
+#[derive(Clone, Debug, Default)]
+pub struct WorkloadSummary {
+    /// Number of queries aggregated.
+    pub queries: usize,
+    /// Mean `|P_q|` (after filtering).
+    pub mean_filtered: f64,
+    /// Mean `|P'_q|` (after Center Distance pruning).
+    pub mean_pruned: f64,
+    /// Mean `|D_q|` (answers).
+    pub mean_answers: f64,
+    /// Mean partition size `|TP_q|`.
+    pub mean_partition_size: f64,
+    /// Queries short-circuited by a missing feature.
+    pub missing_feature: usize,
+    /// Mean total processing time.
+    pub mean_time: Duration,
+    /// Median total processing time.
+    pub p50_time: Duration,
+    /// 95th-percentile total processing time.
+    pub p95_time: Duration,
+    /// Worst total processing time.
+    pub max_time: Duration,
+    /// Filtering precision `Σ|D_q| / Σ|P_q|` (1.0 = perfect filter).
+    pub filter_precision: f64,
+    /// Pruning precision `Σ|D_q| / Σ|P'_q|` (1.0 = verification-free).
+    pub prune_precision: f64,
+}
+
+/// Aggregate a batch of per-query statistics.
+pub fn summarize(stats: &[QueryStats]) -> WorkloadSummary {
+    if stats.is_empty() {
+        return WorkloadSummary::default();
+    }
+    let n = stats.len() as f64;
+    let mut times: Vec<Duration> = stats.iter().map(|s| s.total()).collect();
+    times.sort_unstable();
+    let pct = |p: f64| -> Duration {
+        let idx = ((times.len() as f64 - 1.0) * p).round() as usize;
+        times[idx]
+    };
+    let sum_f: usize = stats.iter().map(|s| s.filtered).sum();
+    let sum_p: usize = stats.iter().map(|s| s.pruned).sum();
+    let sum_a: usize = stats.iter().map(|s| s.answers).sum();
+    WorkloadSummary {
+        queries: stats.len(),
+        mean_filtered: sum_f as f64 / n,
+        mean_pruned: sum_p as f64 / n,
+        mean_answers: sum_a as f64 / n,
+        mean_partition_size: stats.iter().map(|s| s.partition_size).sum::<usize>() as f64 / n,
+        missing_feature: stats.iter().filter(|s| s.missing_feature).count(),
+        mean_time: times.iter().sum::<Duration>() / stats.len() as u32,
+        p50_time: pct(0.50),
+        p95_time: pct(0.95),
+        max_time: *times.last().expect("nonempty"),
+        filter_precision: if sum_f > 0 { sum_a as f64 / sum_f as f64 } else { 1.0 },
+        prune_precision: if sum_p > 0 { sum_a as f64 / sum_p as f64 } else { 1.0 },
+    }
+}
+
+/// Run a whole query workload and summarize it in one call.
+pub fn query_batch<R: Rng>(
+    index: &TreePiIndex,
+    queries: &[Graph],
+    rng: &mut R,
+) -> (Vec<QueryResult>, WorkloadSummary) {
+    let results: Vec<QueryResult> = queries.iter().map(|q| index.query(q, rng)).collect();
+    let stats: Vec<QueryStats> = results.iter().map(|r| r.stats).collect();
+    let summary = summarize(&stats);
+    (results, summary)
+}
+
+impl std::fmt::Display for WorkloadSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} queries: |Pq|={:.1} |P'q|={:.1} |Dq|={:.1} (filter precision {:.2}, prune precision {:.2})",
+            self.queries,
+            self.mean_filtered,
+            self.mean_pruned,
+            self.mean_answers,
+            self.filter_precision,
+            self.prune_precision
+        )?;
+        write!(
+            f,
+            "time: mean {:.2?}, p50 {:.2?}, p95 {:.2?}, max {:.2?}; parts/query {:.1}; {} missing-feature short-circuits",
+            self.mean_time,
+            self.p50_time,
+            self.p95_time,
+            self.max_time,
+            self.mean_partition_size,
+            self.missing_feature
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::TreePiParams;
+    use crate::TreePiIndex;
+    use graph_core::graph_from;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn fake(filtered: usize, pruned: usize, answers: usize, ms: u64) -> QueryStats {
+        QueryStats {
+            partition_size: 2,
+            sf_size: 3,
+            filtered,
+            pruned,
+            answers,
+            missing_feature: false,
+            t_partition: Duration::from_millis(ms / 2),
+            t_filter: Duration::ZERO,
+            t_prune: Duration::ZERO,
+            t_verify: Duration::from_millis(ms - ms / 2),
+        }
+    }
+
+    #[test]
+    fn aggregates_means_and_precision() {
+        let s = summarize(&[fake(10, 8, 4, 2), fake(20, 12, 6, 4)]);
+        assert_eq!(s.queries, 2);
+        assert!((s.mean_filtered - 15.0).abs() < 1e-9);
+        assert!((s.mean_pruned - 10.0).abs() < 1e-9);
+        assert!((s.mean_answers - 5.0).abs() < 1e-9);
+        assert!((s.filter_precision - 10.0 / 30.0).abs() < 1e-9);
+        assert!((s.prune_precision - 10.0 / 20.0).abs() < 1e-9);
+        assert_eq!(s.max_time, Duration::from_millis(4));
+        // nearest-rank with round-half-up lands on the upper of 2 samples
+        assert_eq!(s.p50_time, Duration::from_millis(4));
+    }
+
+    #[test]
+    fn empty_summary_is_default() {
+        assert_eq!(summarize(&[]).queries, 0);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let batch: Vec<QueryStats> = (1..=100).map(|i| fake(10, 10, 5, i)).collect();
+        let s = summarize(&batch);
+        assert!(s.p50_time <= s.p95_time);
+        assert!(s.p95_time <= s.max_time);
+        assert_eq!(s.max_time, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn batch_api_matches_individual_queries() {
+        let db = vec![
+            graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]),
+            graph_from(&[0, 1], &[(0, 1, 1)]),
+        ];
+        let idx = TreePiIndex::build(db, TreePiParams::quick());
+        let queries = vec![
+            graph_from(&[0, 0], &[(0, 1, 0)]),
+            graph_from(&[0, 1], &[(0, 1, 1)]),
+        ];
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let (results, summary) = query_batch(&idx, &queries, &mut rng);
+        assert_eq!(results.len(), 2);
+        assert_eq!(summary.queries, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for (r, q) in results.iter().zip(&queries) {
+            assert_eq!(r.matches, idx.query(q, &mut rng).matches);
+        }
+    }
+
+    #[test]
+    fn end_to_end_with_real_queries() {
+        let db = vec![
+            graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]),
+            graph_from(&[0, 1], &[(0, 1, 1)]),
+            graph_from(&[0, 0, 1, 1], &[(0, 1, 0), (0, 2, 0), (0, 3, 1)]),
+        ];
+        let idx = TreePiIndex::build(db, TreePiParams::quick());
+        let queries = [
+            graph_from(&[0, 0], &[(0, 1, 0)]),
+            graph_from(&[0, 1], &[(0, 1, 1)]),
+            graph_from(&[9, 9], &[(0, 1, 0)]),
+        ];
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let stats: Vec<QueryStats> =
+            queries.iter().map(|q| idx.query(q, &mut rng).stats).collect();
+        let s = summarize(&stats);
+        assert_eq!(s.queries, 3);
+        assert_eq!(s.missing_feature, 1);
+        assert!(s.prune_precision > 0.0);
+        let text = s.to_string();
+        assert!(text.contains("3 queries"));
+    }
+}

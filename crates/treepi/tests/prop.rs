@@ -1,0 +1,136 @@
+//! Property tests for the index: on arbitrary databases and queries, the
+//! pipeline is exact (equals the brute-force scan), the candidate funnel
+//! only narrows, and partitions are well-formed.
+
+use graph_core::{ELabel, Graph, GraphBuilder, VLabel, VertexId};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use treepi::{
+    partition_runs, scan_support, PartitionRuns, QueryOptions, SfMode, TreePiIndex, TreePiParams,
+};
+
+/// A random connected labeled graph: random tree plus a few extra edges.
+fn arb_connected_graph(nmax: usize) -> impl Strategy<Value = Graph> {
+    (2..=nmax).prop_flat_map(move |n| {
+        let vlabels = proptest::collection::vec(0u32..3, n);
+        let parents = proptest::collection::vec((0usize..nmax, 0u32..2), n - 1);
+        let extras = proptest::collection::vec((0usize..nmax, 0usize..nmax, 0u32..2), 0..3);
+        (vlabels, parents, extras).prop_map(move |(vl, ps, ex)| {
+            let mut b = GraphBuilder::new();
+            for l in &vl {
+                b.add_vertex(VLabel(*l));
+            }
+            for (i, (p, el)) in ps.iter().enumerate() {
+                b.add_edge(VertexId((i + 1) as u32), VertexId((p % (i + 1)) as u32), ELabel(*el))
+                    .expect("tree edge");
+            }
+            for (u, v, el) in ex {
+                let (u, v) = (VertexId((u % n) as u32), VertexId((v % n) as u32));
+                if u != v && !b.has_edge(u, v) {
+                    let _ = b.add_edge(u, v, ELabel(el));
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+fn arb_db(graphs: usize, nmax: usize) -> impl Strategy<Value = Vec<Graph>> {
+    proptest::collection::vec(arb_connected_graph(nmax), 1..=graphs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn query_is_exact_on_arbitrary_databases(
+        db in arb_db(8, 7),
+        q in arb_connected_graph(5),
+        seed in any::<u64>(),
+    ) {
+        let idx = TreePiIndex::build(db, TreePiParams::quick());
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let r = idx.query(&q, &mut rng);
+        prop_assert_eq!(&r.matches, &scan_support(&idx, &q));
+        prop_assert!(r.stats.filtered >= r.stats.pruned);
+        prop_assert!(r.stats.pruned >= r.stats.answers);
+    }
+
+    #[test]
+    fn every_ablation_is_exact(
+        db in arb_db(6, 6),
+        q in arb_connected_graph(5),
+        seed in any::<u64>(),
+    ) {
+        let idx = TreePiIndex::build(db, TreePiParams::quick());
+        let truth = scan_support(&idx, &q);
+        for sf in [SfMode::FullEnumeration, SfMode::PartitionOnly] {
+            for cdc in [true, false] {
+                for recon in [true, false] {
+                    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                    let r = idx.query_with(
+                        &q,
+                        QueryOptions {
+                            sf_mode: sf,
+                            use_cdc: cdc,
+                            use_reconstruction: recon,
+                            delta_override: None,
+                        },
+                        &mut rng,
+                    );
+                    prop_assert_eq!(&r.matches, &truth, "sf={:?} cdc={} recon={}", sf, cdc, recon);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_cover_queries_exactly_once(
+        db in arb_db(6, 6),
+        q in arb_connected_graph(6),
+        seed in any::<u64>(),
+    ) {
+        let idx = TreePiIndex::build(db, TreePiParams::quick());
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        match partition_runs(&q, &idx, 3, &mut rng) {
+            PartitionRuns::MissingFeature(_) => {
+                // then the scan must also be empty
+                prop_assert!(scan_support(&idx, &q).is_empty());
+            }
+            PartitionRuns::Ok { min_partition, sf } => {
+                let mut covered = vec![false; q.edge_count()];
+                for p in &min_partition {
+                    prop_assert!(p.tree.graph().is_tree());
+                    for e in &p.q_edges {
+                        prop_assert!(!covered[e.idx()], "edge covered twice");
+                        covered[e.idx()] = true;
+                    }
+                    // feature lookup is consistent
+                    let f = idx.feature(p.feature);
+                    prop_assert_eq!(&tree_core::canonical_string(&p.tree), &f.canon);
+                }
+                prop_assert!(covered.iter().all(|&c| c));
+                prop_assert!(!sf.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn insert_remove_preserve_exactness(
+        db in arb_db(5, 6),
+        extra in arb_connected_graph(6),
+        q in arb_connected_graph(4),
+        seed in any::<u64>(),
+    ) {
+        let mut idx = TreePiIndex::build(db, TreePiParams::quick());
+        let gid = idx.insert(extra);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        prop_assert_eq!(idx.query(&q, &mut rng).matches, scan_support(&idx, &q));
+        idx.remove(gid);
+        if gid > 0 {
+            idx.remove(gid - 1);
+        }
+        prop_assert_eq!(idx.query(&q, &mut rng).matches, scan_support(&idx, &q));
+    }
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the TreePi reproduction: re-exports every layer so
+//! examples and downstream users need a single dependency.
+//!
+//! See the [`treepi`] crate for the index itself, [`gindex`] for the
+//! baseline, [`datagen`] for workload generators, and DESIGN.md for the
+//! paper-to-module map.
+
+pub use datagen;
+pub use gindex;
+pub use graph_core;
+pub use mining;
+pub use pathgrep;
+pub use tree_core;
+pub use treepi;
