@@ -1,0 +1,43 @@
+//! Batch query engine scaling: throughput of `TreePiIndex::query_batch`
+//! at 1/2/4/8 worker threads over a fixed mixed-size workload, plus the
+//! gIndex batch baseline. Determinism is test-enforced elsewhere
+//! (`treepi::engine`, `crates/treepi/tests/prop.rs`); this group measures
+//! the speedup the determinism contract is not allowed to cost.
+
+use bench::{chem_db, gindex_index, queries, treepi_index};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treepi::QueryOptions;
+
+fn bench_query_parallel(c: &mut Criterion) {
+    let db = chem_db(200);
+    let tp = treepi_index(&db);
+    let gi = gindex_index(&db);
+    // Mixed query sizes so workers see uneven per-query cost — the
+    // self-scheduling counter, not static chunking, is what's measured.
+    let mut qs = queries(&db, 4, 16);
+    qs.extend(queries(&db, 8, 16));
+    qs.extend(queries(&db, 12, 8));
+
+    let mut group = c.benchmark_group("query_parallel");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("treepi_batch", threads), &qs, |b, qs| {
+            b.iter(|| {
+                let (results, _) = tp.query_batch(qs, QueryOptions::default(), threads, 9);
+                results.iter().map(|r| r.matches.len()).sum::<usize>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gindex_batch", threads), &qs, |b, qs| {
+            b.iter(|| {
+                gi.query_batch(qs, threads)
+                    .iter()
+                    .map(|r| r.matches.len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_parallel);
+criterion_main!(benches);

@@ -2,10 +2,10 @@
 //!
 //! ```text
 //! treepi build  <db.gspan> <index.tpi> [--alpha A --beta B --eta E --gamma G]
-//! treepi query  <index.tpi> <queries.gspan> [--stats] [--seed N]
+//! treepi query  <index.tpi> <queries.gspan> [--stats] [--seed N] [--threads N]
 //! treepi stats  <index.tpi>
 //! treepi gen    <out.gspan> --chem N | --synthetic N L
-//! treepi scan   <db.gspan> <queries.gspan>        (index-free baseline)
+//! treepi scan   <db.gspan> <queries.gspan> [--threads N]   (index-free baseline)
 //! ```
 //!
 //! Graph files use the gSpan transaction format (`t # i` / `v id label` /
@@ -20,10 +20,10 @@ use treepi::{TreePiIndex, TreePiParams};
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  treepi build  <db.gspan> <index.tpi> [--alpha A] [--beta B] [--eta E] [--gamma G]\n  \
-         treepi query  <index.tpi> <queries.gspan> [--stats] [--seed N]\n  \
+         treepi query  <index.tpi> <queries.gspan> [--stats] [--seed N] [--threads N]\n  \
          treepi stats  <index.tpi>\n  \
          treepi gen    <out.gspan> (--chem N | --synthetic N L) [--seed N]\n  \
-         treepi scan   <db.gspan> <queries.gspan>"
+         treepi scan   <db.gspan> <queries.gspan> [--threads N]"
     );
     ExitCode::from(2)
 }
@@ -87,10 +87,13 @@ fn run() -> Result<(), String> {
             let index = TreePiIndex::load(&mut f).map_err(|e| e.to_string())?;
             let queries = read_graphs_file(q_path)?;
             let seed = parse_flag(&args, "--seed", 2007u64)?;
+            // 0 = available parallelism (the default); results are
+            // identical at any thread count (per-query seeded RNGs).
+            let threads = parse_flag(&args, "--threads", 0usize)?;
             let want_stats = args.iter().any(|a| a == "--stats");
-            let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            for (i, q) in queries.iter().enumerate() {
-                let r = index.query(q, &mut rng);
+            let (results, summary) =
+                index.query_batch(&queries, treepi::QueryOptions::default(), threads, seed);
+            for (i, (q, r)) in queries.iter().zip(&results).enumerate() {
                 let ids: Vec<String> = r.matches.iter().map(|g| g.to_string()).collect();
                 println!("q{i}: {}", ids.join(" "));
                 if want_stats {
@@ -105,6 +108,9 @@ fn run() -> Result<(), String> {
                         r.stats.total()
                     );
                 }
+            }
+            if want_stats {
+                eprintln!("{summary}");
             }
             Ok(())
         }
@@ -171,13 +177,15 @@ fn run() -> Result<(), String> {
             };
             let db = read_graphs_file(db_path)?;
             let queries = read_graphs_file(q_path)?;
-            for (i, q) in queries.iter().enumerate() {
-                let ids: Vec<String> = db
-                    .iter()
+            let threads = parse_flag(&args, "--threads", 0usize)?;
+            let all = graph_core::par::ordered_map(&queries, threads, |q| {
+                db.iter()
                     .enumerate()
                     .filter(|(_, g)| graph_core::is_subgraph_isomorphic(q, g))
                     .map(|(gid, _)| gid.to_string())
-                    .collect();
+                    .collect::<Vec<String>>()
+            });
+            for (i, ids) in all.iter().enumerate() {
                 println!("q{i}: {}", ids.join(" "));
             }
             Ok(())

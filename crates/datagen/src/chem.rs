@@ -206,11 +206,7 @@ fn attach_fragment<R: Rng>(b: &mut GraphBuilder, frag: &Graph, p: &ChemParams, r
     // the spanning walk skipped).
     for e in frag.edges() {
         if let (Some(u), Some(v)) = (map[e.u.idx()], map[e.v.idx()]) {
-            if u != v
-                && !b.has_edge(u, v)
-                && b.degree(u) < MAX_DEGREE
-                && b.degree(v) < MAX_DEGREE
-            {
+            if u != v && !b.has_edge(u, v) && b.degree(u) < MAX_DEGREE && b.degree(v) < MAX_DEGREE {
                 let _ = b.add_edge(u, v, e.label);
             }
         }
@@ -379,6 +375,9 @@ mod tests {
                 / graphs.len() as f64;
             best_share = best_share.max(share);
         }
-        assert!(best_share > 0.3, "no recurring substructure (best {best_share})");
+        assert!(
+            best_share > 0.3,
+            "no recurring substructure (best {best_share})"
+        );
     }
 }

@@ -15,8 +15,7 @@ pub mod rand_util;
 pub mod synthetic;
 
 pub use chem::{
-    generate_chem, generate_fragment_pool, generate_molecule, ChemParams, ATOMS, BONDS,
-    MAX_DEGREE,
+    generate_chem, generate_fragment_pool, generate_molecule, ChemParams, ATOMS, BONDS, MAX_DEGREE,
 };
 pub use queries::extract_queries;
 pub use synthetic::{generate_seeds, generate_synthetic, SyntheticParams};

@@ -69,16 +69,13 @@ impl SyntheticParams {
 
 /// A random connected graph with `edges` edges: a random labeled tree plus
 /// random extra edges.
-fn random_connected_graph<R: Rng>(
-    edges: usize,
-    vlabels: u32,
-    elabels: u32,
-    rng: &mut R,
-) -> Graph {
+fn random_connected_graph<R: Rng>(edges: usize, vlabels: u32, elabels: u32, rng: &mut R) -> Graph {
     let edges = edges.max(1);
     // Vertex count: trees use e+1 vertices; allow some cycles by using
     // fewer vertices occasionally.
-    let n = (edges + 1).saturating_sub(rng.gen_range(0..=(edges / 4))).max(2);
+    let n = (edges + 1)
+        .saturating_sub(rng.gen_range(0..=(edges / 4)))
+        .max(2);
     let mut b = GraphBuilder::with_capacity(n, edges);
     for _ in 0..n {
         b.add_vertex(VLabel(rng.gen_range(0..vlabels)));
@@ -86,8 +83,12 @@ fn random_connected_graph<R: Rng>(
     // Random spanning tree.
     for i in 1..n {
         let parent = VertexId(rng.gen_range(0..i) as u32);
-        b.add_edge(VertexId(i as u32), parent, ELabel(rng.gen_range(0..elabels)))
-            .expect("spanning tree edges are fresh");
+        b.add_edge(
+            VertexId(i as u32),
+            parent,
+            ELabel(rng.gen_range(0..elabels)),
+        )
+        .expect("spanning tree edges are fresh");
     }
     // Extra edges to reach the target (graph may saturate on small n).
     let mut attempts = 0;
@@ -207,7 +208,10 @@ mod tests {
         let db = generate_synthetic(&p, &mut rng);
         let mean = db.iter().map(|g| g.edge_count()).sum::<usize>() as f64 / db.len() as f64;
         // Overlaying overshoots the Poisson target by up to one seed.
-        assert!(mean >= p.graph_size * 0.8 && mean <= p.graph_size * 2.0, "mean {mean}");
+        assert!(
+            mean >= p.graph_size * 0.8 && mean <= p.graph_size * 2.0,
+            "mean {mean}"
+        );
     }
 
     #[test]

@@ -85,7 +85,10 @@ pub fn synthetic_db(opts: &Opts, n: usize, labels: u32) -> (Vec<Graph>, String) 
         edge_labels: 2,
     };
     let name = p.name();
-    (generate_synthetic(&p, &mut rng_for(opts, "synthetic")), name)
+    (
+        generate_synthetic(&p, &mut rng_for(opts, "synthetic")),
+        name,
+    )
 }
 
 /// Time a closure.

@@ -44,7 +44,13 @@ pub fn fig9(opts: &Opts) {
         ));
     }
     print_table(
-        &["N", "treepi features", "gindex features", "treepi ms", "gindex ms"],
+        &[
+            "N",
+            "treepi features",
+            "gindex features",
+            "treepi ms",
+            "gindex ms",
+        ],
         &rows,
     );
     write_csv(
@@ -106,7 +112,10 @@ pub fn fig10(opts: &Opts, group: Option<&str>) {
         if group.is_some_and(|g| g != name) {
             continue;
         }
-        println!("-- {name}-support queries (|Dq| {} {threshold}) --", if low { "<" } else { ">=" });
+        println!(
+            "-- {name}-support queries (|Dq| {} {threshold}) --",
+            if low { "<" } else { ">=" }
+        );
         let mut rows = Vec::new();
         let mut csv = Vec::new();
         for &m in &m_values {
@@ -131,7 +140,16 @@ pub fn fig10(opts: &Opts, group: Option<&str>) {
             ]);
             csv.push(format!("{name},{m},{k},{cq:.2},{ppq:.2},{dq:.2}"));
         }
-        print_table(&["|q|", "queries", "gindex |Cq|", "treepi |P'q|", "actual |Dq|"], &rows);
+        print_table(
+            &[
+                "|q|",
+                "queries",
+                "gindex |Cq|",
+                "treepi |P'q|",
+                "actual |Dq|",
+            ],
+            &rows,
+        );
         write_csv(
             opts,
             &format!("fig10_{name}.csv"),
@@ -145,7 +163,10 @@ pub fn fig10(opts: &Opts, group: Option<&str>) {
 /// actual support |Dq| (real dataset in (a), synthetic in (b)).
 pub fn fig11(opts: &Opts, dataset: &str) {
     let (db, label) = match dataset {
-        "chem" => (chem_db(opts, opts.scale.n(10_000)), "Γ_10k (AIDS surrogate)".to_string()),
+        "chem" => (
+            chem_db(opts, opts.scale.n(10_000)),
+            "Γ_10k (AIDS surrogate)".to_string(),
+        ),
         "synthetic" => {
             let (db, name) = synthetic_db(opts, opts.scale.n(8_000), 4);
             (db, name)
@@ -160,17 +181,26 @@ pub fn fig11(opts: &Opts, dataset: &str) {
 
     // Bucket by |Dq| (scaled from the paper's axis up to ~2000 at 10k).
     let n = db.len();
-    let buckets: Vec<(usize, usize)> = [(1, 10), (10, 50), (50, 100), (100, 250), (250, 500), (500, 2000)]
-        .iter()
-        .map(|&(a, b)| ((a * n).div_ceil(10_000).max(1), (b * n).div_ceil(10_000).max(2)))
-        .collect();
+    let buckets: Vec<(usize, usize)> = [
+        (1, 10),
+        (10, 50),
+        (50, 100),
+        (100, 250),
+        (250, 500),
+        (500, 2000),
+    ]
+    .iter()
+    .map(|&(a, b)| {
+        (
+            (a * n).div_ceil(10_000).max(1),
+            (b * n).div_ceil(10_000).max(2),
+        )
+    })
+    .collect();
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for (lo, hi) in buckets {
-        let sel: Vec<&QueryPoint> = points
-            .iter()
-            .filter(|p| p.dq >= lo && p.dq < hi)
-            .collect();
+        let sel: Vec<&QueryPoint> = points.iter().filter(|p| p.dq >= lo && p.dq < hi).collect();
         if sel.is_empty() {
             continue;
         }
@@ -188,7 +218,13 @@ pub fn fig11(opts: &Opts, dataset: &str) {
         csv.push(format!("{lo},{hi},{k},{dq:.2},{cq:.2},{ppq:.2}"));
     }
     print_table(
-        &["|Dq| bucket", "queries", "avg |Dq|", "gindex |Cq|", "treepi |P'q|"],
+        &[
+            "|Dq| bucket",
+            "queries",
+            "avg |Dq|",
+            "gindex |Cq|",
+            "treepi |P'q|",
+        ],
         &rows,
     );
     write_csv(
@@ -229,7 +265,13 @@ pub fn fig_construction(opts: &Opts, dataset: &str) {
         ));
     }
     print_table(
-        &["N", "treepi s", "gindex s", "treepi features", "gindex features"],
+        &[
+            "N",
+            "treepi s",
+            "gindex s",
+            "treepi features",
+            "gindex features",
+        ],
         &rows,
     );
     write_csv(
@@ -270,24 +312,50 @@ pub fn fig_query_time(opts: &Opts, dataset: &str) {
                 .sum::<usize>()
         });
         let (answers_gi, t_gi) = timed(|| {
-            queries.iter().map(|q| gi.query(q).matches.len()).sum::<usize>()
+            queries
+                .iter()
+                .map(|q| gi.query(q).matches.len())
+                .sum::<usize>()
         });
         assert_eq!(answers_tp, answers_gi, "systems disagree at m={m}");
+        // Parallel series: the batch engine at full available parallelism.
+        // The per-query RNG streams differ from the sequential loop above,
+        // but randomization only affects partition choice, never the answer
+        // set — so the totals must agree.
+        let (answers_par, t_par) = timed(|| {
+            let (results, _) =
+                tp.query_batch(&queries, QueryOptions::default(), 0, opts.seed ^ m as u64);
+            results.iter().map(|r| r.matches.len()).sum::<usize>()
+        });
+        assert_eq!(
+            answers_tp, answers_par,
+            "parallel engine disagrees at m={m}"
+        );
         let k = queries.len() as f64;
-        let (tp_ms, gi_ms) = (ms(t_tp) / k, ms(t_gi) / k);
+        let (tp_ms, par_ms, gi_ms) = (ms(t_tp) / k, ms(t_par) / k, ms(t_gi) / k);
         rows.push(vec![
             m.to_string(),
             format!("{tp_ms:.2}"),
+            format!("{par_ms:.2}"),
             format!("{gi_ms:.2}"),
             format!("{:.2}", gi_ms / tp_ms),
         ]);
-        csv.push(format!("{m},{tp_ms:.3},{gi_ms:.3}"));
+        csv.push(format!("{m},{tp_ms:.3},{par_ms:.3},{gi_ms:.3}"));
     }
-    print_table(&["|q|", "treepi ms/q", "gindex ms/q", "speedup"], &rows);
+    print_table(
+        &[
+            "|q|",
+            "treepi ms/q",
+            "treepi par ms/q",
+            "gindex ms/q",
+            "speedup",
+        ],
+        &rows,
+    );
     write_csv(
         opts,
         &format!("fig_query_{dataset}.csv"),
-        "m,treepi_ms_per_query,gindex_ms_per_query",
+        "m,treepi_ms_per_query,treepi_par_ms_per_query,gindex_ms_per_query",
         &csv,
     );
 }
@@ -361,9 +429,17 @@ pub fn ablate(opts: &Opts) {
             format!("{:.1}", pruned as f64 / k),
             format!("{:.2}", ms(t) / k),
         ]);
-        csv.push(format!("{name},{:.2},{:.2},{:.3}", filtered as f64 / k, pruned as f64 / k, ms(t) / k));
+        csv.push(format!(
+            "{name},{:.2},{:.2},{:.3}",
+            filtered as f64 / k,
+            pruned as f64 / k,
+            ms(t) / k
+        ));
     }
-    print_table(&["configuration", "avg |Pq|", "avg |P'q|", "ms/query"], &rows);
+    print_table(
+        &["configuration", "avg |Pq|", "avg |P'q|", "ms/query"],
+        &rows,
+    );
     write_csv(
         opts,
         "ablate_pipeline.csv",
@@ -421,9 +497,8 @@ pub fn classes(opts: &Opts) {
     let db = chem_db(opts, n);
     let (tp, t_tp) = timed(|| TreePiIndex::build(db.clone(), TreePiParams::default()));
     let (gi, t_gi) = timed(|| GIndex::build(db.clone(), GIndexParams::paper_default(n)));
-    let (pg, t_pg) = timed(|| {
-        pathgrep::PathGrep::build(db.clone(), pathgrep::PathGrepParams::default())
-    });
+    let (pg, t_pg) =
+        timed(|| pathgrep::PathGrep::build(db.clone(), pathgrep::PathGrepParams::default()));
     println!(
         "index sizes: pathgrep {} paths ({:.1}s), treepi {} trees ({:.1}s), gindex {} graphs ({:.1}s)",
         pg.feature_count(),
@@ -481,7 +556,16 @@ pub fn classes(opts: &Opts) {
         ));
     }
     print_table(
-        &["|q|", "paths cand", "trees |P'q|", "graphs |Cq|", "|Dq|", "paths ms", "trees ms", "graphs ms"],
+        &[
+            "|q|",
+            "paths cand",
+            "trees |P'q|",
+            "graphs |Cq|",
+            "|Dq|",
+            "paths ms",
+            "trees ms",
+            "graphs ms",
+        ],
         &rows,
     );
     write_csv(
@@ -531,7 +615,17 @@ pub fn datasets(opts: &Opts) {
         ));
     }
     print_table(
-        &["dataset", "graphs", "|V|", "|E|", "deg", "vlabels", "elabels", "tree frac", "cycles"],
+        &[
+            "dataset",
+            "graphs",
+            "|V|",
+            "|E|",
+            "deg",
+            "vlabels",
+            "elabels",
+            "tree frac",
+            "cycles",
+        ],
         &rows,
     );
     write_csv(

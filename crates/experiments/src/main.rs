@@ -49,7 +49,10 @@ fn main() {
             "--quick" => opts.scale = Scale::Quick,
             "--full" => opts.scale = Scale::Full,
             "--seed" => {
-                opts.seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+                opts.seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--out" => opts.out = it.next().map(Into::into).unwrap_or_else(|| usage()),
             "--group" => group = it.next().cloned(),

@@ -91,7 +91,12 @@ impl GIndex {
         } else {
             let sets: Vec<&[u32]> = used
                 .iter()
-                .map(|c| self.fragment_by_code(c).expect("used fragment").support.as_slice())
+                .map(|c| {
+                    self.fragment_by_code(c)
+                        .expect("used fragment")
+                        .support
+                        .as_slice()
+                })
                 .collect();
             intersect_many(&sets, self.db().len())
         };
@@ -113,6 +118,16 @@ impl GIndex {
         stats.t_verify = t.elapsed();
         stats.answers = matches.len();
         GQueryResult { matches, stats }
+    }
+
+    /// Batch entry point mirroring `TreePiIndex::query_batch` so
+    /// cross-system comparisons run both sides with the same work
+    /// distribution (`threads = 0` means available parallelism). gIndex
+    /// queries consume no randomness, so results are trivially identical
+    /// at any thread count; queries are self-scheduled off a shared
+    /// counter and returned in query order.
+    pub fn query_batch(&self, queries: &[Graph], threads: usize) -> Vec<GQueryResult> {
+        graph_core::par::ordered_map(queries, threads, |q| self.query(q))
     }
 }
 
@@ -184,5 +199,24 @@ mod tests {
         let r = idx.query(&q);
         assert!(r.stats.fragments_used >= 1);
         assert!(r.stats.enumerated >= r.stats.fragments_used);
+    }
+
+    #[test]
+    fn batch_matches_sequential_at_any_thread_count() {
+        let idx = index();
+        let queries = vec![
+            graph_from(&[0, 0], &[(0, 1, 0)]),
+            graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]),
+            graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 0, 1)]),
+            graph_from(&[9, 9], &[(0, 1, 0)]),
+        ];
+        let seq: Vec<Vec<u32>> = queries.iter().map(|q| idx.query(q).matches).collect();
+        for threads in [1, 2, 8] {
+            let batch = idx.query_batch(&queries, threads);
+            assert_eq!(batch.len(), queries.len());
+            for (i, r) in batch.iter().enumerate() {
+                assert_eq!(r.matches, seq[i], "query {i}, threads {threads}");
+            }
+        }
     }
 }

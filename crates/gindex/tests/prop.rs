@@ -16,8 +16,12 @@ fn arb_connected_graph(nmax: usize) -> impl Strategy<Value = Graph> {
                 b.add_vertex(VLabel(*l));
             }
             for (i, (p, el)) in ps.iter().enumerate() {
-                b.add_edge(VertexId((i + 1) as u32), VertexId((p % (i + 1)) as u32), ELabel(*el))
-                    .expect("tree edge");
+                b.add_edge(
+                    VertexId((i + 1) as u32),
+                    VertexId((p % (i + 1)) as u32),
+                    ELabel(*el),
+                )
+                .expect("tree edge");
             }
             for (u, v, el) in ex {
                 let (u, v) = (VertexId((u % n) as u32), VertexId((v % n) as u32));

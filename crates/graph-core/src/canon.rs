@@ -264,17 +264,38 @@ mod tests {
         // 6-ring with alternating bond labels, two rotations.
         let r1 = graph_from(
             &[0; 6],
-            &[(0, 1, 1), (1, 2, 2), (2, 3, 1), (3, 4, 2), (4, 5, 1), (5, 0, 2)],
+            &[
+                (0, 1, 1),
+                (1, 2, 2),
+                (2, 3, 1),
+                (3, 4, 2),
+                (4, 5, 1),
+                (5, 0, 2),
+            ],
         );
         let r2 = graph_from(
             &[0; 6],
-            &[(0, 1, 2), (1, 2, 1), (2, 3, 2), (3, 4, 1), (4, 5, 2), (5, 0, 1)],
+            &[
+                (0, 1, 2),
+                (1, 2, 1),
+                (2, 3, 2),
+                (3, 4, 1),
+                (4, 5, 2),
+                (5, 0, 1),
+            ],
         );
         assert_eq!(canonical_code(&r1), canonical_code(&r2));
         // All-single ring differs.
         let r3 = graph_from(
             &[0; 6],
-            &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1), (5, 0, 1)],
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 3, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (5, 0, 1),
+            ],
         );
         assert_ne!(canonical_code(&r1), canonical_code(&r3));
     }

@@ -87,7 +87,10 @@ impl DiGraph {
         let n = self.vertex_count();
         let mut b = GraphBuilder::with_capacity(n + self.arcs.len(), 2 * self.arcs.len());
         for &l in &self.vlabels {
-            debug_assert!(l.0 < MIDPOINT_LABEL_BASE, "vertex label collides with midpoint range");
+            debug_assert!(
+                l.0 < MIDPOINT_LABEL_BASE,
+                "vertex label collides with midpoint range"
+            );
             b.add_vertex(l);
         }
         for a in &self.arcs {
@@ -138,7 +141,12 @@ impl DiGraphBuilder {
     }
 
     /// Add a directed arc.
-    pub fn add_arc(&mut self, from: VertexId, to: VertexId, label: ELabel) -> Result<(), DiBuildError> {
+    pub fn add_arc(
+        &mut self,
+        from: VertexId,
+        to: VertexId,
+        label: ELabel,
+    ) -> Result<(), DiBuildError> {
         let n = self.vlabels.len() as u32;
         if from.0 >= n {
             return Err(DiBuildError::UnknownVertex(from));

@@ -151,7 +151,14 @@ mod tests {
     fn cycle_distances() {
         let g = graph_from(
             &[0; 6],
-            &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 4, 0), (4, 5, 0), (5, 0, 0)],
+            &[
+                (0, 1, 0),
+                (1, 2, 0),
+                (2, 3, 0),
+                (3, 4, 0),
+                (4, 5, 0),
+                (5, 0, 0),
+            ],
         );
         assert_eq!(distance(&g, VertexId(0), VertexId(3)), 3);
         assert_eq!(distance(&g, VertexId(0), VertexId(5)), 1);

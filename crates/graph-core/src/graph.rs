@@ -213,7 +213,12 @@ impl Graph {
 
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Graph(|V|={}, |E|={})", self.vertex_count(), self.edge_count())?;
+        writeln!(
+            f,
+            "Graph(|V|={}, |E|={})",
+            self.vertex_count(),
+            self.edge_count()
+        )?;
         for v in self.vertices() {
             writeln!(f, "  v {} {}", v.0, self.vlabel(v).0)?;
         }
@@ -291,7 +296,12 @@ impl GraphBuilder {
     }
 
     /// Add an undirected edge, returning its id.
-    pub fn add_edge(&mut self, u: VertexId, v: VertexId, label: ELabel) -> Result<EdgeId, BuildError> {
+    pub fn add_edge(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        label: ELabel,
+    ) -> Result<EdgeId, BuildError> {
         let n = self.vlabels.len() as u32;
         if u.0 >= n {
             return Err(BuildError::UnknownVertex(u));

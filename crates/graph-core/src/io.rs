@@ -102,9 +102,7 @@ pub fn parse_graphs(text: &str) -> Result<Vec<Graph>, ParseError> {
                 current = Some(GraphBuilder::new());
             }
             Some("v") => {
-                let b = current
-                    .as_mut()
-                    .ok_or(ParseError::NoCurrentGraph(lineno))?;
+                let b = current.as_mut().ok_or(ParseError::NoCurrentGraph(lineno))?;
                 let _id: u32 = it
                     .next()
                     .and_then(|s| s.parse().ok())
@@ -121,9 +119,7 @@ pub fn parse_graphs(text: &str) -> Result<Vec<Graph>, ParseError> {
                 b.add_vertex(VLabel(label));
             }
             Some("e") => {
-                let b = current
-                    .as_mut()
-                    .ok_or(ParseError::NoCurrentGraph(lineno))?;
+                let b = current.as_mut().ok_or(ParseError::NoCurrentGraph(lineno))?;
                 let u: u32 = it
                     .next()
                     .and_then(|s| s.parse().ok())
@@ -191,10 +187,7 @@ mod tests {
 
     #[test]
     fn parse_rejects_orphan_vertex_line() {
-        assert_eq!(
-            parse_graphs("v 0 1\n"),
-            Err(ParseError::NoCurrentGraph(1))
-        );
+        assert_eq!(parse_graphs("v 0 1\n"), Err(ParseError::NoCurrentGraph(1)));
     }
 
     #[test]

@@ -59,8 +59,7 @@ fn make_plan(p: &Graph, root: Option<VertexId>) -> MatchPlan {
         while qi < order.len() {
             let v = order[qi];
             // Visit neighbors in descending degree for better pruning.
-            let mut nbrs: Vec<VertexId> =
-                p.neighbors(v).iter().map(|&(w, _)| w).collect();
+            let mut nbrs: Vec<VertexId> = p.neighbors(v).iter().map(|&(w, _)| w).collect();
             nbrs.sort_by_key(|&w| std::cmp::Reverse(p.degree(w)));
             for w in nbrs {
                 if !visited[w.idx()] {
@@ -351,7 +350,14 @@ mod tests {
         let tri = graph_from(&[0, 0, 0], &[(0, 1, 0), (1, 2, 0), (2, 0, 0)]);
         let k4 = graph_from(
             &[0, 0, 0, 0],
-            &[(0, 1, 0), (0, 2, 0), (0, 3, 0), (1, 2, 0), (1, 3, 0), (2, 3, 0)],
+            &[
+                (0, 1, 0),
+                (0, 2, 0),
+                (0, 3, 0),
+                (1, 2, 0),
+                (1, 3, 0),
+                (2, 3, 0),
+            ],
         );
         assert!(is_subgraph_isomorphic(&tri, &k4));
         assert!(!is_subgraph_isomorphic(&k4, &tri));
@@ -434,7 +440,14 @@ mod tests {
         let tri = graph_from(&[0, 0, 0], &[(0, 1, 0), (1, 2, 0), (2, 0, 0)]);
         let k4 = graph_from(
             &[0, 0, 0, 0],
-            &[(0, 1, 0), (0, 2, 0), (0, 3, 0), (1, 2, 0), (1, 3, 0), (2, 3, 0)],
+            &[
+                (0, 1, 0),
+                (0, 2, 0),
+                (0, 3, 0),
+                (1, 2, 0),
+                (1, 3, 0),
+                (2, 3, 0),
+            ],
         );
         assert_eq!(all_embeddings(&tri, &k4, Some(5)).len(), 5);
     }
@@ -460,10 +473,7 @@ mod tests {
     #[test]
     fn embeddings_are_valid() {
         let p = graph_from(&[1, 2, 1], &[(0, 1, 3), (1, 2, 4)]);
-        let g = graph_from(
-            &[2, 1, 1, 2],
-            &[(1, 0, 3), (0, 2, 4), (2, 3, 3), (3, 1, 4)],
-        );
+        let g = graph_from(&[2, 1, 1, 2], &[(1, 0, 3), (0, 2, 4), (2, 3, 3), (3, 1, 4)]);
         for emb in all_embeddings(&p, &g, None) {
             // check labels and edges
             for pv in p.vertices() {

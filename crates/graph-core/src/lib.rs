@@ -21,6 +21,7 @@ pub mod dist;
 pub mod graph;
 pub mod io;
 pub mod iso;
+pub mod par;
 pub mod stats;
 pub mod subgraph;
 
@@ -30,14 +31,15 @@ pub use digraph::{
     MIDPOINT_LABEL_BASE,
 };
 pub use dist::{bfs_distances, distance, eccentricity, DistanceOracle, UNREACHABLE};
-pub use graph::{graph_from, BuildError, ELabel, Edge, EdgeId, Graph, GraphBuilder, VLabel, VertexId};
+pub use graph::{
+    graph_from, BuildError, ELabel, Edge, EdgeId, Graph, GraphBuilder, VLabel, VertexId,
+};
 pub use iso::{
-    all_embeddings, automorphisms, find_embedding, for_each_embedding,
-    for_each_embedding_pinned, for_each_embedding_rooted, is_isomorphic,
-    is_subgraph_isomorphic, Embedding,
+    all_embeddings, automorphisms, find_embedding, for_each_embedding, for_each_embedding_pinned,
+    for_each_embedding_rooted, is_isomorphic, is_subgraph_isomorphic, Embedding,
 };
 pub use stats::{component_count, db_stats, vertex_label_histogram, DbStats};
 pub use subgraph::{
-    edge_components, edge_subgraph, for_each_connected_edge_subset,
-    for_each_subtree_edge_subset, random_connected_edge_subgraph, ExtractedSubgraph,
+    edge_components, edge_subgraph, for_each_connected_edge_subset, for_each_subtree_edge_subset,
+    random_connected_edge_subgraph, ExtractedSubgraph,
 };

@@ -1,0 +1,90 @@
+//! Order-preserving parallel map over a slice.
+//!
+//! The one concurrency primitive the query-side crates share: run an
+//! independent function over every item on a small scoped worker pool and
+//! return results in item order. Workers self-schedule off a shared atomic
+//! counter, so one slow item does not stall a statically assigned chunk.
+//! Built on `std::thread::scope` — borrowed inputs, no detached threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolve a `threads` argument: `0` means all available parallelism.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Apply `f` to every item on up to `threads` workers (`0` = available
+/// parallelism); the output preserves item order. `f` must be independent
+/// per item — nothing orders cross-item side effects.
+pub fn ordered_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = resolve_threads(threads).min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let next = &next;
+            let slots = &slots;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                *slots[i].lock().expect("slot") = Some(f(&items[i]));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("slot").expect("every item mapped"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 4, 7] {
+            let out = ordered_map(&items, threads, |&x| x * 2);
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(ordered_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(ordered_map(&[5u32], 4, |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn borrows_environment() {
+        let base = vec![10u32, 20, 30];
+        let out = ordered_map(&[0usize, 1, 2], 2, |&i| base[i]);
+        assert_eq!(out, base);
+    }
+
+    #[test]
+    fn zero_resolves_to_available() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(5), 5);
+    }
+}

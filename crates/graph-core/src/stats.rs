@@ -112,7 +112,11 @@ pub fn db_stats(db: &[Graph]) -> DbStats {
     }
     s.mean_vertices = tv as f64 / db.len() as f64;
     s.mean_edges = te as f64 / db.len() as f64;
-    s.mean_degree = if degs > 0 { tdeg as f64 / degs as f64 } else { 0.0 };
+    s.mean_degree = if degs > 0 {
+        tdeg as f64 / degs as f64
+    } else {
+        0.0
+    };
     s.vertex_labels = vlabels.len();
     s.edge_labels = elabels.len();
     s.tree_fraction = trees as f64 / db.len() as f64;

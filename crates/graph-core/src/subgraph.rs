@@ -168,7 +168,13 @@ where
 
     // Frontier edges adjacent to `current`, deduped, not in set/excluded,
     // id > seed.
-    fn frontier_of(g: &Graph, current: &[EdgeId], seed: EdgeId, in_set: &[bool], excluded: &[bool]) -> Vec<EdgeId> {
+    fn frontier_of(
+        g: &Graph,
+        current: &[EdgeId],
+        seed: EdgeId,
+        in_set: &[bool],
+        excluded: &[bool],
+    ) -> Vec<EdgeId> {
         let mut fr = Vec::new();
         for &eid in current {
             let e = g.edge(eid);
@@ -242,7 +248,15 @@ where
         let seed = EdgeId(s);
         current.push(seed);
         in_set[seed.idx()] = true;
-        let r = recurse(g, seed, max_edges, &mut current, &mut in_set, &mut excluded, &mut f);
+        let r = recurse(
+            g,
+            seed,
+            max_edges,
+            &mut current,
+            &mut in_set,
+            &mut excluded,
+            &mut f,
+        );
         current.pop();
         in_set[seed.idx()] = false;
         r?;
@@ -327,7 +341,16 @@ where
                 in_set[e.idx()] = true;
                 in_vertices[nv.idx()] = true;
                 current.push(e);
-                let r = recurse(g, seed, max_edges, current, in_vertices, in_set, excluded, f);
+                let r = recurse(
+                    g,
+                    seed,
+                    max_edges,
+                    current,
+                    in_vertices,
+                    in_set,
+                    excluded,
+                    f,
+                );
                 current.pop();
                 in_vertices[nv.idx()] = false;
                 in_set[e.idx()] = false;
@@ -398,10 +421,7 @@ mod tests {
 
     #[test]
     fn components_split_correctly() {
-        let g = graph_from(
-            &[0; 6],
-            &[(0, 1, 0), (1, 2, 0), (3, 4, 0), (4, 5, 0)],
-        );
+        let g = graph_from(&[0; 6], &[(0, 1, 0), (1, 2, 0), (3, 4, 0), (4, 5, 0)]);
         let comps = edge_components(&g, &[EdgeId(0), EdgeId(2), EdgeId(3)]);
         assert_eq!(comps.len(), 2);
         assert_eq!(comps[0], vec![EdgeId(0)]);

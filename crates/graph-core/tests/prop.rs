@@ -51,7 +51,10 @@ fn permute(g: &Graph, perm: &[u32]) -> Graph {
 fn arb_graph_and_perm(nmax: usize) -> impl Strategy<Value = (Graph, Vec<u32>)> {
     arb_graph(nmax).prop_flat_map(|g| {
         let n = g.vertex_count();
-        (Just(g), Just((0..n as u32).collect::<Vec<u32>>()).prop_shuffle())
+        (
+            Just(g),
+            Just((0..n as u32).collect::<Vec<u32>>()).prop_shuffle(),
+        )
     })
 }
 

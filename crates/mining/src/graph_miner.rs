@@ -9,9 +9,7 @@
 //! paper's argument for tree features.
 
 use crate::support::{intersect_many, SupportSet};
-use graph_core::{
-    canonical_code, CanonCode, ELabel, Graph, GraphBuilder, VLabel,
-};
+use graph_core::{canonical_code, CanonCode, ELabel, Graph, GraphBuilder, VLabel};
 use rustc_hash::{FxHashMap, FxHashSet};
 
 /// gIndex's size-increasing support function ψ(l) (§6.1): 1 below 4 edges,
@@ -375,11 +373,14 @@ mod tests {
         let db = tiny_db();
         let (trees, _) = mine_frequent_trees(
             &db,
-            &SigmaFn { alpha: 3, beta: 1.0, eta: 3 },
+            &SigmaFn {
+                alpha: 3,
+                beta: 1.0,
+                eta: 3,
+            },
             &MiningLimits::default(),
         );
-        let (graphs, _) =
-            mine_frequent_subgraphs(&db, &uniform_psi(3), &MiningLimits::default());
+        let (graphs, _) = mine_frequent_subgraphs(&db, &uniform_psi(3), &MiningLimits::default());
         // every mined tree should appear among mined subgraphs (same support)
         for t in &trees {
             let code = canonical_code(t.tree.graph());

@@ -147,7 +147,11 @@ mod tests {
     #[test]
     fn sigma_degenerate_params() {
         // alpha = eta: uniform threshold 1.
-        let s = SigmaFn { alpha: 3, beta: 5.0, eta: 3 };
+        let s = SigmaFn {
+            alpha: 3,
+            beta: 5.0,
+            eta: 3,
+        };
         assert_eq!(s.threshold(3), Some(1));
         assert_eq!(s.threshold(4), None);
         assert!(s.is_monotone());
@@ -187,5 +191,22 @@ mod tests {
             let naive: Vec<u32> = a.iter().copied().filter(|x| b.contains(x)).collect();
             proptest::prop_assert_eq!(intersect(&a, &b), naive);
         }
+    }
+
+    /// Replays the shrunk input recorded in
+    /// `proptest-regressions/support.txt` (`a = [111, 22, 0, 0]`,
+    /// `b = [22, 111]`): after sort+dedup the intersection must contain
+    /// both common elements.
+    #[test]
+    fn intersect_regression_support_txt() {
+        let mut a = vec![111u32, 22, 0, 0];
+        let mut b = vec![22u32, 111];
+        a.sort_unstable();
+        a.dedup();
+        b.sort_unstable();
+        b.dedup();
+        let naive: Vec<u32> = a.iter().copied().filter(|x| b.contains(x)).collect();
+        assert_eq!(intersect(&a, &b), naive);
+        assert_eq!(intersect(&a, &b), vec![22, 111]);
     }
 }

@@ -94,7 +94,9 @@ impl GraphSummary {
         for e in g.edges() {
             let a = g.vlabel(e.u);
             let b = g.vlabel(e.v);
-            *triple_counts.entry((a.min(b), e.label, a.max(b))).or_insert(0) += 1;
+            *triple_counts
+                .entry((a.min(b), e.label, a.max(b)))
+                .or_insert(0) += 1;
         }
         Self {
             vlabel_counts,
@@ -390,8 +392,11 @@ pub fn mine_frequent_trees_levelwise(
         if result.len() >= limits.max_patterns {
             stats.truncated = true;
             result.sort_by(|a, b| {
-                (a.size(), std::cmp::Reverse(a.support.len()), &a.canon)
-                    .cmp(&(b.size(), std::cmp::Reverse(b.support.len()), &b.canon))
+                (a.size(), std::cmp::Reverse(a.support.len()), &a.canon).cmp(&(
+                    b.size(),
+                    std::cmp::Reverse(b.support.len()),
+                    &b.canon,
+                ))
             });
             result.truncate(limits.max_patterns);
             break;
@@ -404,7 +409,6 @@ pub fn mine_frequent_trees_levelwise(
     stats.patterns = result.len();
     (result, stats)
 }
-
 
 /// Enumeration-based mining: for every graph, enumerate all subtree edge
 /// subsets up to η edges (each exactly once), canonicalize, and accumulate
@@ -434,8 +438,7 @@ pub fn mine_frequent_trees_enum(
             enumerated += 1;
             stats.candidates += 1;
             let sub = graph_core::edge_subgraph(g, edges);
-            let tree = Tree::from_graph(sub.graph)
-                .expect("subtree enumeration yields trees");
+            let tree = Tree::from_graph(sub.graph).expect("subtree enumeration yields trees");
             let canon = canonical_string(&tree);
             match patterns.get_mut(&canon) {
                 Some(e) => {
@@ -474,7 +477,7 @@ pub fn mine_frequent_trees_enum(
                 support.sort_unstable();
                 support.dedup();
             }
-            (support.len() >= thr).then(|| MinedTree {
+            (support.len() >= thr).then_some(MinedTree {
                 tree: e.tree,
                 canon,
                 support,
@@ -485,8 +488,11 @@ pub fn mine_frequent_trees_enum(
         stats.truncated = true;
         // Keep the most frequent patterns of each size (deterministic).
         result.sort_by(|a, b| {
-            (a.size(), std::cmp::Reverse(a.support.len()), &a.canon)
-                .cmp(&(b.size(), std::cmp::Reverse(b.support.len()), &b.canon))
+            (a.size(), std::cmp::Reverse(a.support.len()), &a.canon).cmp(&(
+                b.size(),
+                std::cmp::Reverse(b.support.len()),
+                &b.canon,
+            ))
         });
         result.truncate(limits.max_patterns);
     }
@@ -503,7 +509,10 @@ pub fn mine_frequent_trees_apriori(
     sigma: &SigmaFn,
     limits: &MiningLimits,
 ) -> (Vec<MinedTree>, MiningStats) {
-    assert!(sigma.is_monotone(), "σ(s) must be non-decreasing for apriori mining");
+    assert!(
+        sigma.is_monotone(),
+        "σ(s) must be non-decreasing for apriori mining"
+    );
     let mut stats = MiningStats::default();
     let summaries: Vec<GraphSummary> = db.iter().map(GraphSummary::new).collect();
 
@@ -704,7 +713,11 @@ mod tests {
     }
 
     fn uniform_sigma(eta: usize) -> SigmaFn {
-        SigmaFn { alpha: eta, beta: 1.0, eta }
+        SigmaFn {
+            alpha: eta,
+            beta: 1.0,
+            eta,
+        }
     }
 
     #[test]
@@ -749,8 +762,7 @@ mod tests {
         let db = tiny_db();
         let eta = 3;
         let (mined, _) = mine_frequent_trees(&db, &uniform_sigma(eta), &MiningLimits::default());
-        let mined_canons: FxHashSet<CanonString> =
-            mined.iter().map(|m| m.canon.clone()).collect();
+        let mined_canons: FxHashSet<CanonString> = mined.iter().map(|m| m.canon.clone()).collect();
         for g in &db {
             let _ = graph_core::for_each_subtree_edge_subset(g, eta, |edges| {
                 let sub = graph_core::edge_subgraph(g, edges);
@@ -765,10 +777,18 @@ mod tests {
     #[test]
     fn threshold_filters_rare_patterns() {
         let db = tiny_db();
-        let sigma = SigmaFn { alpha: 0, beta: 0.0, eta: 2 };
+        let sigma = SigmaFn {
+            alpha: 0,
+            beta: 0.0,
+            eta: 2,
+        };
         // σ(s) = 1 + 0 = 1 for s ≤ 2 — wait, alpha=0 means formula applies:
         // σ(1) = 1, σ(2) = 1. Instead use beta to demand support 3:
-        let sigma3 = SigmaFn { alpha: 0, beta: 2.0, eta: 2 };
+        let sigma3 = SigmaFn {
+            alpha: 0,
+            beta: 2.0,
+            eta: 2,
+        };
         // σ(1) = 1 + 2*1 - 0 = 3, σ(2) = 5
         assert_eq!(sigma3.threshold(1), Some(3));
         let (mined, _) = mine_frequent_trees(&db, &sigma3, &MiningLimits::default());
@@ -871,9 +891,21 @@ mod enum_vs_apriori {
             ],
         ];
         let sigmas = vec![
-            SigmaFn { alpha: 3, beta: 1.0, eta: 3 },
-            SigmaFn { alpha: 1, beta: 1.0, eta: 4 },
-            SigmaFn { alpha: 0, beta: 2.0, eta: 2 },
+            SigmaFn {
+                alpha: 3,
+                beta: 1.0,
+                eta: 3,
+            },
+            SigmaFn {
+                alpha: 1,
+                beta: 1.0,
+                eta: 4,
+            },
+            SigmaFn {
+                alpha: 0,
+                beta: 2.0,
+                eta: 2,
+            },
         ];
         for db in &dbs {
             for sigma in &sigmas {
@@ -905,7 +937,11 @@ mod enum_vs_apriori {
             max_patterns: usize::MAX,
             max_candidates_per_level: 3, // graph 0 will overflow
         };
-        let sigma = SigmaFn { alpha: 3, beta: 1.0, eta: 3 };
+        let sigma = SigmaFn {
+            alpha: 3,
+            beta: 1.0,
+            eta: 3,
+        };
         let (mined, stats) = mine_frequent_trees_enum(&db, &sigma, &limits);
         assert!(stats.truncated);
         // every pattern's true support must be a subset of the reported one

@@ -152,6 +152,15 @@ impl PathGrep {
         stats.answers = matches.len();
         PQueryResult { matches, stats }
     }
+
+    /// Batch entry point mirroring `TreePiIndex::query_batch` so
+    /// cross-system comparisons run both sides with the same work
+    /// distribution (`threads = 0` means available parallelism). Path
+    /// queries consume no randomness, so results are identical at any
+    /// thread count; queries self-schedule and return in query order.
+    pub fn query_batch(&self, queries: &[Graph], threads: usize) -> Vec<PQueryResult> {
+        graph_core::par::ordered_map(queries, threads, |q| self.query(q))
+    }
 }
 
 #[cfg(test)]
@@ -211,7 +220,10 @@ mod tests {
         // from chains. A star query and its path decomposition over a
         // chain-only database: the chain contains all the query's 2-edge
         // label paths but not the query.
-        let chain = graph_from(&[1, 0, 1, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 4, 0)]);
+        let chain = graph_from(
+            &[1, 0, 1, 0, 1],
+            &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 4, 0)],
+        );
         let idx = PathGrep::build(vec![chain], PathGrepParams { max_len: 2 });
         // star with three label-1 leaves on a label-0 hub
         let star = graph_from(&[0, 1, 1, 1], &[(0, 1, 0), (0, 2, 0), (0, 3, 0)]);
@@ -228,6 +240,25 @@ mod tests {
         let r = idx.query(&q);
         assert!(r.matches.is_empty());
         assert_eq!(r.stats.filtered, 0);
+    }
+
+    #[test]
+    fn batch_matches_sequential_at_any_thread_count() {
+        let idx = index();
+        let queries = vec![
+            graph_from(&[0, 0], &[(0, 1, 0)]),
+            graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]),
+            graph_from(&[0, 1, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 0, 0)]),
+            graph_from(&[9, 9], &[(0, 1, 0)]),
+        ];
+        let seq: Vec<Vec<u32>> = queries.iter().map(|q| idx.query(q).matches).collect();
+        for threads in [1, 2, 8] {
+            let batch = idx.query_batch(&queries, threads);
+            assert_eq!(batch.len(), queries.len());
+            for (i, r) in batch.iter().enumerate() {
+                assert_eq!(r.matches, seq[i], "query {i}, threads {threads}");
+            }
+        }
     }
 
     #[test]

@@ -45,12 +45,7 @@ fn key_of(g: &Graph, path: &[VertexId]) -> PathKey {
 pub fn label_paths(g: &Graph, max_len: usize) -> FxHashSet<PathKey> {
     let mut out = FxHashSet::default();
     let mut stack: Vec<VertexId> = Vec::with_capacity(max_len + 1);
-    fn dfs(
-        g: &Graph,
-        stack: &mut Vec<VertexId>,
-        max_len: usize,
-        out: &mut FxHashSet<PathKey>,
-    ) {
+    fn dfs(g: &Graph, stack: &mut Vec<VertexId>, max_len: usize, out: &mut FxHashSet<PathKey>) {
         let v = *stack.last().expect("nonempty stack");
         if stack.len() > 1 {
             out.insert(key_of(g, stack));

@@ -43,13 +43,7 @@ const LABEL_BASE: u32 = 4;
 /// the paper's order (compare `Le`, then `Lv`, then subtrees left-to-right)
 /// because the encoding starts with `le, lv` and lexicographic comparison
 /// of the flattened child encodings equals recursive subtree comparison.
-fn encode(
-    t: &Tree,
-    v: VertexId,
-    parent: Option<VertexId>,
-    le: Option<u32>,
-    out: &mut Vec<u32>,
-) {
+fn encode(t: &Tree, v: VertexId, parent: Option<VertexId>, le: Option<u32>, out: &mut Vec<u32>) {
     let g = t.graph();
     out.push(OPEN);
     out.push(le.map_or(OPEN, |l| l + LABEL_BASE));

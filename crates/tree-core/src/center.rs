@@ -34,10 +34,7 @@ pub fn center(t: &Tree) -> Center {
     }
     let mut degree: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
     let mut removed = vec![false; n];
-    let mut layer: Vec<VertexId> = g
-        .vertices()
-        .filter(|&v| degree[v.idx()] == 1)
-        .collect();
+    let mut layer: Vec<VertexId> = g.vertices().filter(|&v| degree[v.idx()] == 1).collect();
     let mut remaining = n;
     while remaining > 2 {
         let mut next = Vec::new();
@@ -70,7 +67,10 @@ pub fn center(t: &Tree) -> Center {
 /// vertices are exactly those of minimum eccentricity.
 pub fn center_by_eccentricity(t: &Tree) -> Vec<VertexId> {
     let g = t.graph();
-    let eccs: Vec<u32> = g.vertices().map(|v| graph_core::eccentricity(g, v)).collect();
+    let eccs: Vec<u32> = g
+        .vertices()
+        .map(|v| graph_core::eccentricity(g, v))
+        .collect();
     let min = *eccs.iter().min().expect("tree is nonempty");
     g.vertices().filter(|v| eccs[v.idx()] == min).collect()
 }
@@ -105,7 +105,10 @@ mod tests {
 
     #[test]
     fn star_center_is_hub() {
-        let t = tree_from(&[9, 0, 0, 0, 0], &[(0, 1, 0), (0, 2, 0), (0, 3, 0), (0, 4, 0)]);
+        let t = tree_from(
+            &[9, 0, 0, 0, 0],
+            &[(0, 1, 0), (0, 2, 0), (0, 3, 0), (0, 4, 0)],
+        );
         assert_eq!(center(&t), Center::Vertex(VertexId(0)));
     }
 
@@ -114,7 +117,14 @@ mod tests {
         // spine 0-1-2-3-4 with legs on 1 and 3; center stays at 2
         let t = tree_from(
             &[0; 7],
-            &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 4, 0), (1, 5, 0), (3, 6, 0)],
+            &[
+                (0, 1, 0),
+                (1, 2, 0),
+                (2, 3, 0),
+                (3, 4, 0),
+                (1, 5, 0),
+                (3, 6, 0),
+            ],
         );
         assert_eq!(center(&t), Center::Vertex(VertexId(2)));
     }
@@ -124,7 +134,10 @@ mod tests {
         let trees = vec![
             tree_from(&[0; 5], &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 4, 0)]),
             tree_from(&[0; 4], &[(0, 1, 0), (1, 2, 0), (2, 3, 0)]),
-            tree_from(&[0; 6], &[(0, 1, 0), (0, 2, 0), (2, 3, 0), (2, 4, 0), (4, 5, 0)]),
+            tree_from(
+                &[0; 6],
+                &[(0, 1, 0), (0, 2, 0), (2, 3, 0), (2, 4, 0), (4, 5, 0)],
+            ),
             tree_from(&[0; 2], &[(0, 1, 0)]),
             tree_from(&[0], &[]),
         ];

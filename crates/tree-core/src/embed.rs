@@ -159,8 +159,11 @@ impl<'t> CenteredMatcher<'t> {
                     return ControlFlow::Continue(());
                 }
                 for (a, b) in [(gedge.u, gedge.v), (gedge.v, gedge.u)] {
-                    self.prepared
-                        .for_each_embedding_pinned(g, &[(cedge.u, a), (cedge.v, b)], &mut f)?;
+                    self.prepared.for_each_embedding_pinned(
+                        g,
+                        &[(cedge.u, a), (cedge.v, b)],
+                        &mut f,
+                    )?;
                 }
                 ControlFlow::Continue(())
             }
@@ -187,11 +190,17 @@ mod tests {
     fn vertex_center_positions_on_path() {
         // Feature: path a-b-a centered at b. Host: path a-b-a-b-a.
         let t = tree_from(&[1, 2, 1], &[(0, 1, 0), (1, 2, 0)]);
-        let g = graph_from(&[1, 2, 1, 2, 1], &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 4, 0)]);
+        let g = graph_from(
+            &[1, 2, 1, 2, 1],
+            &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 4, 0)],
+        );
         let pos = center_positions(&t, &g);
         assert_eq!(
             pos,
-            vec![CenterPos::Vertex(VertexId(1)), CenterPos::Vertex(VertexId(3))]
+            vec![
+                CenterPos::Vertex(VertexId(1)),
+                CenterPos::Vertex(VertexId(3))
+            ]
         );
     }
 
@@ -199,12 +208,12 @@ mod tests {
     fn edge_center_positions() {
         // Feature: single edge a-b (bicentral). Host has two such edges.
         let t = tree_from(&[1, 2], &[(0, 1, 5)]);
-        let g = graph_from(
-            &[1, 2, 1, 2],
-            &[(0, 1, 5), (1, 2, 6), (2, 3, 5)],
-        );
+        let g = graph_from(&[1, 2, 1, 2], &[(0, 1, 5), (1, 2, 6), (2, 3, 5)]);
         let pos = center_positions(&t, &g);
-        assert_eq!(pos, vec![CenterPos::Edge(EdgeId(0)), CenterPos::Edge(EdgeId(2))]);
+        assert_eq!(
+            pos,
+            vec![CenterPos::Edge(EdgeId(0)), CenterPos::Edge(EdgeId(2))]
+        );
     }
 
     #[test]
@@ -217,7 +226,10 @@ mod tests {
     #[test]
     fn centered_embeddings_are_centered() {
         let t = tree_from(&[1, 2, 1], &[(0, 1, 0), (1, 2, 0)]);
-        let g = graph_from(&[1, 2, 1, 2, 1], &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 4, 0)]);
+        let g = graph_from(
+            &[1, 2, 1, 2, 1],
+            &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 4, 0)],
+        );
         let mut count = 0;
         let _ = for_each_embedding_centered(&t, &g, CenterPos::Vertex(VertexId(1)), |m| {
             assert_eq!(m[1], VertexId(1)); // tree center is vertex 1

@@ -14,7 +14,10 @@ pub struct NotATree;
 
 impl fmt::Display for NotATree {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "graph is not a free tree (must be connected and acyclic)")
+        write!(
+            f,
+            "graph is not a free tree (must be connected and acyclic)"
+        )
     }
 }
 

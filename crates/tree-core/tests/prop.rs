@@ -2,7 +2,7 @@
 //! tree invariants, centers are permutation invariant and minimize
 //! eccentricity, centered retrieval is exhaustive.
 
-use graph_core::{GraphBuilder, ELabel, VLabel, VertexId};
+use graph_core::{ELabel, GraphBuilder, VLabel, VertexId};
 use proptest::prelude::*;
 use std::ops::ControlFlow;
 use tree_core::*;
@@ -12,7 +12,8 @@ use tree_core::*;
 fn arb_tree(nmax: usize) -> impl Strategy<Value = Tree> {
     (1..=nmax).prop_flat_map(move |n| {
         let vlabels = proptest::collection::vec(0u32..4, n);
-        let parents = proptest::collection::vec((0usize..nmax.max(1), 0u32..3), n.saturating_sub(1));
+        let parents =
+            proptest::collection::vec((0usize..nmax.max(1), 0u32..3), n.saturating_sub(1));
         (vlabels, parents).prop_map(move |(vl, ps)| {
             let mut b = GraphBuilder::new();
             for l in &vl {
@@ -39,8 +40,12 @@ fn permute_tree(t: &Tree, perm: &[u32]) -> Tree {
         b.add_vertex(g.vlabel(VertexId(old)));
     }
     for e in g.edges() {
-        b.add_edge(VertexId(perm[e.u.idx()]), VertexId(perm[e.v.idx()]), e.label)
-            .expect("permutation preserves simplicity");
+        b.add_edge(
+            VertexId(perm[e.u.idx()]),
+            VertexId(perm[e.v.idx()]),
+            e.label,
+        )
+        .expect("permutation preserves simplicity");
     }
     Tree::from_graph(b.build()).expect("permutation preserves treeness")
 }

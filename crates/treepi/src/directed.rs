@@ -101,8 +101,8 @@ mod tests {
         let database = db();
         let idx = DirectedTreePiIndex::build(database.clone(), TreePiParams::quick());
         let queries = [
-            digraph_from(&[0, 1], &[(0, 1, 0)]),      // a→b
-            digraph_from(&[1, 0], &[(0, 1, 0)]),      // b→a (reverse!)
+            digraph_from(&[0, 1], &[(0, 1, 0)]),               // a→b
+            digraph_from(&[1, 0], &[(0, 1, 0)]),               // b→a (reverse!)
             digraph_from(&[0, 1, 2], &[(0, 1, 0), (1, 2, 0)]), // chain
             digraph_from(&[1, 2], &[(0, 1, 0), (1, 0, 0)]),    // 2-cycle
             digraph_from(&[0, 1, 1], &[(0, 1, 0), (0, 2, 0)]), // out-star

@@ -24,8 +24,8 @@ pub fn enumerate_query_features(index: &TreePiIndex, q: &Graph) -> Option<Vec<Fe
     let mut missing_edge = false;
     let _ = graph_core::for_each_subtree_edge_subset(q, eta, |edges| {
         let sub = graph_core::edge_subgraph(q, edges);
-        let tree = tree_core::Tree::from_graph(sub.graph)
-            .expect("subtree enumeration yields trees");
+        let tree =
+            tree_core::Tree::from_graph(sub.graph).expect("subtree enumeration yields trees");
         let canon = tree_core::canonical_string(&tree);
         match index.feature_by_canon(&canon) {
             Some(fid) => sf.push(fid),
@@ -75,7 +75,8 @@ mod tests {
 
     fn fid_of(idx: &TreePiIndex, vlabels: &[u32], edges: &[(u32, u32, u32)]) -> FeatureId {
         let t = tree_core::tree_from(vlabels, edges);
-        idx.feature_by_canon(&canonical_string(&t)).expect("feature")
+        idx.feature_by_canon(&canonical_string(&t))
+            .expect("feature")
     }
 
     #[test]

@@ -127,10 +127,8 @@ impl TreePiIndex {
             kept.into_iter().map(|m| extract_feature(&db, m)).collect()
         } else {
             let chunk_size = kept.len().div_ceil(threads);
-            let chunks: Vec<Vec<mining::MinedTree>> = kept
-                .chunks(chunk_size)
-                .map(|c| c.to_vec())
-                .collect();
+            let chunks: Vec<Vec<mining::MinedTree>> =
+                kept.chunks(chunk_size).map(|c| c.to_vec()).collect();
             let db_ref = &db;
             crossbeam::thread::scope(|s| {
                 let handles: Vec<_> = chunks
@@ -368,8 +366,8 @@ pub(crate) fn may_contain(g: &Graph, p: &Graph) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tree_core::canonical_string;
     use graph_core::graph_from;
+    use tree_core::canonical_string;
 
     fn tiny_db() -> Vec<Graph> {
         vec![
@@ -411,10 +409,8 @@ mod tests {
         let idx = quick_index();
         for g in idx.db() {
             for e in g.edges() {
-                let t = tree_core::tree_from(
-                    &[g.vlabel(e.u).0, g.vlabel(e.v).0],
-                    &[(0, 1, e.label.0)],
-                );
+                let t =
+                    tree_core::tree_from(&[g.vlabel(e.u).0, g.vlabel(e.v).0], &[(0, 1, e.label.0)]);
                 let c = canonical_string(&t);
                 assert!(idx.feature_by_canon(&c).is_some(), "missing edge feature");
             }
@@ -462,11 +458,7 @@ mod tests {
         idx.remove(0);
         let rebuilt = idx.rebuild();
         let fresh = TreePiIndex::build(
-            vec![
-                tiny_db()[1].clone(),
-                tiny_db()[2].clone(),
-                extra,
-            ],
+            vec![tiny_db()[1].clone(), tiny_db()[2].clone(), extra],
             TreePiParams::quick(),
         );
         assert_eq!(rebuilt.feature_count(), fresh.feature_count());
@@ -480,8 +472,7 @@ mod tests {
     #[test]
     fn insert_then_remove_is_identity_on_supports() {
         let mut idx = quick_index();
-        let before: Vec<SupportSet> =
-            idx.features().iter().map(|f| f.support.clone()).collect();
+        let before: Vec<SupportSet> = idx.features().iter().map(|f| f.support.clone()).collect();
         let gid = idx.insert(graph_from(&[0, 1], &[(0, 1, 0)]));
         idx.remove(gid);
         let after: Vec<SupportSet> = idx.features().iter().map(|f| f.support.clone()).collect();

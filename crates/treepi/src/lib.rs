@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod directed;
+pub mod engine;
 pub mod filter;
 pub mod index;
 pub mod params;
@@ -43,15 +44,16 @@ pub mod trie;
 pub mod verify;
 pub mod workload;
 
+pub use directed::DirectedTreePiIndex;
+pub use engine::{query_rng, resolve_threads};
+pub use filter::enumerate_query_features;
 pub use index::{BuildStats, Feature, TreePiIndex};
 pub use params::{Delta, TreePiParams};
-pub use directed::DirectedTreePiIndex;
-pub use filter::enumerate_query_features;
 pub use partition::{
-    partition_runs, random_partition, random_partition_collecting, Part, PartitionOutcome,
-    PartitionRuns,
+    partition_runs, partition_runs_with, random_partition, random_partition_collecting, Part,
+    PartitionOutcome, PartitionRuns,
 };
-pub use query::{QueryOptions, QueryResult, QueryStats, SfMode};
+pub use query::{QueryOptions, QueryResult, QueryStats, SfMode, INTRA_PAR_THRESHOLD};
 pub use trie::{CanonTrie, FeatureId};
 pub use verify::scan_support;
 pub use workload::{query_batch, summarize, WorkloadSummary};

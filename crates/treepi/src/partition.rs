@@ -85,11 +85,7 @@ impl Growth {
 /// subtrees of the query graph" that §5.1 says RP generates as a byproduct.
 /// They cost nothing (each growth step already performed the trie lookup)
 /// and sharpen the filter intersection.
-pub fn random_partition<R: Rng>(
-    q: &Graph,
-    index: &TreePiIndex,
-    rng: &mut R,
-) -> PartitionOutcome {
+pub fn random_partition<R: Rng>(q: &Graph, index: &TreePiIndex, rng: &mut R) -> PartitionOutcome {
     random_partition_collecting(q, index, rng, &mut Vec::new())
 }
 
@@ -108,10 +104,7 @@ pub fn random_partition_collecting<R: Rng>(
 
     while covered_count < m {
         // Random uncovered seed edge.
-        let uncovered: Vec<EdgeId> = q
-            .edge_ids()
-            .filter(|e| !covered[e.idx()])
-            .collect();
+        let uncovered: Vec<EdgeId> = q.edge_ids().filter(|e| !covered[e.idx()]).collect();
         let seed = uncovered[rng.gen_range(0..uncovered.len())];
         let sedge = q.edge(seed);
         let mut growth = Growth {
@@ -180,10 +173,7 @@ pub fn random_partition_collecting<R: Rng>(
             Center::Vertex(v) => smallvec::smallvec![growth.vertices[v.idx()]],
             Center::Edge(e) => {
                 let edge = tree.graph().edge(e);
-                smallvec::smallvec![
-                    growth.vertices[edge.u.idx()],
-                    growth.vertices[edge.v.idx()]
-                ]
+                smallvec::smallvec![growth.vertices[edge.u.idx()], growth.vertices[edge.v.idx()]]
             }
         };
         let _ = canon;
@@ -225,10 +215,27 @@ pub fn partition_runs<R: Rng>(
     delta: usize,
     rng: &mut R,
 ) -> PartitionRuns {
+    partition_runs_with(q, index, delta, rng, true)
+}
+
+/// [`partition_runs`] with control over `SF_q` collection. Callers that
+/// replace the filter set anyway (full feature enumeration) pass
+/// `collect_sf = false` and get `sf: vec![]` back without the per-run
+/// accumulation and the final sort/dedup. The RNG stream is identical
+/// either way — collection never consumes randomness — so `TP_q` does not
+/// depend on this flag.
+pub fn partition_runs_with<R: Rng>(
+    q: &Graph,
+    index: &TreePiIndex,
+    delta: usize,
+    rng: &mut R,
+    collect_sf: bool,
+) -> PartitionRuns {
     let mut best: Option<Vec<Part>> = None;
     let mut sf: Vec<FeatureId> = Vec::new();
     // Single edges of q: every one must be a feature (σ(1) = 1), or the
-    // support is provably empty.
+    // support is provably empty. This early-exit check runs regardless of
+    // `collect_sf`; only the bookkeeping is conditional.
     for e in q.edge_ids() {
         let edge = q.edge(e);
         let mut b = graph_core::GraphBuilder::with_capacity(2, 1);
@@ -238,12 +245,18 @@ pub fn partition_runs<R: Rng>(
         let t = Tree::from_graph(b.build()).expect("an edge is a tree");
         let c = canonical_string(&t);
         match index.feature_by_canon(&c) {
-            Some(fid) => sf.push(fid),
+            Some(fid) => {
+                if collect_sf {
+                    sf.push(fid);
+                }
+            }
             None => return PartitionRuns::MissingFeature(c),
         }
     }
+    let mut scratch: Vec<FeatureId> = Vec::new();
     for _ in 0..delta.max(1) {
-        match random_partition_collecting(q, index, rng, &mut sf) {
+        let acc = if collect_sf { &mut sf } else { &mut scratch };
+        match random_partition_collecting(q, index, rng, acc) {
             PartitionOutcome::MissingFeature(c) => return PartitionRuns::MissingFeature(c),
             PartitionOutcome::Partition(parts) => {
                 if best.as_ref().is_none_or(|b| parts.len() < b.len()) {
@@ -251,9 +264,12 @@ pub fn partition_runs<R: Rng>(
                 }
             }
         }
+        scratch.clear();
     }
-    sf.sort_unstable();
-    sf.dedup();
+    if collect_sf {
+        sf.sort_unstable();
+        sf.dedup();
+    }
     PartitionRuns::Ok {
         min_partition: best.expect("delta >= 1 run"),
         sf,
@@ -293,10 +309,7 @@ mod tests {
             assert_eq!(canonical_string(&p.tree), f.canon);
             // part-tree labels match the query labels
             for (i, &qv) in p.q_vertices.iter().enumerate() {
-                assert_eq!(
-                    p.tree.graph().vlabel(VertexId(i as u32)),
-                    q.vlabel(qv)
-                );
+                assert_eq!(p.tree.graph().vlabel(VertexId(i as u32)), q.vlabel(qv));
             }
             for &r in &p.center_reps_in_q {
                 assert!(r.idx() < q.vertex_count());

@@ -30,7 +30,10 @@ use tree_core::{CanonString, CenterPos, Tree};
 const MAGIC: &[u8; 4] = b"TPI1";
 
 fn bad(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, format!("treepi index file: {msg}"))
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("treepi index file: {msg}"),
+    )
 }
 
 fn put_graph(buf: &mut Vec<u8>, g: &Graph) {
@@ -330,7 +333,10 @@ mod tests {
         let q = graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]);
         let mut r1 = ChaCha8Rng::seed_from_u64(5);
         let mut r2 = ChaCha8Rng::seed_from_u64(5);
-        assert_eq!(idx.query(&q, &mut r1).matches, loaded.query(&q, &mut r2).matches);
+        assert_eq!(
+            idx.query(&q, &mut r1).matches,
+            loaded.query(&q, &mut r2).matches
+        );
     }
 
     #[test]

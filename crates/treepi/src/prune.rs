@@ -49,7 +49,14 @@ pub fn query_center_distances(q: &Graph, parts: &[Part]) -> Vec<Vec<u32>> {
 }
 
 /// Distance between two center positions in `g` (min over representatives).
-fn pos_distance(g: &Graph, oracle: &mut DistanceOracle, a: CenterPos, b: CenterPos) -> u32 {
+/// Shared by CDC pruning and reconstruction verification — the two must
+/// measure identically or pruning would be unsound relative to the join.
+pub(crate) fn pos_distance(
+    g: &Graph,
+    oracle: &mut DistanceOracle<'_>,
+    a: CenterPos,
+    b: CenterPos,
+) -> u32 {
     let ra = a.representatives(g);
     let rb = b.representatives(g);
     let mut best = u32::MAX;
@@ -124,6 +131,36 @@ pub fn center_prune(index: &TreePiIndex, pq: &[u32], parts: &[Part], dq: &[Vec<u
         .collect()
 }
 
+/// [`center_prune`] split across `threads` workers. Each candidate's CDC
+/// test is independent (every worker builds its own `DistanceOracle` per
+/// graph), so the set is chunked contiguously and the per-chunk results are
+/// concatenated in chunk order — the output is exactly `center_prune`'s.
+pub fn center_prune_threaded(
+    index: &TreePiIndex,
+    pq: &[u32],
+    parts: &[Part],
+    dq: &[Vec<u32>],
+    threads: usize,
+) -> Vec<u32> {
+    let threads = threads.clamp(1, pq.len().max(1));
+    if threads == 1 {
+        return center_prune(index, pq, parts, dq);
+    }
+    let chunk_size = pq.len().div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = pq
+            .chunks(chunk_size)
+            .map(|chunk| s.spawn(move |_| center_prune(index, chunk, parts, dq)))
+            .collect();
+        let mut out = Vec::new();
+        for h in handles {
+            out.extend(h.join().expect("prune worker panicked"));
+        }
+        out
+    })
+    .expect("prune scope")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,29 +175,36 @@ mod tests {
     /// far apart. Filtering keeps both; CDC pruning must drop the far one.
     #[test]
     fn cdc_drops_distance_violators() {
-        let near = graph_from(
-            &[5, 0, 6, 0],
-            &[(0, 1, 1), (1, 2, 2), (2, 3, 0)],
-        );
+        let near = graph_from(&[5, 0, 6, 0], &[(0, 1, 1), (1, 2, 2), (2, 3, 0)]);
         // same two feature edges, separated by a 4-hop path
         let far = graph_from(
             &[5, 0, 0, 0, 0, 0, 6],
-            &[(0, 1, 1), (1, 2, 0), (2, 3, 0), (3, 4, 0), (4, 5, 0), (5, 6, 2)],
+            &[
+                (0, 1, 1),
+                (1, 2, 0),
+                (2, 3, 0),
+                (3, 4, 0),
+                (4, 5, 0),
+                (5, 6, 2),
+            ],
         );
         let q = graph_from(&[5, 0, 6], &[(0, 1, 1), (1, 2, 2)]);
         let db = vec![near.clone(), far.clone()];
         let idx = TreePiIndex::build(
             db,
             TreePiParams {
-                sigma: mining::SigmaFn { alpha: 1, beta: 10.0, eta: 1 },
+                sigma: mining::SigmaFn {
+                    alpha: 1,
+                    beta: 10.0,
+                    eta: 1,
+                },
                 ..TreePiParams::quick()
             },
         );
         // With η = 1 only single-edge features exist, so every partition
         // consists of the two query edges.
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let PartitionRuns::Ok { min_partition, sf } = partition_runs(&q, &idx, 4, &mut rng)
-        else {
+        let PartitionRuns::Ok { min_partition, sf } = partition_runs(&q, &idx, 4, &mut rng) else {
             panic!("all query edges are features");
         };
         assert_eq!(min_partition.len(), 2);
@@ -178,7 +222,10 @@ mod tests {
         let db = vec![
             graph_from(&[0, 1, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 0, 0)]),
             graph_from(&[0, 1, 0], &[(0, 1, 0), (1, 2, 0)]),
-            graph_from(&[1, 0, 1, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 4, 0)]),
+            graph_from(
+                &[1, 0, 1, 0, 1],
+                &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 4, 0)],
+            ),
         ];
         let idx = TreePiIndex::build(db.clone(), TreePiParams::quick());
         let q = graph_from(&[0, 1, 0], &[(0, 1, 0), (1, 2, 0)]);
@@ -190,8 +237,7 @@ mod tests {
             .collect();
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         for _ in 0..10 {
-            let PartitionRuns::Ok { min_partition, sf } =
-                partition_runs(&q, &idx, 3, &mut rng)
+            let PartitionRuns::Ok { min_partition, sf } = partition_runs(&q, &idx, 3, &mut rng)
             else {
                 panic!()
             };
@@ -210,14 +256,17 @@ mod tests {
         let idx = TreePiIndex::build(
             db,
             TreePiParams {
-                sigma: mining::SigmaFn { alpha: 1, beta: 10.0, eta: 1 },
+                sigma: mining::SigmaFn {
+                    alpha: 1,
+                    beta: 10.0,
+                    eta: 1,
+                },
                 ..TreePiParams::quick()
             },
         );
         let q = graph_from(&[0, 1, 2], &[(0, 1, 0), (1, 2, 1)]);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let PartitionRuns::Ok { min_partition, .. } = partition_runs(&q, &idx, 1, &mut rng)
-        else {
+        let PartitionRuns::Ok { min_partition, .. } = partition_runs(&q, &idx, 1, &mut rng) else {
             panic!()
         };
         let dq = query_center_distances(&q, &min_partition);

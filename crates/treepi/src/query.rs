@@ -4,12 +4,17 @@
 
 use crate::filter::filter;
 use crate::index::TreePiIndex;
-use crate::partition::{partition_runs, PartitionRuns};
-use crate::prune::{center_prune, query_center_distances};
-use crate::verify::verify_all;
+use crate::partition::{partition_runs_with, PartitionRuns};
+use crate::prune::{center_prune_threaded, query_center_distances};
+use crate::verify::verify_all_threaded;
 use graph_core::Graph;
 use rand::Rng;
 use std::time::{Duration, Instant};
+
+/// Minimum candidate-set size before a query's prune/verify stages are
+/// split across workers. Below this, per-candidate work is too small to
+/// amortize thread spawn/join; see DESIGN.md ("Parallel query engine").
+pub const INTRA_PAR_THRESHOLD: usize = 64;
 
 /// How the filter set `SF_q` is assembled.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -100,11 +105,21 @@ impl TreePiIndex {
     }
 
     /// [`Self::query`] with ablation switches.
-    pub fn query_with<R: Rng>(
+    pub fn query_with<R: Rng>(&self, q: &Graph, opts: QueryOptions, rng: &mut R) -> QueryResult {
+        self.query_with_threads(q, opts, rng, 1)
+    }
+
+    /// [`Self::query_with`] with intra-query candidate parallelism: when a
+    /// stage's candidate set reaches [`INTRA_PAR_THRESHOLD`], CDC pruning
+    /// and reconstruction verification are split across up to `threads`
+    /// workers. Results are identical at any thread count — candidates are
+    /// chunked in order and neither stage consumes randomness.
+    pub fn query_with_threads<R: Rng>(
         &self,
         q: &Graph,
         opts: QueryOptions,
         rng: &mut R,
+        threads: usize,
     ) -> QueryResult {
         assert!(q.edge_count() > 0, "queries must have at least one edge");
         let mut stats = QueryStats::default();
@@ -113,7 +128,14 @@ impl TreePiIndex {
         // itself "is a feature tree in the index list"). Its stored
         // support set *is* the exact answer. ----
         let t = Instant::now();
-        if let Ok(qt) = tree_core::Tree::from_graph(q.clone()) {
+        // Only tree-shaped queries (connected ⇒ exactly n-1 edges) can be
+        // feature trees; checking the counts first avoids cloning the query
+        // graph on every cyclic query just to have `from_graph` reject it.
+        let tree_shaped = q.edge_count() + 1 == q.vertex_count();
+        if let Some(qt) = tree_shaped
+            .then(|| tree_core::Tree::from_graph(q.clone()).ok())
+            .flatten()
+        {
             if let Some(fid) = self.feature_by_canon(&tree_core::canonical_string(&qt)) {
                 let matches: Vec<u32> = self
                     .feature(fid)
@@ -136,7 +158,10 @@ impl TreePiIndex {
         let delta = opts
             .delta_override
             .unwrap_or_else(|| self.params().delta.resolve(q.edge_count()));
-        let runs = partition_runs(q, self, delta, rng);
+        // Under FullEnumeration the partition-run SF_q is replaced below, so
+        // don't collect it at all.
+        let collect_sf = opts.sf_mode == SfMode::PartitionOnly;
+        let runs = partition_runs_with(q, self, delta, rng, collect_sf);
         let (parts, mut sf) = match runs {
             PartitionRuns::MissingFeature(_) => {
                 stats.t_partition = t.elapsed();
@@ -171,11 +196,21 @@ impl TreePiIndex {
         stats.t_filter = t.elapsed();
         stats.filtered = pq.len();
 
+        // Intra-query parallelism only pays off on large candidate sets.
+        let threads = threads.max(1);
+        let stage_threads = |candidates: usize| {
+            if candidates >= INTRA_PAR_THRESHOLD {
+                threads
+            } else {
+                1
+            }
+        };
+
         // ---- Prune (Algorithm 2) ----
         let t = Instant::now();
         let dq = query_center_distances(q, &parts);
         let pruned = if opts.use_cdc {
-            center_prune(self, &pq, &parts, &dq)
+            center_prune_threaded(self, &pq, &parts, &dq, stage_threads(pq.len()))
         } else {
             pq
         };
@@ -185,7 +220,7 @@ impl TreePiIndex {
         // ---- Verify (Algorithm 3) ----
         let t = Instant::now();
         let matches = if opts.use_reconstruction {
-            verify_all(self, q, &pruned, &parts, &dq)
+            verify_all_threaded(self, q, &pruned, &parts, &dq, stage_threads(pruned.len()))
         } else {
             pruned
                 .into_iter()

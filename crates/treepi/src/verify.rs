@@ -15,6 +15,7 @@
 
 use crate::index::TreePiIndex;
 use crate::partition::Part;
+use crate::prune::pos_distance;
 use graph_core::{DistanceOracle, Graph, VertexId};
 use rustc_hash::FxHashSet;
 use std::ops::ControlFlow;
@@ -32,23 +33,6 @@ struct JoinState<'g> {
     used: Vec<bool>,
     assigned_centers: Vec<(usize, CenterPos)>,
     oracle: DistanceOracle<'g>,
-}
-
-fn pos_distance(
-    g: &Graph,
-    oracle: &mut DistanceOracle<'_>,
-    a: CenterPos,
-    b: CenterPos,
-) -> u32 {
-    let ra = a.representatives(g);
-    let rb = b.representatives(g);
-    let mut best = u32::MAX;
-    for &x in &ra {
-        for &y in &rb {
-            best = best.min(oracle.dist(x, y));
-        }
-    }
-    best
 }
 
 /// Signature of an embedding for CRF deduplication: boundary images in
@@ -150,7 +134,18 @@ fn search(
                     newly.push(qv);
                 }
             }
-            if search(index, g, gid, parts, dq, order, boundaries, matchers, st, k + 1) {
+            if search(
+                index,
+                g,
+                gid,
+                parts,
+                dq,
+                order,
+                boundaries,
+                matchers,
+                st,
+                k + 1,
+            ) {
                 found = true;
                 return ControlFlow::Break(());
             }
@@ -173,8 +168,10 @@ fn search(
 /// from the partition `parts` (with query center-distance matrix `dq`)?
 pub fn verify(index: &TreePiIndex, q: &Graph, gid: u32, parts: &[Part], dq: &[Vec<u32>]) -> bool {
     let boundaries = part_boundaries(q, parts);
-    let matchers: Vec<CenteredMatcher<'_>> =
-        parts.iter().map(|p| CenteredMatcher::new(&p.tree)).collect();
+    let matchers: Vec<CenteredMatcher<'_>> = parts
+        .iter()
+        .map(|p| CenteredMatcher::new(&p.tree))
+        .collect();
     verify_with_boundaries(index, q, gid, parts, dq, &boundaries, &matchers)
 }
 
@@ -189,7 +186,12 @@ pub(crate) fn part_boundaries(q: &Graph, parts: &[Part]) -> Vec<Vec<bool>> {
     }
     parts
         .iter()
-        .map(|p| p.q_vertices.iter().map(|&qv| owners[qv.idx()] > 1).collect())
+        .map(|p| {
+            p.q_vertices
+                .iter()
+                .map(|&qv| owners[qv.idx()] > 1)
+                .collect()
+        })
         .collect()
 }
 
@@ -227,7 +229,9 @@ pub(crate) fn verify_with_boundaries(
         assigned_centers: Vec::with_capacity(parts.len()),
         oracle: DistanceOracle::new(g),
     };
-    search(index, g, gid, parts, dq, &order, boundaries, matchers, &mut st, 0)
+    search(
+        index, g, gid, parts, dq, &order, boundaries, matchers, &mut st, 0,
+    )
 }
 
 /// Verify every graph in `pruned`, returning the exact answer set.
@@ -238,14 +242,60 @@ pub fn verify_all(
     parts: &[Part],
     dq: &[Vec<u32>],
 ) -> Vec<u32> {
+    verify_all_threaded(index, q, pruned, parts, dq, 1)
+}
+
+/// [`verify_all`] split across `threads` workers. Boundary flags and
+/// centered matchers are computed once and shared read-only; each worker
+/// reconstructs its contiguous chunk of candidates (every `JoinState` is
+/// worker-local), and chunk results concatenate in order — the output is
+/// exactly `verify_all`'s regardless of thread count.
+pub fn verify_all_threaded(
+    index: &TreePiIndex,
+    q: &Graph,
+    pruned: &[u32],
+    parts: &[Part],
+    dq: &[Vec<u32>],
+    threads: usize,
+) -> Vec<u32> {
     let boundaries = part_boundaries(q, parts);
-    let matchers: Vec<CenteredMatcher<'_>> =
-        parts.iter().map(|p| CenteredMatcher::new(&p.tree)).collect();
-    pruned
+    let matchers: Vec<CenteredMatcher<'_>> = parts
         .iter()
-        .copied()
-        .filter(|&gid| verify_with_boundaries(index, q, gid, parts, dq, &boundaries, &matchers))
-        .collect()
+        .map(|p| CenteredMatcher::new(&p.tree))
+        .collect();
+    let threads = threads.clamp(1, pruned.len().max(1));
+    if threads == 1 {
+        return pruned
+            .iter()
+            .copied()
+            .filter(|&gid| verify_with_boundaries(index, q, gid, parts, dq, &boundaries, &matchers))
+            .collect();
+    }
+    let chunk_size = pruned.len().div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = pruned
+            .chunks(chunk_size)
+            .map(|chunk| {
+                let boundaries = &boundaries;
+                let matchers = &matchers;
+                s.spawn(move |_| {
+                    chunk
+                        .iter()
+                        .copied()
+                        .filter(|&gid| {
+                            verify_with_boundaries(index, q, gid, parts, dq, boundaries, matchers)
+                        })
+                        .collect::<Vec<u32>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::new();
+        for h in handles {
+            out.extend(h.join().expect("verify worker panicked"));
+        }
+        out
+    })
+    .expect("verify scope")
 }
 
 /// Brute-force oracle: scan the whole database with VF2 (what a system
@@ -255,9 +305,7 @@ pub fn scan_support(index: &TreePiIndex, q: &Graph) -> Vec<u32> {
         .db()
         .iter()
         .enumerate()
-        .filter(|(gid, g)| {
-            index.is_active(*gid as u32) && graph_core::is_subgraph_isomorphic(q, g)
-        })
+        .filter(|(gid, g)| index.is_active(*gid as u32) && graph_core::is_subgraph_isomorphic(q, g))
         .map(|(gid, _)| gid as u32)
         .collect()
 }
@@ -326,9 +374,7 @@ mod tests {
         let idx = TreePiIndex::build(db(), TreePiParams::quick());
         let q = graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 0, 1)]);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let PartitionRuns::Ok { min_partition, .. } =
-            partition_runs(&q, &idx, 5, &mut rng)
-        else {
+        let PartitionRuns::Ok { min_partition, .. } = partition_runs(&q, &idx, 5, &mut rng) else {
             panic!()
         };
         assert!(min_partition.len() >= 2);
@@ -369,9 +415,7 @@ mod tests {
         let idx = TreePiIndex::build(db(), TreePiParams::quick());
         let q = graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 0, 1)]);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let PartitionRuns::Ok { min_partition, .. } =
-            partition_runs(&q, &idx, 5, &mut rng)
-        else {
+        let PartitionRuns::Ok { min_partition, .. } = partition_runs(&q, &idx, 5, &mut rng) else {
             panic!()
         };
         let b = part_boundaries(&q, &min_partition);

@@ -46,9 +46,14 @@ pub fn summarize(stats: &[QueryStats]) -> WorkloadSummary {
     let n = stats.len() as f64;
     let mut times: Vec<Duration> = stats.iter().map(|s| s.total()).collect();
     times.sort_unstable();
+    // Ceil-based nearest rank: the smallest sample with at least a `p`
+    // fraction of the distribution at or below it. Rounding (n-1)·p to the
+    // *nearest* index under-reports the tail on small batches — with 20
+    // queries, p95 landed on index 18, the p90 element; ceiling gives
+    // index 19, the max, and never reports a value below the true quantile.
     let pct = |p: f64| -> Duration {
-        let idx = ((times.len() as f64 - 1.0) * p).round() as usize;
-        times[idx]
+        let idx = ((times.len() as f64 - 1.0) * p).ceil() as usize;
+        times[idx.min(times.len() - 1)]
     };
     let sum_f: usize = stats.iter().map(|s| s.filtered).sum();
     let sum_p: usize = stats.iter().map(|s| s.pruned).sum();
@@ -64,12 +69,24 @@ pub fn summarize(stats: &[QueryStats]) -> WorkloadSummary {
         p50_time: pct(0.50),
         p95_time: pct(0.95),
         max_time: *times.last().expect("nonempty"),
-        filter_precision: if sum_f > 0 { sum_a as f64 / sum_f as f64 } else { 1.0 },
-        prune_precision: if sum_p > 0 { sum_a as f64 / sum_p as f64 } else { 1.0 },
+        filter_precision: if sum_f > 0 {
+            sum_a as f64 / sum_f as f64
+        } else {
+            1.0
+        },
+        prune_precision: if sum_p > 0 {
+            sum_a as f64 / sum_p as f64
+        } else {
+            1.0
+        },
     }
 }
 
-/// Run a whole query workload and summarize it in one call.
+/// Run a whole query workload sequentially on a caller-supplied RNG and
+/// summarize it in one call. For multi-threaded execution with per-query
+/// deterministic RNGs, use [`TreePiIndex::query_batch`] (the parallel
+/// engine aggregates through [`summarize`] too, so tail metrics are
+/// computed over the full merged batch either way).
 pub fn query_batch<R: Rng>(
     index: &TreePiIndex,
     queries: &[Graph],
@@ -140,8 +157,48 @@ mod tests {
         assert!((s.filter_precision - 10.0 / 30.0).abs() < 1e-9);
         assert!((s.prune_precision - 10.0 / 20.0).abs() < 1e-9);
         assert_eq!(s.max_time, Duration::from_millis(4));
-        // nearest-rank with round-half-up lands on the upper of 2 samples
+        // ceil-based nearest rank lands on the upper of 2 samples
         assert_eq!(s.p50_time, Duration::from_millis(4));
+    }
+
+    #[test]
+    fn percentiles_use_ceil_nearest_rank() {
+        // 20 samples of 1..=20 ms: p95 must be the max (index 19), not the
+        // p90 element (index 18) the old round-to-nearest picked.
+        let batch: Vec<QueryStats> = (1..=20).map(|i| fake(10, 10, 5, i)).collect();
+        let s = summarize(&batch);
+        assert_eq!(s.p50_time, Duration::from_millis(11)); // ceil(19·0.5)=10
+        assert_eq!(s.p95_time, Duration::from_millis(20)); // ceil(19·0.95)=19
+        assert_eq!(s.max_time, Duration::from_millis(20));
+
+        // Odd batch: p50 is the true median, p95 the last element.
+        let batch: Vec<QueryStats> = (1..=5).map(|i| fake(10, 10, 5, i)).collect();
+        let s = summarize(&batch);
+        assert_eq!(s.p50_time, Duration::from_millis(3)); // ceil(4·0.5)=2
+        assert_eq!(s.p95_time, Duration::from_millis(5)); // ceil(4·0.95)=4
+        assert_eq!(s.max_time, Duration::from_millis(5));
+
+        // Single sample: every percentile is that sample.
+        let s = summarize(&[fake(1, 1, 1, 7)]);
+        assert_eq!(s.p50_time, Duration::from_millis(7));
+        assert_eq!(s.p95_time, Duration::from_millis(7));
+        assert_eq!(s.max_time, Duration::from_millis(7));
+    }
+
+    #[test]
+    fn p95_never_below_true_quantile() {
+        // For any batch size, at least 95% of samples must be ≤ p95.
+        for n in 1..=40u64 {
+            let batch: Vec<QueryStats> = (1..=n).map(|i| fake(1, 1, 1, i)).collect();
+            let s = summarize(&batch);
+            let at_or_below = (1..=n)
+                .filter(|&i| Duration::from_millis(i) <= s.p95_time)
+                .count();
+            assert!(
+                at_or_below as f64 >= 0.95 * n as f64,
+                "n={n}: only {at_or_below} samples ≤ p95"
+            );
+        }
     }
 
     #[test]
@@ -193,8 +250,10 @@ mod tests {
             graph_from(&[9, 9], &[(0, 1, 0)]),
         ];
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let stats: Vec<QueryStats> =
-            queries.iter().map(|q| idx.query(q, &mut rng).stats).collect();
+        let stats: Vec<QueryStats> = queries
+            .iter()
+            .map(|q| idx.query(q, &mut rng).stats)
+            .collect();
         let s = summarize(&stats);
         assert_eq!(s.queries, 3);
         assert_eq!(s.missing_feature, 1);

@@ -7,7 +7,8 @@ use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use treepi::{
-    partition_runs, scan_support, PartitionRuns, QueryOptions, SfMode, TreePiIndex, TreePiParams,
+    partition_runs, query_rng, scan_support, PartitionRuns, QueryOptions, SfMode, TreePiIndex,
+    TreePiParams,
 };
 
 /// A random connected labeled graph: random tree plus a few extra edges.
@@ -22,8 +23,12 @@ fn arb_connected_graph(nmax: usize) -> impl Strategy<Value = Graph> {
                 b.add_vertex(VLabel(*l));
             }
             for (i, (p, el)) in ps.iter().enumerate() {
-                b.add_edge(VertexId((i + 1) as u32), VertexId((p % (i + 1)) as u32), ELabel(*el))
-                    .expect("tree edge");
+                b.add_edge(
+                    VertexId((i + 1) as u32),
+                    VertexId((p % (i + 1)) as u32),
+                    ELabel(*el),
+                )
+                .expect("tree edge");
             }
             for (u, v, el) in ex {
                 let (u, v) = (VertexId((u % n) as u32), VertexId((v % n) as u32));
@@ -112,6 +117,42 @@ proptest! {
                 }
                 prop_assert!(covered.iter().all(|&c| c));
                 prop_assert!(!sf.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn query_batch_is_deterministic_across_thread_counts(
+        db in arb_db(6, 6),
+        queries in proptest::collection::vec(arb_connected_graph(5), 1..=6),
+        seed in any::<u64>(),
+    ) {
+        let idx = TreePiIndex::build(db, TreePiParams::quick());
+        let opts = QueryOptions::default();
+        // Sequential ground truth on the engine's own per-query RNGs.
+        let seq: Vec<_> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| idx.query_with(q, opts, &mut query_rng(seed, i)))
+            .collect();
+        for threads in [1usize, 2, 8] {
+            let (batch, summary) = idx.query_batch(&queries, opts, threads, seed);
+            prop_assert_eq!(batch.len(), queries.len());
+            prop_assert_eq!(summary.queries, queries.len());
+            for (i, (b, s)) in batch.iter().zip(&seq).enumerate() {
+                prop_assert_eq!(&b.matches, &s.matches, "matches, query {} threads {}", i, threads);
+                prop_assert_eq!(
+                    b.stats.filtered, s.stats.filtered,
+                    "candidate count |Pq|, query {} threads {}", i, threads
+                );
+                prop_assert_eq!(
+                    b.stats.pruned, s.stats.pruned,
+                    "pruned count |P'q|, query {} threads {}", i, threads
+                );
+                prop_assert_eq!(
+                    b.stats.partition_size, s.stats.partition_size,
+                    "partition size, query {} threads {}", i, threads
+                );
             }
         }
     }

@@ -36,7 +36,10 @@ fn main() {
     let cases = vec![
         ("A→B (forward arc)", digraph_from(&[0, 1], &[(0, 1, 0)])),
         ("B→A (reverse arc)", digraph_from(&[0, 1], &[(1, 0, 0)])),
-        ("A→B→C chain", digraph_from(&[0, 1, 2], &[(0, 1, 0), (1, 2, 0)])),
+        (
+            "A→B→C chain",
+            digraph_from(&[0, 1, 2], &[(0, 1, 0), (1, 2, 0)]),
+        ),
         ("C→A closing arc", digraph_from(&[0, 2], &[(1, 0, 0)])),
     ];
     for (name, q) in cases {

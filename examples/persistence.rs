@@ -30,7 +30,12 @@ fn main() -> std::io::Result<()> {
     let mut file = std::fs::File::create(&path)?;
     index.save(&mut file)?;
     let bytes = std::fs::metadata(&path)?.len();
-    println!("saved to {} ({} KiB) in {:.2?}", path.display(), bytes / 1024, t.elapsed());
+    println!(
+        "saved to {} ({} KiB) in {:.2?}",
+        path.display(),
+        bytes / 1024,
+        t.elapsed()
+    );
 
     let t = Instant::now();
     let loaded = TreePiIndex::load(&mut std::fs::File::open(&path)?)?;

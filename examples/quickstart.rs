@@ -17,10 +17,7 @@ fn main() {
         // ethanol-ish chain: C-C-O
         graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]),
         // ring with a tail
-        graph_from(
-            &[0, 0, 0, 1],
-            &[(0, 1, 0), (1, 2, 0), (2, 0, 0), (2, 3, 0)],
-        ),
+        graph_from(&[0, 0, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 0, 0), (2, 3, 0)]),
         // star
         graph_from(&[0, 1, 1, 2], &[(0, 1, 0), (0, 2, 0), (0, 3, 1)]),
     ];

@@ -21,7 +21,14 @@ fn example_db() -> Vec<Graph> {
         // (a): a larger mixed graph — does NOT contain the query
         graph_from(
             &[A, A, A, B, A, B],
-            &[(0, 1, 1), (1, 2, 3), (2, 3, 1), (3, 4, 2), (4, 5, 3), (1, 4, 1)],
+            &[
+                (0, 1, 1),
+                (1, 2, 3),
+                (2, 3, 1),
+                (3, 4, 2),
+                (4, 5, 3),
+                (1, 4, 1),
+            ],
         ),
         // (b): contains the query pattern
         graph_from(
@@ -31,7 +38,14 @@ fn example_db() -> Vec<Graph> {
         // (c): (b) plus one extra pendant vertex — also contains the query
         graph_from(
             &[A, A, B, A, B, A],
-            &[(0, 1, 1), (1, 2, 2), (2, 3, 1), (1, 3, 3), (3, 4, 2), (4, 5, 1)],
+            &[
+                (0, 1, 1),
+                (1, 2, 2),
+                (2, 3, 1),
+                (1, 3, 3),
+                (3, 4, 2),
+                (4, 5, 1),
+            ],
         ),
     ]
 }
@@ -47,7 +61,11 @@ fn query_support_is_b_and_c() {
     let q = example_query();
     let idx = TreePiIndex::build(db, TreePiParams::quick());
     // ground truth first
-    assert_eq!(scan_support(&idx, &q), vec![1, 2], "example must match Figure 2's support {{b, c}}");
+    assert_eq!(
+        scan_support(&idx, &q),
+        vec![1, 2],
+        "example must match Figure 2's support {{b, c}}"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     for _ in 0..5 {
         let r = idx.query(&q, &mut rng);

@@ -1,0 +1,286 @@
+//! Vendored miniature benchmark harness exposing the Criterion API surface
+//! this workspace uses: `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, [`BenchmarkId`],
+//! [`black_box`], and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up, an iteration count is
+//! calibrated so one sample takes a measurable slice of wall time, then
+//! `sample_size` samples are timed and min / median / mean per-iteration
+//! times are printed. No plots, no statistics beyond that — the point is
+//! stable relative comparisons in an offline container.
+//!
+//! Under `cargo test` (which executes `harness = false` bench binaries with
+//! `--test`) every routine runs exactly once as a smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies a benchmark as `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter rendered with `Display`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Accepts both `BenchmarkId` and plain strings as benchmark ids.
+pub trait IntoBenchmarkId {
+    /// Rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Top-level harness handle passed to `criterion_group!` targets.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness=false bench binaries with `--test`;
+        // run every routine once instead of measuring.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        if !self.test_mode {
+            println!("\n== {name} ==");
+        }
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named group; benchmarks report as `group/function/parameter`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (min 2 in measure mode).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmark a routine with no external input.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let mut b = Bencher::new(self.criterion.test_mode, self.sample_size);
+        f(&mut b);
+        b.report(&self.name, &id);
+        self
+    }
+
+    /// Benchmark a routine against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_id();
+        let mut b = Bencher::new(self.criterion.test_mode, self.sample_size);
+        f(&mut b, input);
+        b.report(&self.name, &id);
+        self
+    }
+
+    /// End the group (upstream flushes reports here; ours are immediate).
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    /// Mean per-iteration times, one per sample.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(test_mode: bool, sample_size: usize) -> Self {
+        Self {
+            test_mode,
+            sample_size,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Time the routine. Return values are passed through [`black_box`] so
+    /// the computation is not optimized away.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+
+        // Warm-up doubles as calibration: find how many iterations make a
+        // sample long enough to time reliably (~5ms or 1 iteration).
+        let calib_start = Instant::now();
+        black_box(routine());
+        let once = calib_start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(5);
+        let iters = if once >= target {
+            1
+        } else {
+            ((target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000)) as u32
+        };
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters);
+        }
+    }
+
+    fn report(&mut self, group: &str, id: &str) {
+        if self.test_mode {
+            println!("test-mode ok: {group}/{id}");
+            return;
+        }
+        if self.samples.is_empty() {
+            println!("{group}/{id}: no samples (routine never called iter)");
+            return;
+        }
+        self.samples.sort_unstable();
+        let n = self.samples.len();
+        let min = self.samples[0];
+        let median = self.samples[n / 2];
+        let mean = self.samples.iter().sum::<Duration>() / n as u32;
+        println!(
+            "{group}/{id}: median {} (mean {}, min {}, {} samples)",
+            fmt_dur(median),
+            fmt_dur(mean),
+            fmt_dur(min),
+            n
+        );
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_renders_function_and_parameter() {
+        assert_eq!(BenchmarkId::new("treepi", 12).into_id(), "treepi/12");
+        assert_eq!("bare".into_id(), "bare");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::new(false, 3);
+        let mut calls = 0u64;
+        b.iter(|| {
+            calls += 1;
+            std::hint::black_box(calls)
+        });
+        assert_eq!(b.samples.len(), 3);
+        assert!(calls > 3, "warmup + samples should call the routine");
+    }
+
+    #[test]
+    fn test_mode_runs_routine_once() {
+        let mut b = Bencher::new(true, 10);
+        let mut calls = 0u64;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.samples.is_empty());
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group
+            .sample_size(5)
+            .bench_function("f", |b| b.iter(|| ran = true));
+        group.bench_with_input(BenchmarkId::new("wi", 7), &21u32, |b, &x| b.iter(|| x * 2));
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,86 @@
+//! Vendored facade exposing the `crossbeam::thread::scope` API on top of
+//! `std::thread::scope` (stable since Rust 1.63 — structured concurrency is
+//! in std now, so the facade is thin). Only the scoped-thread surface this
+//! workspace uses is provided.
+
+/// Scoped threads with the crossbeam calling convention
+/// (`scope(|s| { s.spawn(|_| …) })` returning a `Result`).
+pub mod thread {
+    use std::thread as stdthread;
+
+    /// Result of a scope: `Err` carries a child panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// Handle to the scope; passed to closures so they can spawn siblings.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread; `Err` is the panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope handle
+        /// (crossbeam convention; callers that don't spawn nested threads
+        /// just ignore it with `|_|`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope handle; all spawned threads are joined before
+    /// this returns. Unjoined child panics propagate (std semantics), so a
+    /// normal return is always `Ok`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let total: u64 = crate::thread::scope(|s| {
+            let mid = data.len() / 2;
+            let (a, b) = data.split_at(mid);
+            let ha = s.spawn(move |_| a.iter().sum::<u64>());
+            let hb = s.spawn(move |_| b.iter().sum::<u64>());
+            ha.join().expect("a") + hb.join().expect("b")
+        })
+        .expect("scope");
+        assert_eq!(total, 36);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_handle() {
+        let n = crate::thread::scope(|s| {
+            let h = s.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21usize);
+                h2.join().expect("nested") * 2
+            });
+            h.join().expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,558 @@
+//! Vendored miniature property-testing framework exposing the subset of the
+//! `proptest` macro/strategy surface this workspace uses: the [`proptest!`]
+//! macro, [`Strategy`] with `prop_map` / `prop_flat_map` / `prop_shuffle`,
+//! integer-range and tuple strategies, [`collection::vec`], [`Just`],
+//! [`any`], `prop_assert*` / `prop_assume!`, and [`ProptestConfig`].
+//!
+//! Differences from upstream, by design (offline stand-in):
+//! - **No shrinking.** A failing case reports its deterministic case seed;
+//!   re-running reproduces it exactly (generation is seeded by test name
+//!   and case index, not by entropy).
+//! - **No persistence.** `proptest-regressions` files are not replayed
+//!   automatically; pin important regressions as explicit `#[test]`s.
+//! - Rejected cases (`prop_assume!`) are skipped rather than re-drawn.
+
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// deterministic generation source
+// ---------------------------------------------------------------------------
+
+/// Deterministic generator handed to strategies (SplitMix64 core).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Generator for a given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9E3779B97F4A7C15,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Unbiased uniform draw from `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        if n.is_power_of_two() {
+            return self.next_u64() & (n - 1);
+        }
+        let zone = u64::MAX - (u64::MAX % n) - 1;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % n;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// strategies
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating test values.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Randomly permute the generated collection.
+    fn prop_shuffle(self) -> Shuffle<Self>
+    where
+        Self: Sized,
+        Self::Value: Shuffleable,
+    {
+        Shuffle { inner: self }
+    }
+}
+
+/// Collections [`Strategy::prop_shuffle`] can permute.
+pub trait Shuffleable {
+    /// Fisher–Yates permutation in place.
+    fn shuffle_in_place(&mut self, rng: &mut TestRng);
+}
+
+impl<T> Shuffleable for Vec<T> {
+    fn shuffle_in_place(&mut self, rng: &mut TestRng) {
+        for i in (1..self.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_shuffle`].
+pub struct Shuffle<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for Shuffle<S>
+where
+    S::Value: Shuffleable,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        let mut v = self.inner.generate(rng);
+        v.shuffle_in_place(rng);
+        v
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical whole-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draw from the whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Whole-domain strategy for `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// See [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.size.lo == self.size.hi {
+                self.size.lo
+            } else {
+                self.size.lo + rng.below((self.size.hi - self.size.lo + 1) as u64) as usize
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// runner
+// ---------------------------------------------------------------------------
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 100 }
+    }
+}
+
+/// Why a test case did not pass.
+pub enum TestCaseError {
+    /// Assertion failure — the property is violated.
+    Fail(String),
+    /// Input rejected by `prop_assume!` — skip, not a failure.
+    Reject(String),
+}
+
+impl fmt::Debug for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "Fail({m})"),
+            TestCaseError::Reject(m) => write!(f, "Reject({m})"),
+        }
+    }
+}
+
+/// FNV-1a over the test path: the per-test base seed.
+fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Drive one property: `cfg.cases` deterministic cases, panic on the first
+/// failure with the case seed (re-running the test replays it — generation
+/// depends only on the test path and case index).
+pub fn run_proptest<F>(name: &str, cfg: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = name_seed(name);
+    let mut rejected = 0u32;
+    for i in 0..cfg.cases {
+        let seed = base.wrapping_add((i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng = TestRng::new(seed);
+        match case(&mut rng) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(_)) => rejected += 1,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest case {i}/{} failed (case seed {seed:#x}): {msg}",
+                    cfg.cases
+                );
+            }
+        }
+    }
+    if rejected == cfg.cases && cfg.cases > 0 {
+        panic!(
+            "proptest: every one of {} cases was rejected by prop_assume!",
+            cfg.cases
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// macros
+// ---------------------------------------------------------------------------
+
+/// Define property tests: `proptest! { #[test] fn f(x in strat) { ... } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @cfg ($cfg) $($rest)* }
+    };
+    (@cfg ($cfg:expr) $(
+        $(#[$attr:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let __pt_cfg: $crate::ProptestConfig = $cfg;
+            $crate::run_proptest(
+                concat!(module_path!(), "::", stringify!($name)),
+                &__pt_cfg,
+                |__pt_rng| {
+                    $(let $pat = $crate::Strategy::generate(&($strat), __pt_rng);)+
+                    let __pt_out: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    __pt_out
+                },
+            );
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Property assertion: fails the case (not the process) so the runner can
+/// report the case seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Skip the current case when its input does not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// The commonly imported surface.
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in 0u32..=4, s in any::<u64>()) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+            let _ = s;
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in collection::vec(0u32..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6, "bad len {}", v.len());
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn flat_map_and_shuffle(perm in (2usize..6).prop_flat_map(|n| {
+            Just((0..n as u32).collect::<Vec<u32>>()).prop_shuffle()
+        })) {
+            let mut sorted = perm.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..perm.len() as u32).collect::<Vec<u32>>());
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = collection::vec(0u32..100, 5..20);
+        let a = {
+            let mut rng = crate::TestRng::new(7);
+            s.generate(&mut rng)
+        };
+        let b = {
+            let mut rng = crate::TestRng::new(7);
+            s.generate(&mut rng)
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_panic_with_case_seed() {
+        crate::run_proptest("t", &ProptestConfig::with_cases(3), |_| {
+            Err(TestCaseError::Fail("boom".into()))
+        });
+    }
+}

@@ -1,0 +1,160 @@
+//! Vendored ChaCha8-based RNG with the `rand_chacha` type shape
+//! ([`ChaCha8Rng`]), implementing the vendored `rand` traits. The keystream
+//! is a genuine 8-round ChaCha permutation, so the statistical quality
+//! matches upstream; the *stream positions* are not bit-compatible with
+//! crates.io `rand_chacha` (nothing in this workspace relies on that — only
+//! on determinism for a fixed seed, which holds).
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha quarter round.
+#[inline(always)]
+fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Deterministic ChaCha (8 rounds) keystream generator.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Key + constant + counter layout, the ChaCha initial state.
+    key: [u32; 8],
+    /// 64-bit block counter (low, high words 12–13); words 14–15 are nonce 0.
+    counter: u64,
+    /// Current 16-word output block.
+    block: [u32; 16],
+    /// Next unread word in `block` (16 = exhausted).
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+        let mut s = [0u32; 16];
+        s[..4].copy_from_slice(&SIGMA);
+        s[4..12].copy_from_slice(&self.key);
+        s[12] = self.counter as u32;
+        s[13] = (self.counter >> 32) as u32;
+        s[14] = 0;
+        s[15] = 0;
+        let initial = s;
+        for _ in 0..4 {
+            // two double-rounds per iteration × 4 = 8 rounds
+            quarter(&mut s, 0, 4, 8, 12);
+            quarter(&mut s, 1, 5, 9, 13);
+            quarter(&mut s, 2, 6, 10, 14);
+            quarter(&mut s, 3, 7, 11, 15);
+            quarter(&mut s, 0, 5, 10, 15);
+            quarter(&mut s, 1, 6, 11, 12);
+            quarter(&mut s, 2, 7, 8, 13);
+            quarter(&mut s, 3, 4, 9, 14);
+        }
+        for (out, init) in s.iter_mut().zip(initial) {
+            *out = out.wrapping_add(init);
+        }
+        self.block = s;
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        Self {
+            key,
+            counter: 0,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..23 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn usable_through_rand_traits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let x = rng.gen_range(0usize..10);
+        assert!(x < 10);
+        let f: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn output_is_roughly_balanced() {
+        // sanity: popcount of 10k words ≈ 50%
+        let mut rng = ChaCha8Rng::seed_from_u64(1234);
+        let ones: u64 = (0..10_000)
+            .map(|_| rng.next_u64().count_ones() as u64)
+            .sum();
+        let frac = ones as f64 / (10_000.0 * 64.0);
+        assert!((0.49..0.51).contains(&frac), "bit balance {frac}");
+    }
+}

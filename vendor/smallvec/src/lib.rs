@@ -1,0 +1,250 @@
+//! Vendored API-compatible stand-in for the `smallvec` crate (the subset
+//! this workspace uses). The inline-storage optimization is intentionally
+//! *not* reproduced — elements always live in a `Vec` — so `SmallVec<[T; N]>`
+//! here is a plain growable vector with the smallvec type shape. Semantics
+//! (ordering, equality, hashing, iteration) are identical; only the
+//! small-size allocation behavior differs.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+
+/// Backing-array marker trait: `SmallVec<[T; N]>` takes `[T; N]` here.
+pub trait Array {
+    /// Element type of the array.
+    type Item;
+}
+
+impl<T, const N: usize> Array for [T; N] {
+    type Item = T;
+}
+
+/// Growable vector with the `smallvec` API shape (heap-backed stand-in).
+pub struct SmallVec<A: Array> {
+    inner: Vec<A::Item>,
+}
+
+impl<A: Array> SmallVec<A> {
+    /// New empty vector.
+    #[inline]
+    pub fn new() -> Self {
+        Self { inner: Vec::new() }
+    }
+
+    /// New empty vector with reserved capacity.
+    #[inline]
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Construct from a `Vec` without copying.
+    #[inline]
+    pub fn from_vec(v: Vec<A::Item>) -> Self {
+        Self { inner: v }
+    }
+
+    /// Append an element.
+    #[inline]
+    pub fn push(&mut self, value: A::Item) {
+        self.inner.push(value);
+    }
+
+    /// Remove and return the last element.
+    #[inline]
+    pub fn pop(&mut self) -> Option<A::Item> {
+        self.inner.pop()
+    }
+
+    /// Insert at `index`, shifting later elements.
+    #[inline]
+    pub fn insert(&mut self, index: usize, value: A::Item) {
+        self.inner.insert(index, value);
+    }
+
+    /// Remove and return the element at `index`.
+    #[inline]
+    pub fn remove(&mut self, index: usize) -> A::Item {
+        self.inner.remove(index)
+    }
+
+    /// Drop all elements.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Convert into a plain `Vec`.
+    #[inline]
+    pub fn into_vec(self) -> Vec<A::Item> {
+        self.inner
+    }
+
+    /// View as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[A::Item] {
+        &self.inner
+    }
+
+    /// View as a mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [A::Item] {
+        &mut self.inner
+    }
+}
+
+impl<A: Array> Default for SmallVec<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Array> Deref for SmallVec<A> {
+    type Target = [A::Item];
+    #[inline]
+    fn deref(&self) -> &[A::Item] {
+        &self.inner
+    }
+}
+
+impl<A: Array> DerefMut for SmallVec<A> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [A::Item] {
+        &mut self.inner
+    }
+}
+
+impl<A: Array> Clone for SmallVec<A>
+where
+    A::Item: Clone,
+{
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<A: Array> fmt::Debug for SmallVec<A>
+where
+    A::Item: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<A: Array> PartialEq for SmallVec<A>
+where
+    A::Item: PartialEq,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.inner == other.inner
+    }
+}
+
+impl<A: Array> Eq for SmallVec<A> where A::Item: Eq {}
+
+impl<A: Array> PartialOrd for SmallVec<A>
+where
+    A::Item: PartialOrd,
+{
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.inner.partial_cmp(&other.inner)
+    }
+}
+
+impl<A: Array> Ord for SmallVec<A>
+where
+    A::Item: Ord,
+{
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.inner.cmp(&other.inner)
+    }
+}
+
+impl<A: Array> Hash for SmallVec<A>
+where
+    A::Item: Hash,
+{
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.inner.hash(state);
+    }
+}
+
+impl<A: Array> Extend<A::Item> for SmallVec<A> {
+    fn extend<I: IntoIterator<Item = A::Item>>(&mut self, iter: I) {
+        self.inner.extend(iter);
+    }
+}
+
+impl<A: Array> FromIterator<A::Item> for SmallVec<A> {
+    fn from_iter<I: IntoIterator<Item = A::Item>>(iter: I) -> Self {
+        Self {
+            inner: Vec::from_iter(iter),
+        }
+    }
+}
+
+impl<A: Array> IntoIterator for SmallVec<A> {
+    type Item = A::Item;
+    type IntoIter = std::vec::IntoIter<A::Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a SmallVec<A> {
+    type Item = &'a A::Item;
+    type IntoIter = std::slice::Iter<'a, A::Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+impl<A: Array> From<Vec<A::Item>> for SmallVec<A> {
+    fn from(v: Vec<A::Item>) -> Self {
+        Self { inner: v }
+    }
+}
+
+/// `smallvec![a, b, c]` / `smallvec![x; n]` constructor macro.
+#[macro_export]
+macro_rules! smallvec {
+    ($($x:expr),* $(,)?) => {
+        $crate::SmallVec::from_vec(vec![$($x),*])
+    };
+    ($x:expr; $n:expr) => {
+        $crate::SmallVec::from_vec(vec![$x; $n])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_index_iterate() {
+        let mut v: SmallVec<[u32; 4]> = SmallVec::new();
+        v.push(3);
+        v.push(1);
+        v.insert(0, 7);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0], 7);
+        assert!(v.contains(&1));
+        v.sort_unstable();
+        assert_eq!(v.binary_search(&3), Ok(1));
+        let collected: Vec<u32> = v.iter().copied().collect();
+        assert_eq!(collected, vec![1, 3, 7]);
+    }
+
+    #[test]
+    fn macro_and_equality() {
+        let a: SmallVec<[u32; 2]> = smallvec![5, 6];
+        let b: SmallVec<[u32; 2]> = [5u32, 6].iter().copied().collect();
+        assert_eq!(a, b);
+        let c: SmallVec<[u8; 3]> = smallvec![0; 3];
+        assert_eq!(&c[..], &[0, 0, 0]);
+    }
+}
