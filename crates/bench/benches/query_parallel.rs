@@ -3,6 +3,12 @@
 //! gIndex batch baseline. Determinism is test-enforced elsewhere
 //! (`treepi::engine`, `crates/treepi/tests/prop.rs`); this group measures
 //! the speedup the determinism contract is not allowed to cost.
+//!
+//! The `treepi_batch_metered` series runs the same batch with an enabled
+//! `obs::Registry`: comparing it against `treepi_batch` at the same thread
+//! count bounds the instrumentation overhead, and `treepi_batch` itself
+//! (disabled registry on the default entry point) bounds the disabled-path
+//! cost against the pre-obs baseline.
 
 use bench::{chem_db, gindex_index, queries, treepi_index};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -27,6 +33,20 @@ fn bench_query_parallel(c: &mut Criterion) {
                 results.iter().map(|r| r.matches.len()).sum::<usize>()
             })
         });
+        group.bench_with_input(
+            BenchmarkId::new("treepi_batch_metered", threads),
+            &qs,
+            |b, qs| {
+                b.iter(|| {
+                    let registry = obs::Registry::new();
+                    let (results, _) =
+                        tp.query_batch_obs(qs, QueryOptions::default(), threads, 9, &registry);
+                    let set = registry.drain();
+                    results.iter().map(|r| r.matches.len()).sum::<usize>()
+                        + set.counter(obs::names::ANSWERS) as usize
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("gindex_batch", threads), &qs, |b, qs| {
             b.iter(|| {
                 gi.query_batch(qs, threads)

@@ -2,11 +2,18 @@
 //!
 //! ```text
 //! treepi build  <db.gspan> <index.tpi> [--alpha A --beta B --eta E --gamma G]
-//! treepi query  <index.tpi> <queries.gspan> [--stats] [--seed N] [--threads N]
+//! treepi query  <index.tpi> <queries.gspan> [--stats] [--seed N] [--threads N] [--metrics out.json]
+//! treepi gquery <db.gspan> <queries.gspan> [--threads N] [--metrics out.json]  (gIndex baseline)
 //! treepi stats  <index.tpi>
+//! treepi dbstats <db.gspan>
 //! treepi gen    <out.gspan> --chem N | --synthetic N L
 //! treepi scan   <db.gspan> <queries.gspan> [--threads N]   (index-free baseline)
 //! ```
+//!
+//! `--metrics out.json` enables the `obs` registry for the run and writes
+//! the drained counters and stage-span histograms as stable JSON (schema
+//! `treepi.obs/v1`; see EXPERIMENTS.md). Without the flag the pipeline runs
+//! with a disabled registry and records nothing.
 //!
 //! Graph files use the gSpan transaction format (`t # i` / `v id label` /
 //! `e u v label`); see `graph_core::io`.
@@ -20,8 +27,10 @@ use treepi::{TreePiIndex, TreePiParams};
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  treepi build  <db.gspan> <index.tpi> [--alpha A] [--beta B] [--eta E] [--gamma G]\n  \
-         treepi query  <index.tpi> <queries.gspan> [--stats] [--seed N] [--threads N]\n  \
+         treepi query  <index.tpi> <queries.gspan> [--stats] [--seed N] [--threads N] [--metrics out.json]\n  \
+         treepi gquery <db.gspan> <queries.gspan> [--threads N] [--metrics out.json]\n  \
          treepi stats  <index.tpi>\n  \
+         treepi dbstats <db.gspan>\n  \
          treepi gen    <out.gspan> (--chem N | --synthetic N L) [--seed N]\n  \
          treepi scan   <db.gspan> <queries.gspan> [--threads N]"
     );
@@ -44,6 +53,24 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> 
 fn read_graphs_file(path: &str) -> Result<Vec<graph_core::Graph>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     parse_graphs(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// A registry enabled only when `--metrics` was given, so the pipeline's
+/// instrumented entry points cost one predicted branch otherwise.
+fn metrics_registry(metrics_path: &Option<String>) -> obs::Registry {
+    if metrics_path.is_some() {
+        obs::Registry::new()
+    } else {
+        obs::Registry::disabled()
+    }
+}
+
+/// Drain `registry` to `path` as `treepi.obs/v1` JSON.
+fn write_metrics(registry: &obs::Registry, path: &str) -> Result<(), String> {
+    let set = registry.drain();
+    std::fs::write(path, set.render_json()).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!("wrote metrics to {path}");
+    Ok(())
 }
 
 fn run() -> Result<(), String> {
@@ -91,8 +118,15 @@ fn run() -> Result<(), String> {
             // identical at any thread count (per-query seeded RNGs).
             let threads = parse_flag(&args, "--threads", 0usize)?;
             let want_stats = args.iter().any(|a| a == "--stats");
-            let (results, summary) =
-                index.query_batch(&queries, treepi::QueryOptions::default(), threads, seed);
+            let metrics_path = flag_value(&args, "--metrics");
+            let registry = metrics_registry(&metrics_path);
+            let (results, summary) = index.query_batch_obs(
+                &queries,
+                treepi::QueryOptions::default(),
+                threads,
+                seed,
+                &registry,
+            );
             for (i, (q, r)) in queries.iter().zip(&results).enumerate() {
                 let ids: Vec<String> = r.matches.iter().map(|g| g.to_string()).collect();
                 println!("q{i}: {}", ids.join(" "));
@@ -111,6 +145,75 @@ fn run() -> Result<(), String> {
             }
             if want_stats {
                 eprintln!("{summary}");
+            }
+            if let Some(path) = &metrics_path {
+                write_metrics(&registry, path)?;
+            }
+            Ok(())
+        }
+        "gquery" => {
+            let (Some(db_path), Some(q_path)) = (args.get(1), args.get(2)) else {
+                return Err("gquery needs <db.gspan> <queries.gspan>".into());
+            };
+            let db = read_graphs_file(db_path)?;
+            let queries = read_graphs_file(q_path)?;
+            let threads = parse_flag(&args, "--threads", 0usize)?;
+            let metrics_path = flag_value(&args, "--metrics");
+            let n = db.len();
+            let t = std::time::Instant::now();
+            let index = gindex::GIndex::build(db, gindex::GIndexParams::paper_default(n));
+            eprintln!(
+                "gIndex over {n} graphs: {} fragments in {:.2?}",
+                index.fragments().len(),
+                t.elapsed()
+            );
+            let registry = metrics_registry(&metrics_path);
+            let results = index.query_batch_obs(&queries, threads, &registry);
+            for (i, r) in results.iter().enumerate() {
+                let ids: Vec<String> = r.matches.iter().map(|g| g.to_string()).collect();
+                println!("q{i}: {}", ids.join(" "));
+            }
+            if let Some(path) = &metrics_path {
+                write_metrics(&registry, path)?;
+            }
+            Ok(())
+        }
+        "dbstats" => {
+            let Some(db_path) = args.get(1) else {
+                return Err("dbstats needs <db.gspan>".into());
+            };
+            let db = read_graphs_file(db_path)?;
+            let s = graph_core::db_stats(&db);
+            println!("graphs:              {}", s.graphs);
+            println!("mean vertices:       {:.2}", s.mean_vertices);
+            println!("mean edges:          {:.2}", s.mean_edges);
+            println!("max vertices:        {}", s.max_vertices);
+            println!("max edges:           {}", s.max_edges);
+            println!("mean degree:         {:.2}", s.mean_degree);
+            println!("max degree:          {}", s.max_degree);
+            println!("distinct v-labels:   {}", s.vertex_labels);
+            println!("distinct e-labels:   {}", s.edge_labels);
+            println!("tree fraction:       {:.2}", s.tree_fraction);
+            println!("connected fraction:  {:.2}", s.connected_fraction);
+            println!("mean cyclomatic no.: {:.2}", s.mean_cycles);
+            let cap = 20usize;
+            for (title, hist) in [
+                (
+                    "vertex label histogram",
+                    graph_core::vertex_label_histogram(&db),
+                ),
+                (
+                    "edge label histogram",
+                    graph_core::edge_label_histogram(&db),
+                ),
+            ] {
+                println!("{title}:");
+                for &(label, count) in hist.iter().take(cap) {
+                    println!("  {label:>6}: {count}");
+                }
+                if hist.len() > cap {
+                    println!("  … and {} more labels", hist.len() - cap);
+                }
             }
             Ok(())
         }

@@ -18,6 +18,81 @@ fn build_both(db: &[Graph]) -> (TreePiIndex, f64, GIndex, f64) {
     (tp, ms(t_tp), gi, ms(t_gi))
 }
 
+/// Per-stage wall-time breakdown from the `obs` registries: one metered
+/// batch run per system, printed as a table (total / mean / p95 per
+/// pipeline stage) and written to `stages_{dataset}.csv`. gIndex reports
+/// under the same span names; its partition and prune rows are zero by
+/// construction — that empty cell *is* the comparison the paper makes.
+fn stage_breakdown(
+    opts: &Opts,
+    dataset: &str,
+    tp: &TreePiIndex,
+    gi: &GIndex,
+    queries: &[Graph],
+    seed: u64,
+) {
+    if !obs::COMPILED_IN {
+        return;
+    }
+    let tp_reg = obs::Registry::new();
+    let _ = tp.query_batch_obs(queries, QueryOptions::default(), 0, seed, &tp_reg);
+    let tp_m = tp_reg.drain();
+    let gi_reg = obs::Registry::new();
+    let _ = gi.query_batch_obs(queries, 0, &gi_reg);
+    let gi_m = gi_reg.drain();
+    println!(
+        "-- stage breakdown over {} queries of size {} (obs spans, both systems) --",
+        queries.len(),
+        queries.first().map_or(0, |q| q.edge_count())
+    );
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for name in obs::names::PIPELINE_SPANS {
+        let t = tp_m.span(name).cloned().unwrap_or_default();
+        let g = gi_m.span(name).cloned().unwrap_or_default();
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.2}", t.total_ns as f64 / 1e6),
+            format!("{:.1}", t.mean_ns() as f64 / 1e3),
+            format!("{:.1}", t.quantile_ns(0.95) as f64 / 1e3),
+            format!("{:.2}", g.total_ns as f64 / 1e6),
+            format!("{:.1}", g.mean_ns() as f64 / 1e3),
+        ]);
+        csv.push(format!(
+            "{name},{:.3},{:.3},{:.3},{:.3}",
+            t.total_ns as f64 / 1e6,
+            t.mean_ns() as f64 / 1e3,
+            g.total_ns as f64 / 1e6,
+            g.mean_ns() as f64 / 1e3,
+        ));
+    }
+    print_table(
+        &[
+            "stage",
+            "tp total ms",
+            "tp mean µs",
+            "tp p95 µs",
+            "gi total ms",
+            "gi mean µs",
+        ],
+        &rows,
+    );
+    println!(
+        "   funnel: {} queries, |Pq| {} -> |P'q| {} -> |Dq| {} (gIndex |Cq| {})",
+        tp_m.counter(obs::names::QUERIES),
+        tp_m.counter(obs::names::FILTERED),
+        tp_m.counter(obs::names::PRUNED),
+        tp_m.counter(obs::names::ANSWERS),
+        gi_m.counter(obs::names::FILTERED),
+    );
+    write_csv(
+        opts,
+        &format!("stages_{dataset}.csv"),
+        "stage,treepi_total_ms,treepi_mean_us,gindex_total_ms,gindex_mean_us",
+        &csv,
+    );
+}
+
 /// Figure 9: index size (number of features) as the test dataset Γ_N grows.
 pub fn fig9(opts: &Opts) {
     println!("== Figure 9: index size vs dataset size (AIDS surrogate) ==");
@@ -303,8 +378,12 @@ pub fn fig_query_time(opts: &Opts, dataset: &str) {
     let mut rng = rng_for(opts, "figquery");
     let mut rows = Vec::new();
     let mut csv = Vec::new();
+    let mut breakdown_queries: Option<Vec<Graph>> = None;
     for &m in &m_values {
         let queries = extract_queries(&db, m, per_size, &mut rng);
+        // The breakdown below runs on the largest query size, where the
+        // per-stage split is most pronounced.
+        breakdown_queries = Some(queries.clone());
         let (answers_tp, t_tp) = timed(|| {
             queries
                 .iter()
@@ -358,6 +437,9 @@ pub fn fig_query_time(opts: &Opts, dataset: &str) {
         "m,treepi_ms_per_query,treepi_par_ms_per_query,gindex_ms_per_query",
         &csv,
     );
+    if let Some(queries) = &breakdown_queries {
+        stage_breakdown(opts, dataset, &tp, &gi, queries, opts.seed ^ 0x5747);
+    }
 }
 
 /// Ablations called out in DESIGN.md: contribution of each pipeline stage

@@ -32,6 +32,25 @@ impl GQueryStats {
     pub fn total(&self) -> Duration {
         self.t_filter + self.t_verify
     }
+
+    /// Record this query's funnel counters and stage timings into `shard`,
+    /// under the **same names** TreePi uses so cross-system metric files
+    /// line up column-for-column. gIndex has no partition or CDC-prune
+    /// stage, so those two spans get zero-duration observations and
+    /// `funnel.pruned` equals `funnel.filtered` (every filtered candidate
+    /// reaches verification).
+    pub fn record_into(&self, shard: &obs::Shard) {
+        shard.add(obs::names::QUERIES, 1);
+        shard.add(obs::names::FILTERED, self.filtered as u64);
+        shard.add(obs::names::PRUNED, self.filtered as u64);
+        shard.add(obs::names::ANSWERS, self.answers as u64);
+        shard.add("gindex.enumerated", self.enumerated as u64);
+        shard.add("gindex.fragments_used", self.fragments_used as u64);
+        shard.observe(obs::names::SPAN_PARTITION, Duration::ZERO);
+        shard.observe(obs::names::SPAN_FILTER, self.t_filter);
+        shard.observe(obs::names::SPAN_PRUNE, Duration::ZERO);
+        shard.observe(obs::names::SPAN_VERIFY, self.t_verify);
+    }
 }
 
 /// Result of a gIndex query.
@@ -108,15 +127,25 @@ impl GIndex {
 
     /// Full gIndex query: filter then naive verification.
     pub fn query(&self, q: &Graph) -> GQueryResult {
+        self.query_obs(q, &obs::Shard::disabled())
+    }
+
+    /// [`Self::query`] recording stage spans and funnel counters into
+    /// `shard` (see [`GQueryStats::record_into`]). The per-candidate
+    /// isomorphism tests are counted as `graph.iso_tests`.
+    pub fn query_obs(&self, q: &Graph, shard: &obs::Shard) -> GQueryResult {
         assert!(q.edge_count() > 0, "queries must have at least one edge");
         let (candidates, mut stats) = self.candidates(q);
         let t = Instant::now();
         let matches: Vec<u32> = candidates
             .into_iter()
-            .filter(|&gid| graph_core::is_subgraph_isomorphic(q, &self.db()[gid as usize]))
+            .filter(|&gid| {
+                graph_core::is_subgraph_isomorphic_obs(q, &self.db()[gid as usize], shard)
+            })
             .collect();
         stats.t_verify = t.elapsed();
         stats.answers = matches.len();
+        stats.record_into(shard);
         GQueryResult { matches, stats }
     }
 
@@ -127,7 +156,21 @@ impl GIndex {
     /// at any thread count; queries are self-scheduled off a shared
     /// counter and returned in query order.
     pub fn query_batch(&self, queries: &[Graph], threads: usize) -> Vec<GQueryResult> {
-        graph_core::par::ordered_map(queries, threads, |q| self.query(q))
+        self.query_batch_obs(queries, threads, &obs::Registry::disabled())
+    }
+
+    /// [`Self::query_batch`] recording metrics into `registry`: per-worker
+    /// shards merged at batch end (`engine.*` describes execution shape;
+    /// everything else is thread-count invariant, exactly as for TreePi).
+    pub fn query_batch_obs(
+        &self,
+        queries: &[Graph],
+        threads: usize,
+        registry: &obs::Registry,
+    ) -> Vec<GQueryResult> {
+        graph_core::par::ordered_map_obs(queries, threads, registry, |q, shard| {
+            self.query_obs(q, shard)
+        })
     }
 }
 
@@ -199,6 +242,46 @@ mod tests {
         let r = idx.query(&q);
         assert!(r.stats.fragments_used >= 1);
         assert!(r.stats.enumerated >= r.stats.fragments_used);
+    }
+
+    #[test]
+    fn obs_counters_reconcile_and_share_treepi_names() {
+        let idx = index();
+        let queries = vec![
+            graph_from(&[0, 0], &[(0, 1, 0)]),
+            graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]),
+            graph_from(&[9, 9], &[(0, 1, 0)]),
+        ];
+        let run = |threads: usize| {
+            let reg = obs::Registry::new();
+            let results = idx.query_batch_obs(&queries, threads, &reg);
+            (results, reg.drain())
+        };
+        let (results, m) = run(1);
+        if !obs::COMPILED_IN {
+            return;
+        }
+        assert_eq!(m.counter(obs::names::QUERIES), queries.len() as u64);
+        let filtered: u64 = results.iter().map(|r| r.stats.filtered as u64).sum();
+        let answers: u64 = results.iter().map(|r| r.stats.answers as u64).sum();
+        assert_eq!(m.counter(obs::names::FILTERED), filtered);
+        assert_eq!(m.counter(obs::names::ANSWERS), answers);
+        // all four TreePi pipeline spans exist (partition/prune are zeros)
+        for name in obs::names::PIPELINE_SPANS {
+            assert_eq!(
+                m.span(name).expect("span present").count,
+                queries.len() as u64,
+                "{name}"
+            );
+        }
+        for threads in [2, 8] {
+            let (_, m2) = run(threads);
+            assert_eq!(
+                m2.deterministic_counters(),
+                m.deterministic_counters(),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -31,6 +31,12 @@ pub fn bfs_distances(g: &Graph, src: VertexId) -> Vec<u32> {
     dist
 }
 
+/// [`bfs_distances`] with the traversal tallied on `shard` as `graph.bfs`.
+pub fn bfs_distances_obs(g: &Graph, src: VertexId, shard: &obs::Shard) -> Vec<u32> {
+    shard.add("graph.bfs", 1);
+    bfs_distances(g, src)
+}
+
 /// Shortest-path distance between two vertices, or [`UNREACHABLE`].
 pub fn distance(g: &Graph, a: VertexId, b: VertexId) -> u32 {
     if a == b {
@@ -73,6 +79,7 @@ pub fn eccentricity(g: &Graph, v: VertexId) -> u32 {
 pub struct DistanceOracle<'g> {
     g: &'g Graph,
     rows: FxHashMap<VertexId, Vec<u32>>,
+    bfs_runs: u64,
 }
 
 impl<'g> DistanceOracle<'g> {
@@ -81,6 +88,7 @@ impl<'g> DistanceOracle<'g> {
         Self {
             g,
             rows: FxHashMap::default(),
+            bfs_runs: 0,
         }
     }
 
@@ -94,16 +102,23 @@ impl<'g> DistanceOracle<'g> {
         if let Some(row) = self.rows.get(&b) {
             return row[a.idx()];
         }
-        let row = self
-            .rows
-            .entry(a)
-            .or_insert_with(|| bfs_distances(self.g, a));
-        row[b.idx()]
+        if !self.rows.contains_key(&a) {
+            self.bfs_runs += 1;
+            self.rows.insert(a, bfs_distances(self.g, a));
+        }
+        self.rows[&a][b.idx()]
     }
 
     /// Number of cached BFS rows (for tests / diagnostics).
     pub fn cached_rows(&self) -> usize {
         self.rows.len()
+    }
+
+    /// Number of BFS traversals this oracle has paid for — the work metric
+    /// the `graph.bfs` counter reports. Equals [`Self::cached_rows`] today,
+    /// but counts *traversals*, so it stays correct if rows are ever evicted.
+    pub fn bfs_runs(&self) -> u64 {
+        self.bfs_runs
     }
 }
 
@@ -176,5 +191,6 @@ mod tests {
         assert_eq!(o.dist(VertexId(1), VertexId(4)), 3);
         assert_eq!(o.cached_rows(), 2);
         assert_eq!(o.dist(VertexId(2), VertexId(2)), 0);
+        assert_eq!(o.bfs_runs(), 2);
     }
 }

@@ -30,15 +30,19 @@ pub use digraph::{
     digraph_from, is_sub_digraph_isomorphic, Arc, DiBuildError, DiGraph, DiGraphBuilder,
     MIDPOINT_LABEL_BASE,
 };
-pub use dist::{bfs_distances, distance, eccentricity, DistanceOracle, UNREACHABLE};
+pub use dist::{
+    bfs_distances, bfs_distances_obs, distance, eccentricity, DistanceOracle, UNREACHABLE,
+};
 pub use graph::{
     graph_from, BuildError, ELabel, Edge, EdgeId, Graph, GraphBuilder, VLabel, VertexId,
 };
 pub use iso::{
     all_embeddings, automorphisms, find_embedding, for_each_embedding, for_each_embedding_pinned,
-    for_each_embedding_rooted, is_isomorphic, is_subgraph_isomorphic, Embedding,
+    for_each_embedding_rooted, is_isomorphic, is_subgraph_isomorphic, is_subgraph_isomorphic_obs,
+    Embedding,
 };
-pub use stats::{component_count, db_stats, vertex_label_histogram, DbStats};
+pub use par::{ordered_map, ordered_map_obs, resolve_threads};
+pub use stats::{component_count, db_stats, edge_label_histogram, vertex_label_histogram, DbStats};
 pub use subgraph::{
     edge_components, edge_subgraph, for_each_connected_edge_subset, for_each_subtree_edge_subset,
     random_connected_edge_subgraph, ExtractedSubgraph,

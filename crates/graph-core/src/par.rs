@@ -29,9 +29,39 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    ordered_map_obs(items, threads, &obs::Registry::disabled(), |item, _| {
+        f(item)
+    })
+}
+
+/// [`ordered_map`] with per-worker metric shards: `f` receives the item and
+/// the worker's [`obs::Shard`]; shards merge into `registry` as each worker
+/// finishes. The pool itself records `engine.workers`, per-item
+/// `engine.items`, and an `engine.worker_wall` span per worker — all under
+/// the `engine.` namespace because they describe execution shape, not work
+/// done (see `obs::MetricSet::deterministic_counters`).
+pub fn ordered_map_obs<T, R, F>(
+    items: &[T],
+    threads: usize,
+    registry: &obs::Registry,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T, &obs::Shard) -> R + Sync,
+{
     let threads = resolve_threads(threads).min(items.len().max(1));
     if threads <= 1 {
-        return items.iter().map(&f).collect();
+        let shard = registry.shard();
+        shard.add("engine.workers", 1);
+        shard.add("engine.items", items.len() as u64);
+        let out = {
+            let _wall = shard.span("engine.worker_wall");
+            items.iter().map(|item| f(item, &shard)).collect()
+        };
+        registry.absorb(shard);
+        return out;
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
@@ -40,12 +70,23 @@ where
             let next = &next;
             let slots = &slots;
             let f = &f;
-            s.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+            s.spawn(move || {
+                let shard = registry.shard();
+                let mut served = 0u64;
+                {
+                    let _wall = shard.span("engine.worker_wall");
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        *slots[i].lock().expect("slot") = Some(f(&items[i], &shard));
+                        served += 1;
+                    }
                 }
-                *slots[i].lock().expect("slot") = Some(f(&items[i]));
+                shard.add("engine.workers", 1);
+                shard.add("engine.items", served);
+                registry.absorb(shard);
             });
         }
     });
@@ -80,6 +121,24 @@ mod tests {
         let base = vec![10u32, 20, 30];
         let out = ordered_map(&[0usize, 1, 2], 2, |&i| base[i]);
         assert_eq!(out, base);
+    }
+
+    #[test]
+    fn obs_variant_accounts_for_every_item() {
+        let items: Vec<u64> = (0..50).collect();
+        for threads in [1, 3, 8] {
+            let registry = obs::Registry::new();
+            let out = ordered_map_obs(&items, threads, &registry, |&x, shard| {
+                shard.add("work.units", x);
+                x
+            });
+            assert_eq!(out, items);
+            let snap = registry.snapshot();
+            assert_eq!(snap.counter("engine.items"), 50);
+            assert_eq!(snap.counter("work.units"), (0..50).sum::<u64>());
+            assert!(snap.counter("engine.workers") >= 1);
+            assert!(snap.counter("engine.workers") <= threads as u64);
+        }
     }
 
     #[test]

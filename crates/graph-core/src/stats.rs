@@ -50,6 +50,19 @@ pub fn vertex_label_histogram(db: &[Graph]) -> Vec<(u32, usize)> {
     out
 }
 
+/// Frequency of each edge label, descending.
+pub fn edge_label_histogram(db: &[Graph]) -> Vec<(u32, usize)> {
+    let mut counts: FxHashMap<u32, usize> = FxHashMap::default();
+    for g in db {
+        for e in g.edges() {
+            *counts.entry(e.label.0).or_insert(0) += 1;
+        }
+    }
+    let mut out: Vec<(u32, usize)> = counts.into_iter().collect();
+    out.sort_by_key(|&(l, c)| (std::cmp::Reverse(c), l));
+    out
+}
+
 /// Number of connected components of `g`.
 pub fn component_count(g: &Graph) -> usize {
     let n = g.vertex_count();
@@ -175,6 +188,14 @@ mod tests {
         assert_eq!(h[0], (0, 5));
         assert_eq!(h[1], (1, 3));
         assert_eq!(h[2], (2, 2));
+    }
+
+    #[test]
+    fn edge_histogram_sorted_by_frequency() {
+        let h = edge_label_histogram(&sample());
+        // g0: labels 0,1; g1: 0,0,0; g2: 0,0 → 0×6, 1×1
+        assert_eq!(h, vec![(0, 6), (1, 1)]);
+        assert!(edge_label_histogram(&[]).is_empty());
     }
 
     #[test]

@@ -202,6 +202,20 @@ pub fn mine_frequent_trees(
     mine_frequent_trees_levelwise(db, sigma, limits)
 }
 
+/// [`mine_frequent_trees`] with per-level metrics recorded on `shard`:
+/// a `mine.level{s}` span per level plus `mine.level{s}.candidates` /
+/// `.patterns` / `.pruned_by_support` counters (distinct candidate
+/// patterns, survivors of the σ(s) filter, and the difference), and the
+/// run totals `mine.candidates` (instances generated) and `mine.patterns`.
+pub fn mine_frequent_trees_obs(
+    db: &[Graph],
+    sigma: &SigmaFn,
+    limits: &MiningLimits,
+    shard: &obs::Shard,
+) -> (Vec<MinedTree>, MiningStats) {
+    mine_frequent_trees_levelwise_obs(db, sigma, limits, shard)
+}
+
 /// Occurrence-list level-wise mining — the default engine, and the "level
 /// wise edge-increasing" method the paper prescribes.
 ///
@@ -227,6 +241,17 @@ pub fn mine_frequent_trees_levelwise(
     db: &[Graph],
     sigma: &SigmaFn,
     limits: &MiningLimits,
+) -> (Vec<MinedTree>, MiningStats) {
+    mine_frequent_trees_levelwise_obs(db, sigma, limits, &obs::Shard::disabled())
+}
+
+/// [`mine_frequent_trees_levelwise`] with per-level metrics on `shard`
+/// (see [`mine_frequent_trees_obs`] for the metric names).
+pub fn mine_frequent_trees_levelwise_obs(
+    db: &[Graph],
+    sigma: &SigmaFn,
+    limits: &MiningLimits,
+    shard: &obs::Shard,
 ) -> (Vec<MinedTree>, MiningStats) {
     use smallvec::SmallVec;
     type Mapping = SmallVec<[u32; 11]>; // pattern vertex -> host vertex
@@ -260,6 +285,7 @@ pub fn mine_frequent_trees_levelwise(
     }
 
     // ---- Level 1: single-edge patterns, one instance per host edge. ----
+    let level1_span = shard.span("mine.level1");
     let mut level: Level = FxHashMap::default();
     for (gid, g) in db.iter().enumerate() {
         let gid = gid as u32;
@@ -289,7 +315,15 @@ pub fn mine_frequent_trees_levelwise(
         }
     }
     let t1 = sigma.threshold(1).expect("σ(1) must be finite") as usize;
+    let level1_candidates = level.len() as u64;
     level.retain(|_, reps| canon_support(reps).len() >= t1);
+    shard.add("mine.level1.candidates", level1_candidates);
+    shard.add("mine.level1.patterns", level.len() as u64);
+    shard.add(
+        "mine.level1.pruned_by_support",
+        level1_candidates - level.len() as u64,
+    );
+    drop(level1_span);
 
     let mut result: Vec<MinedTree> = level
         .iter()
@@ -309,6 +343,8 @@ pub fn mine_frequent_trees_levelwise(
             break;
         };
         let next_threshold = next_threshold as usize;
+        let level_name = format!("mine.level{}", size + 1);
+        let _level_span = shard.span(&level_name);
 
         let mut seen: FxHashSet<(u32, EdgeSet)> = FxHashSet::default();
         let mut next: Level = FxHashMap::default();
@@ -380,7 +416,14 @@ pub fn mine_frequent_trees_levelwise(
             stats.truncated = true;
             break;
         }
+        let level_candidates = next.len() as u64;
         next.retain(|_, reps| canon_support(reps).len() >= next_threshold);
+        shard.add(&format!("{level_name}.candidates"), level_candidates);
+        shard.add(&format!("{level_name}.patterns"), next.len() as u64);
+        shard.add(
+            &format!("{level_name}.pruned_by_support"),
+            level_candidates - next.len() as u64,
+        );
         if next.is_empty() {
             break;
         }
@@ -407,6 +450,8 @@ pub fn mine_frequent_trees_levelwise(
 
     result.sort_by(|a, b| (a.size(), &a.canon).cmp(&(b.size(), &b.canon)));
     stats.patterns = result.len();
+    shard.add("mine.candidates", stats.candidates as u64);
+    shard.add("mine.patterns", stats.patterns as u64);
     (result, stats)
 }
 
@@ -855,6 +900,25 @@ mod tests {
         assert!(stats.patterns > 0);
         assert!(stats.candidates > 0);
         assert!(!stats.truncated);
+    }
+
+    #[test]
+    fn obs_counters_match_stats() {
+        let db = tiny_db();
+        let shard = obs::Shard::detached(true);
+        let (mined, stats) =
+            mine_frequent_trees_obs(&db, &uniform_sigma(3), &MiningLimits::default(), &shard);
+        let set = shard.into_set();
+        assert_eq!(set.counter("mine.patterns"), stats.patterns as u64);
+        assert_eq!(set.counter("mine.candidates"), stats.candidates as u64);
+        assert_eq!(set.counter("mine.level1.patterns"), 3);
+        assert!(set.span("mine.level1").is_some());
+        assert!(set.span("mine.level2").is_some());
+        // Per-level pattern counts sum to the total.
+        let per_level: u64 = (1..=3)
+            .map(|s| set.counter(&format!("mine.level{s}.patterns")))
+            .sum();
+        assert_eq!(per_level, mined.len() as u64);
     }
 
     #[test]

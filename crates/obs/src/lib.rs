@@ -1,0 +1,800 @@
+//! Stage-level observability for the TreePi pipeline.
+//!
+//! The paper's evaluation (§6, Figures 9–13) decomposes query cost into a
+//! filter/prune/verify funnel; this crate is the measurement layer that
+//! makes the same decomposition available at runtime: **spans** (RAII wall
+//! timers with log-bucketed latency histograms), **counters** (monotonic
+//! event tallies), and a thread-safe [`Registry`] that aggregates them.
+//!
+//! Design constraints (see DESIGN.md, "Observability"):
+//!
+//! - **No locks on the fast path.** Work records into a worker-owned
+//!   [`Shard`] (interior mutability, `!Sync`); shards are merged into the
+//!   registry's aggregate once, at batch end ([`Registry::absorb`]).
+//! - **No globals.** Everything flows through explicit `&Registry` /
+//!   `&Shard` handles; a disabled handle ([`Registry::disabled`],
+//!   [`Shard::disabled`]) makes every record call a single branch.
+//! - **Deterministic aggregation.** Merging is commutative integer
+//!   addition, so counter totals are bit-identical for any thread count or
+//!   scheduling order. By convention, names under the `engine.` prefix
+//!   describe *execution shape* (worker counts, busy time) and are exempt;
+//!   [`MetricSet::deterministic_counters`] applies the convention.
+//! - **Stable rendering.** Metric names sort lexicographically in both the
+//!   human-readable text table and the versioned JSON schema
+//!   ([`JSON_SCHEMA`]); see EXPERIMENTS.md for the schema reference.
+//!
+//! Compile-time off switch: building with the `off` feature pins
+//! [`COMPILED_IN`] to `false`, so even [`Registry::new`] yields a disabled
+//! registry and the instrumented hot paths cost one predictable branch.
+//!
+//! ```
+//! let registry = obs::Registry::new();
+//! let shard = registry.shard();
+//! {
+//!     let _span = shard.span("query.filter");
+//!     shard.add("funnel.filtered", 42);
+//! } // span records its elapsed time on drop
+//! registry.absorb(shard);
+//! let snap = registry.snapshot();
+//! # if obs::COMPILED_IN {
+//! assert_eq!(snap.counter("funnel.filtered"), 42);
+//! assert_eq!(snap.span("query.filter").unwrap().count, 1);
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Whether instrumentation is compiled in (`false` under the `off` feature).
+pub const COMPILED_IN: bool = !cfg!(feature = "off");
+
+/// Version tag embedded in every JSON rendering of a [`MetricSet`].
+pub const JSON_SCHEMA: &str = "treepi.obs/v1";
+
+/// Number of logarithmic latency buckets. Bucket `i > 0` covers
+/// `(2^(i-1), 2^i]` nanoseconds; bucket 0 is exactly 0 ns. 48 buckets reach
+/// ~78 hours, far beyond any span this codebase times.
+pub const BUCKETS: usize = 48;
+
+/// Bucket index for a nanosecond value.
+#[inline]
+fn bucket_of(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        (64 - ns.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Upper bound (ns) of bucket `i` — the value quantile estimates report.
+#[inline]
+pub fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << i
+    }
+}
+
+/// Aggregated statistics of one named span: invocation count, total wall
+/// time, min/max, and a log-bucketed latency histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of recorded invocations.
+    pub count: u64,
+    /// Sum of recorded durations in nanoseconds.
+    pub total_ns: u64,
+    /// Shortest recorded duration (ns); 0 when `count == 0`.
+    pub min_ns: u64,
+    /// Longest recorded duration (ns).
+    pub max_ns: u64,
+    /// Log-bucketed histogram; `buckets[i]` counts durations in bucket `i`.
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for SpanStat {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl SpanStat {
+    /// Record one duration.
+    pub fn observe_ns(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns += ns;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.buckets[bucket_of(ns)] += 1;
+    }
+
+    /// Merge another span's statistics into this one (commutative).
+    pub fn merge(&mut self, other: &SpanStat) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Mean duration in nanoseconds (0 when never recorded).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Histogram quantile estimate: the upper bound of the smallest bucket
+    /// holding at least a `p` fraction of samples (`0.0 ≤ p ≤ 1.0`). An
+    /// upper bound by construction — never under-reports the tail.
+    pub fn quantile_ns(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * p).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Minimum as reported (0 instead of the `u64::MAX` sentinel).
+    pub fn min_ns_or_zero(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+}
+
+/// A plain, unsynchronized collection of named counters and span stats —
+/// the payload of a [`Shard`] and the aggregate held by a [`Registry`].
+///
+/// Names sort lexicographically (BTreeMap), which is what makes text and
+/// JSON renderings stable across runs and thread counts.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricSet {
+    counters: BTreeMap<String, u64>,
+    spans: BTreeMap<String, SpanStat>,
+}
+
+impl MetricSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.spans.is_empty()
+    }
+
+    /// Add `n` to counter `name` (created at 0 on first use).
+    pub fn add(&mut self, name: &str, n: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c += n,
+            None => {
+                self.counters.insert(name.to_string(), n);
+            }
+        }
+    }
+
+    /// Record a duration under span `name`.
+    pub fn observe_ns(&mut self, name: &str, ns: u64) {
+        match self.spans.get_mut(name) {
+            Some(s) => s.observe_ns(ns),
+            None => {
+                let mut s = SpanStat::default();
+                s.observe_ns(ns);
+                self.spans.insert(name.to_string(), s);
+            }
+        }
+    }
+
+    /// Merge `other` into `self` (commutative and associative, so the merge
+    /// order of per-worker shards cannot change any total).
+    pub fn merge(&mut self, other: &MetricSet) {
+        for (k, v) in &other.counters {
+            self.add(k, *v);
+        }
+        for (k, s) in &other.spans {
+            match self.spans.get_mut(k) {
+                Some(mine) => mine.merge(s),
+                None => {
+                    self.spans.insert(k.clone(), s.clone());
+                }
+            }
+        }
+    }
+
+    /// Current value of counter `name` (0 if never recorded).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Statistics of span `name`, if recorded.
+    pub fn span(&self, name: &str) -> Option<&SpanStat> {
+        self.spans.get(name)
+    }
+
+    /// All counters, name-sorted.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All spans, name-sorted.
+    pub fn spans(&self) -> impl Iterator<Item = (&str, &SpanStat)> {
+        self.spans.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The counters covered by the determinism contract: everything except
+    /// the `engine.` namespace, whose values describe execution shape
+    /// (worker counts, scheduling) and legitimately vary with `--threads`.
+    /// Totals here must be bit-identical at any thread count.
+    pub fn deterministic_counters(&self) -> BTreeMap<String, u64> {
+        self.counters
+            .iter()
+            .filter(|(k, _)| !k.starts_with("engine."))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Human-readable rendering: a counter table then a span table, both
+    /// name-sorted.
+    pub fn render_text(&self) -> String {
+        fn dur(ns: u64) -> String {
+            if ns >= 1_000_000_000 {
+                format!("{:.2}s", ns as f64 / 1e9)
+            } else if ns >= 1_000_000 {
+                format!("{:.2}ms", ns as f64 / 1e6)
+            } else if ns >= 1_000 {
+                format!("{:.2}us", ns as f64 / 1e3)
+            } else {
+                format!("{ns}ns")
+            }
+        }
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            let w = self.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (k, v) in &self.counters {
+                out.push_str(&format!("  {k:<w$}  {v}\n"));
+            }
+        }
+        if !self.spans.is_empty() {
+            let w = self.spans.keys().map(|k| k.len()).max().unwrap_or(0).max(4);
+            out.push_str(&format!(
+                "spans:\n  {:<w$}  {:>8}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}\n",
+                "name", "count", "total", "mean", "p50", "p95", "max"
+            ));
+            for (k, s) in &self.spans {
+                out.push_str(&format!(
+                    "  {k:<w$}  {:>8}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}\n",
+                    s.count,
+                    dur(s.total_ns),
+                    dur(s.mean_ns()),
+                    dur(s.quantile_ns(0.50)),
+                    dur(s.quantile_ns(0.95)),
+                    dur(s.max_ns),
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+
+    /// Stable JSON rendering (schema [`JSON_SCHEMA`]; documented with a
+    /// worked example in EXPERIMENTS.md). Counter values and span counts
+    /// are deterministic; `*_ns` fields are wall-clock measurements and are
+    /// not. Histogram buckets are emitted sparsely as
+    /// `[bucket_upper_ns, count]` pairs.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"schema\": {},\n",
+            json::escape_string(JSON_SCHEMA)
+        ));
+        out.push_str("  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {v}", json::escape_string(k)));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
+        out.push_str("  \"spans\": {");
+        for (i, (k, s)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let buckets: Vec<String> = s
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(b, &c)| format!("[{}, {c}]", bucket_upper(b)))
+                .collect();
+            out.push_str(&format!(
+                "\n    {}: {{\"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+                 \"mean_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"buckets\": [{}]}}",
+                json::escape_string(k),
+                s.count,
+                s.total_ns,
+                s.min_ns_or_zero(),
+                s.max_ns,
+                s.mean_ns(),
+                s.quantile_ns(0.50),
+                s.quantile_ns(0.95),
+                buckets.join(", ")
+            ));
+        }
+        if !self.spans.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+/// A worker-owned metric shard: interior mutability, no synchronization,
+/// `!Sync` by construction. Create one per worker from
+/// [`Registry::shard`] (or free-standing via [`Shard::detached`]), record
+/// into it lock-free, and hand it back with [`Registry::absorb`].
+#[derive(Debug)]
+pub struct Shard {
+    enabled: bool,
+    set: RefCell<MetricSet>,
+}
+
+impl Shard {
+    /// A free-standing shard, not tied to a registry. Enabled shards can be
+    /// merged into another shard ([`Shard::merge`]) or absorbed later.
+    pub fn detached(enabled: bool) -> Self {
+        Self {
+            enabled: enabled && COMPILED_IN,
+            set: RefCell::new(MetricSet::new()),
+        }
+    }
+
+    /// A permanently disabled shard: every record call is one branch.
+    pub fn disabled() -> Self {
+        Self::detached(false)
+    }
+
+    /// Whether this shard records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// An empty shard with the same enablement (for handing to a helper
+    /// thread; merge it back with [`Shard::merge`]).
+    pub fn fork(&self) -> Shard {
+        Shard::detached(self.enabled)
+    }
+
+    /// Merge a forked shard's metrics into this one.
+    pub fn merge(&self, child: Shard) {
+        if self.enabled {
+            self.set.borrow_mut().merge(&child.set.into_inner());
+        }
+    }
+
+    /// Add `n` to counter `name`.
+    #[inline]
+    pub fn add(&self, name: &str, n: u64) {
+        if self.enabled {
+            self.set.borrow_mut().add(name, n);
+        }
+    }
+
+    /// Record `d` under span `name`.
+    #[inline]
+    pub fn observe(&self, name: &str, d: Duration) {
+        if self.enabled {
+            self.set
+                .borrow_mut()
+                .observe_ns(name, d.as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+
+    /// Start an RAII span: the guard records the elapsed wall time under
+    /// `name` when dropped. Disabled shards skip even the clock read.
+    #[inline]
+    pub fn span<'a>(&'a self, name: &'a str) -> SpanGuard<'a> {
+        SpanGuard {
+            shard: self,
+            name,
+            start: self.enabled.then(Instant::now),
+        }
+    }
+
+    /// Take the recorded metrics, leaving the shard empty.
+    pub fn take(&self) -> MetricSet {
+        self.set.take()
+    }
+
+    /// Consume the shard, yielding its metrics.
+    pub fn into_set(self) -> MetricSet {
+        self.set.into_inner()
+    }
+}
+
+/// RAII span timer returned by [`Shard::span`]; records on drop.
+#[must_use = "a span guard records when dropped; binding it to _ drops it immediately"]
+pub struct SpanGuard<'a> {
+    shard: &'a Shard,
+    name: &'a str,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.shard.observe(self.name, start.elapsed());
+        }
+    }
+}
+
+/// A shared atomic tally for the rare cross-thread count where no shard is
+/// in scope (e.g. a scheduler statistic owned by no single worker). Record
+/// its final value into a shard or registry at batch end.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The thread-safe aggregation point: hands out [`Shard`]s and merges them
+/// back. The only lock is taken in [`Registry::absorb`]/[`Registry::snapshot`]
+/// — once per worker per batch, never per event.
+#[derive(Debug, Default)]
+pub struct Registry {
+    enabled: bool,
+    agg: Mutex<MetricSet>,
+}
+
+impl Registry {
+    /// An enabled registry (disabled anyway when compiled with `off`).
+    pub fn new() -> Self {
+        Self {
+            enabled: COMPILED_IN,
+            agg: Mutex::new(MetricSet::new()),
+        }
+    }
+
+    /// A disabled registry: shards it hands out record nothing, absorb is a
+    /// no-op, snapshots are empty.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            agg: Mutex::new(MetricSet::new()),
+        }
+    }
+
+    /// Whether metrics are being collected.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// A fresh shard with this registry's enablement.
+    pub fn shard(&self) -> Shard {
+        Shard::detached(self.enabled)
+    }
+
+    /// Merge a shard's metrics into the aggregate.
+    pub fn absorb(&self, shard: Shard) {
+        if self.enabled {
+            let set = shard.into_set();
+            if !set.is_empty() {
+                self.agg.lock().expect("obs registry poisoned").merge(&set);
+            }
+        }
+    }
+
+    /// Add directly to an aggregate counter (takes the lock — cold paths
+    /// only; hot paths go through a shard).
+    pub fn add(&self, name: &str, n: u64) {
+        if self.enabled {
+            self.agg.lock().expect("obs registry poisoned").add(name, n);
+        }
+    }
+
+    /// A copy of the current aggregate.
+    pub fn snapshot(&self) -> MetricSet {
+        self.agg.lock().expect("obs registry poisoned").clone()
+    }
+
+    /// Take the aggregate, resetting the registry to empty.
+    pub fn drain(&self) -> MetricSet {
+        std::mem::take(&mut *self.agg.lock().expect("obs registry poisoned"))
+    }
+}
+
+/// Canonical metric names shared across the pipeline layers, so treepi and
+/// the gindex baseline render directly comparable stage breakdowns.
+pub mod names {
+    /// Query partition stage (δ randomized partition runs + SF assembly).
+    pub const SPAN_PARTITION: &str = "query.partition";
+    /// Query filter stage (support-set intersection, Algorithm 1).
+    pub const SPAN_FILTER: &str = "query.filter";
+    /// Center-distance pruning stage (Algorithm 2).
+    pub const SPAN_PRUNE: &str = "query.prune";
+    /// Verification stage (Algorithm 3 / naive isomorphism).
+    pub const SPAN_VERIFY: &str = "query.verify";
+    /// The four pipeline stages in funnel order.
+    pub const PIPELINE_SPANS: [&str; 4] = [SPAN_PARTITION, SPAN_FILTER, SPAN_PRUNE, SPAN_VERIFY];
+
+    /// Queries processed.
+    pub const QUERIES: &str = "funnel.queries";
+    /// Candidates surviving the filter stage (Σ |P_q|).
+    pub const FILTERED: &str = "funnel.filtered";
+    /// Candidates surviving CDC pruning (Σ |P'_q|).
+    pub const PRUNED: &str = "funnel.pruned";
+    /// Exact answers (Σ |D_q|).
+    pub const ANSWERS: &str = "funnel.answers";
+    /// Queries short-circuited by a missing feature.
+    pub const MISSING_FEATURE: &str = "funnel.missing_feature";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(not(feature = "off"))]
+    fn counters_and_spans_round_trip() {
+        let r = Registry::new();
+        assert!(r.is_enabled());
+        let s = r.shard();
+        s.add("a.x", 3);
+        s.add("a.x", 4);
+        s.observe("t.y", Duration::from_micros(5));
+        {
+            let _g = s.span("t.z");
+        }
+        r.absorb(s);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a.x"), 7);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.span("t.y").unwrap().count, 1);
+        assert_eq!(snap.span("t.y").unwrap().total_ns, 5_000);
+        assert_eq!(snap.span("t.z").unwrap().count, 1);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = Registry::disabled();
+        let s = r.shard();
+        s.add("a", 1);
+        s.observe("b", Duration::from_secs(1));
+        {
+            let _g = s.span("c");
+        }
+        r.absorb(s);
+        assert!(r.snapshot().is_empty());
+        // Disabled spans never read the clock.
+        let d = Shard::disabled();
+        assert!(d.span("x").start.is_none());
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = MetricSet::new();
+        a.add("c", 1);
+        a.observe_ns("s", 10);
+        let mut b = MetricSet::new();
+        b.add("c", 2);
+        b.add("d", 5);
+        b.observe_ns("s", 1000);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("c"), 3);
+        let s = ab.span("s").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_ns, 1010);
+        assert_eq!(s.min_ns, 10);
+        assert_eq!(s.max_ns, 1000);
+    }
+
+    #[test]
+    #[cfg(not(feature = "off"))]
+    fn fork_and_merge_shards() {
+        let parent = Shard::detached(true);
+        parent.add("x", 1);
+        let child = parent.fork();
+        child.add("x", 2);
+        child.observe("s", Duration::from_nanos(7));
+        parent.merge(child);
+        let set = parent.into_set();
+        assert_eq!(set.counter("x"), 3);
+        assert_eq!(set.span("s").unwrap().count, 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        let mut s = SpanStat::default();
+        for ns in [1u64, 2, 3, 4, 1000] {
+            s.observe_ns(ns);
+        }
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min_ns, 1);
+        assert_eq!(s.max_ns, 1000);
+        // p50: rank 3 falls in bucket 2 (values 2,3) → upper bound 4.
+        assert_eq!(s.quantile_ns(0.50), 4);
+        // p95+ lands in the top occupied bucket, clamped to the max.
+        assert_eq!(s.quantile_ns(0.95), 1000);
+        assert_eq!(s.quantile_ns(1.0), 1000);
+        // Quantiles never under-report: p ≥ actual fraction at/below.
+        assert!(s.quantile_ns(0.2) >= 1);
+        // Empty span.
+        assert_eq!(SpanStat::default().quantile_ns(0.5), 0);
+        assert_eq!(SpanStat::default().mean_ns(), 0);
+        assert_eq!(SpanStat::default().min_ns_or_zero(), 0);
+    }
+
+    #[test]
+    fn deterministic_counters_exclude_engine_namespace() {
+        let mut m = MetricSet::new();
+        m.add("funnel.filtered", 10);
+        m.add("engine.workers", 4);
+        m.add("graph.bfs", 2);
+        let det = m.deterministic_counters();
+        assert_eq!(det.len(), 2);
+        assert!(det.contains_key("funnel.filtered"));
+        assert!(det.contains_key("graph.bfs"));
+        assert!(!det.contains_key("engine.workers"));
+    }
+
+    #[test]
+    fn text_rendering_is_stable_and_sorted() {
+        let mut m = MetricSet::new();
+        m.add("z.last", 1);
+        m.add("a.first", 2);
+        m.observe_ns("s.span", 1500);
+        let text = m.render_text();
+        let a = text.find("a.first").unwrap();
+        let z = text.find("z.last").unwrap();
+        assert!(a < z, "counters must sort by name:\n{text}");
+        assert!(text.contains("1.50us"));
+        assert_eq!(MetricSet::new().render_text(), "(no metrics recorded)\n");
+    }
+
+    #[test]
+    fn json_rendering_parses_and_round_trips_values() {
+        let mut m = MetricSet::new();
+        m.add("funnel.filtered", 7);
+        m.add("weird\"name\\", 1);
+        m.observe_ns("query.filter", 123);
+        m.observe_ns("query.filter", 456);
+        let text = m.render_json();
+        let v = json::parse(&text).expect("render_json must emit valid JSON");
+        assert_eq!(
+            v.get("schema").and_then(json::Value::as_str),
+            Some(JSON_SCHEMA)
+        );
+        let counters = v.get("counters").expect("counters object");
+        assert_eq!(
+            counters
+                .get("funnel.filtered")
+                .and_then(json::Value::as_u64),
+            Some(7)
+        );
+        assert_eq!(
+            counters.get("weird\"name\\").and_then(json::Value::as_u64),
+            Some(1)
+        );
+        let span = v
+            .get("spans")
+            .and_then(|s| s.get("query.filter"))
+            .expect("span object");
+        assert_eq!(span.get("count").and_then(json::Value::as_u64), Some(2));
+        assert_eq!(
+            span.get("total_ns").and_then(json::Value::as_u64),
+            Some(579)
+        );
+        // Empty set still renders valid JSON with both top-level keys.
+        let v = json::parse(&MetricSet::new().render_json()).unwrap();
+        assert!(v.get("counters").is_some());
+        assert!(v.get("spans").is_some());
+    }
+
+    #[test]
+    fn atomic_counter() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| c.add(5));
+            }
+        });
+        assert_eq!(c.get(), 20);
+    }
+
+    #[test]
+    #[cfg(not(feature = "off"))]
+    fn registry_add_and_drain() {
+        let r = Registry::new();
+        r.add("direct", 2);
+        r.add("direct", 3);
+        assert_eq!(r.snapshot().counter("direct"), 5);
+        let drained = r.drain();
+        assert_eq!(drained.counter("direct"), 5);
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    #[cfg(not(feature = "off"))]
+    fn absorb_from_worker_threads_sums_deterministically() {
+        let totals: Vec<u64> = [1usize, 2, 8]
+            .iter()
+            .map(|&workers| {
+                let r = Registry::new();
+                std::thread::scope(|s| {
+                    for w in 0..workers {
+                        let r = &r;
+                        s.spawn(move || {
+                            let shard = r.shard();
+                            // Same total work split differently per config.
+                            for _ in 0..(240 / workers) {
+                                shard.add("work.items", 1);
+                            }
+                            let _ = w;
+                            r.absorb(shard);
+                        });
+                    }
+                });
+                r.snapshot().counter("work.items")
+            })
+            .collect();
+        assert_eq!(totals, vec![240, 240, 240]);
+    }
+}

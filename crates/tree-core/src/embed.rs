@@ -43,7 +43,16 @@ impl CenterPos {
 /// Constraint pruning requires that the center of the *true* embedding of
 /// each partitioned feature tree is among the stored positions.
 pub fn center_positions(t: &Tree, g: &Graph) -> Vec<CenterPos> {
+    center_positions_obs(t, g, &obs::Shard::disabled())
+}
+
+/// [`center_positions`] with the enumeration work tallied on `shard`:
+/// `tree.embed.anchor_probes` counts label-matched anchor candidates whose
+/// rooted search actually ran, `tree.embed.centers_found` counts positions
+/// returned. Both are per-(tree, graph) work, independent of threading.
+pub fn center_positions_obs(t: &Tree, g: &Graph, shard: &obs::Shard) -> Vec<CenterPos> {
     let mut out = Vec::new();
+    let mut probes = 0u64;
     match center(t) {
         Center::Vertex(c) => {
             let want = t.graph().vlabel(c);
@@ -51,6 +60,7 @@ pub fn center_positions(t: &Tree, g: &Graph) -> Vec<CenterPos> {
                 if g.vlabel(v) != want {
                     continue;
                 }
+                probes += 1;
                 let mut hit = false;
                 let _ = for_each_embedding_rooted(t.graph(), g, c, v, |_| {
                     hit = true;
@@ -68,6 +78,7 @@ pub fn center_positions(t: &Tree, g: &Graph) -> Vec<CenterPos> {
                 if gedge.label != cedge.label {
                     continue;
                 }
+                probes += 1;
                 let mut hit = false;
                 // Try both orientations of the center edge onto the host
                 // edge; the host edge is the center image either way.
@@ -91,6 +102,8 @@ pub fn center_positions(t: &Tree, g: &Graph) -> Vec<CenterPos> {
             }
         }
     }
+    shard.add("tree.embed.anchor_probes", probes);
+    shard.add("tree.embed.centers_found", out.len() as u64);
     out
 }
 
@@ -267,6 +280,22 @@ mod tests {
             ControlFlow::Continue(())
         });
         assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn obs_variant_counts_probes_and_centers() {
+        let t = tree_from(&[1, 2, 1], &[(0, 1, 0), (1, 2, 0)]);
+        let g = graph_from(
+            &[1, 2, 1, 2, 1],
+            &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 4, 0)],
+        );
+        let shard = obs::Shard::detached(true);
+        let pos = center_positions_obs(&t, &g, &shard);
+        assert_eq!(pos.len(), 2);
+        let set = shard.into_set();
+        // Hosts 1 and 3 carry the center label 2.
+        assert_eq!(set.counter("tree.embed.anchor_probes"), 2);
+        assert_eq!(set.counter("tree.embed.centers_found"), 2);
     }
 
     #[test]

@@ -69,6 +69,27 @@ impl TreePiIndex {
         threads: usize,
         seed: u64,
     ) -> (Vec<QueryResult>, WorkloadSummary) {
+        self.query_batch_obs(queries, opts, threads, seed, &obs::Registry::disabled())
+    }
+
+    /// [`Self::query_batch`] recording metrics into `registry`.
+    ///
+    /// Each worker records into its own [`obs::Shard`] — no lock is touched
+    /// on the query path — and the shards are absorbed into the registry
+    /// only when the worker retires. Pipeline spans and `funnel.*` counters
+    /// are pure functions of the per-query outcomes, so their totals are
+    /// bit-identical for any `threads`. The `engine.*` namespace
+    /// (workers spawned, queries served per worker, busy vs wall time)
+    /// describes the execution shape and is explicitly excluded from the
+    /// determinism contract ([`obs::MetricSet::deterministic_counters`]).
+    pub fn query_batch_obs(
+        &self,
+        queries: &[Graph],
+        opts: QueryOptions,
+        threads: usize,
+        seed: u64,
+        registry: &obs::Registry,
+    ) -> (Vec<QueryResult>, WorkloadSummary) {
         let threads = resolve_threads(threads);
         // Spend the pool across queries first; only when the batch can't
         // occupy it do queries get intra-candidate workers.
@@ -78,11 +99,28 @@ impl TreePiIndex {
             threads / queries.len()
         };
         let results: Vec<QueryResult> = if threads == 1 || queries.len() <= 1 {
-            queries
-                .iter()
-                .enumerate()
-                .map(|(i, q)| self.query_with_threads(q, opts, &mut query_rng(seed, i), threads))
-                .collect()
+            let shard = registry.shard();
+            let results = {
+                let _wall = shard.span("engine.worker_wall");
+                queries
+                    .iter()
+                    .enumerate()
+                    .map(|(i, q)| {
+                        let _busy = shard.span("engine.worker_busy");
+                        self.query_with_threads_obs(
+                            q,
+                            opts,
+                            &mut query_rng(seed, i),
+                            threads,
+                            &shard,
+                        )
+                    })
+                    .collect()
+            };
+            shard.add("engine.workers", 1);
+            shard.add("engine.queries", queries.len() as u64);
+            registry.absorb(shard);
+            results
         } else {
             let next = AtomicUsize::new(0);
             let slots: Vec<Mutex<Option<QueryResult>>> =
@@ -93,23 +131,38 @@ impl TreePiIndex {
                     .map(|_| {
                         let next = &next;
                         let slots = &slots;
-                        s.spawn(move |_| loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= queries.len() {
-                                break;
+                        let shard = registry.shard();
+                        s.spawn(move |_| {
+                            let mut served = 0u64;
+                            {
+                                let _wall = shard.span("engine.worker_wall");
+                                loop {
+                                    let i = next.fetch_add(1, Ordering::Relaxed);
+                                    if i >= queries.len() {
+                                        break;
+                                    }
+                                    let r = {
+                                        let _busy = shard.span("engine.worker_busy");
+                                        self.query_with_threads_obs(
+                                            &queries[i],
+                                            opts,
+                                            &mut query_rng(seed, i),
+                                            intra,
+                                            &shard,
+                                        )
+                                    };
+                                    served += 1;
+                                    *slots[i].lock().expect("slot") = Some(r);
+                                }
                             }
-                            let r = self.query_with_threads(
-                                &queries[i],
-                                opts,
-                                &mut query_rng(seed, i),
-                                intra,
-                            );
-                            *slots[i].lock().expect("slot") = Some(r);
+                            shard.add("engine.workers", 1);
+                            shard.add("engine.queries", served);
+                            shard
                         })
                     })
                     .collect();
                 for h in handles {
-                    h.join().expect("batch worker panicked");
+                    registry.absorb(h.join().expect("batch worker panicked"));
                 }
             })
             .expect("batch scope");
@@ -226,6 +279,47 @@ mod tests {
         let (r1, _) = idx.query_batch(&qs, QueryOptions::default(), 1, 5);
         for (a, b) in r0.iter().zip(&r1) {
             assert_eq!(a.matches, b.matches);
+        }
+    }
+
+    #[test]
+    fn obs_funnel_reconciles_and_is_thread_invariant() {
+        let idx = index();
+        let qs = queries();
+        let run = |threads: usize| {
+            let reg = obs::Registry::new();
+            let (results, _) = idx.query_batch_obs(&qs, QueryOptions::default(), threads, 42, &reg);
+            (results, reg.drain())
+        };
+        let (base_r, base_m) = run(1);
+        if !obs::COMPILED_IN {
+            return;
+        }
+        // Counters reconcile exactly with the per-query stats.
+        assert_eq!(base_m.counter(obs::names::QUERIES), qs.len() as u64);
+        type Field = fn(&crate::QueryStats) -> usize;
+        let fields: [(&str, Field); 3] = [
+            (obs::names::FILTERED, |s| s.filtered),
+            (obs::names::PRUNED, |s| s.pruned),
+            (obs::names::ANSWERS, |s| s.answers),
+        ];
+        for (name, field) in fields {
+            let total: u64 = base_r.iter().map(|r| field(&r.stats) as u64).sum();
+            assert_eq!(base_m.counter(name), total, "{name}");
+        }
+        // All four pipeline spans observed once per query.
+        for name in obs::names::PIPELINE_SPANS {
+            let span = base_m.span(name).expect("pipeline span present");
+            assert_eq!(span.count, qs.len() as u64, "{name}");
+        }
+        // Everything outside engine.* is bit-identical at any thread count.
+        for threads in [2, 8] {
+            let (_, m) = run(threads);
+            assert_eq!(
+                m.deterministic_counters(),
+                base_m.deterministic_counters(),
+                "threads={threads}"
+            );
         }
     }
 

@@ -10,7 +10,7 @@
 use crate::params::TreePiParams;
 use crate::trie::{CanonTrie, FeatureId};
 use graph_core::Graph;
-use mining::{mine_frequent_trees, shrink_features, SupportSet};
+use mining::{shrink_features, SupportSet};
 use rustc_hash::FxHashMap;
 use tree_core::{center, center_positions, CanonString, Center, CenterPos, Tree};
 
@@ -76,10 +76,14 @@ type CenterTable = FxHashMap<u32, Vec<CenterPos>>;
 /// Center extraction for one mined tree: re-validate each supporting graph
 /// (mining may over-approximate under truncation) and collect the center
 /// positions. Returns `None` only when every support entry was spurious.
-fn extract_feature(db: &[Graph], mut m: mining::MinedTree) -> Option<(Feature, CenterTable)> {
+fn extract_feature(
+    db: &[Graph],
+    mut m: mining::MinedTree,
+    shard: &obs::Shard,
+) -> Option<(Feature, CenterTable)> {
     let mut per_graph = FxHashMap::default();
     m.support.retain(|&gid| {
-        let pos = center_positions(&m.tree, &db[gid as usize]);
+        let pos = tree_core::center_positions_obs(&m.tree, &db[gid as usize], shard);
         if pos.is_empty() {
             return false;
         }
@@ -114,17 +118,51 @@ impl TreePiIndex {
     /// [`Self::build`] with an explicit worker count (1 = fully
     /// sequential; useful for benchmarking the parallel speedup).
     pub fn build_with_threads(db: Vec<Graph>, params: TreePiParams, threads: usize) -> Self {
+        Self::build_with_threads_obs(db, params, threads, &obs::Shard::disabled())
+    }
+
+    /// [`Self::build`] recording build metrics into `shard`: `build.mine` /
+    /// `build.shrink` / `build.centers` stage spans, the miner's per-level
+    /// candidate and pruned-by-support counters (`mine.level{N}.*`, via
+    /// [`mining::mine_frequent_trees_obs`]), and final index-shape counters
+    /// (`build.*`). Center extraction fans out over all available cores.
+    pub fn build_obs(db: Vec<Graph>, params: TreePiParams, shard: &obs::Shard) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::build_with_threads_obs(db, params, threads, shard)
+    }
+
+    /// [`Self::build_obs`] with an explicit worker count. Parallel center-
+    /// extraction workers record into [`obs::Shard::fork`]s merged after the
+    /// join, so counter totals match the sequential build for any `threads`.
+    pub fn build_with_threads_obs(
+        db: Vec<Graph>,
+        params: TreePiParams,
+        threads: usize,
+        shard: &obs::Shard,
+    ) -> Self {
         let t0 = std::time::Instant::now();
-        let (mined, mstats) = mine_frequent_trees(&db, &params.sigma, &params.limits);
+        let mine_span = shard.span("build.mine");
+        let (mined, mstats) =
+            mining::mine_frequent_trees_obs(&db, &params.sigma, &params.limits, shard);
+        drop(mine_span);
         let mined_count = mined.len();
+        let shrink_span = shard.span("build.shrink");
         let kept = shrink_features(mined, params.gamma);
+        drop(shrink_span);
+        shard.add("build.mined", mined_count as u64);
+        shard.add("build.features_kept", kept.len() as u64);
         let t_mine = t0.elapsed().as_millis();
 
         // Center extraction is independent per feature: chunk and fan out.
         let t1 = std::time::Instant::now();
+        let centers_span = shard.span("build.centers");
         let threads = threads.max(1).min(kept.len().max(1));
         let extracted: Vec<Option<(Feature, CenterTable)>> = if threads == 1 {
-            kept.into_iter().map(|m| extract_feature(&db, m)).collect()
+            kept.into_iter()
+                .map(|m| extract_feature(&db, m, shard))
+                .collect()
         } else {
             let chunk_size = kept.len().div_ceil(threads);
             let chunks: Vec<Vec<mining::MinedTree>> =
@@ -134,21 +172,27 @@ impl TreePiIndex {
                 let handles: Vec<_> = chunks
                     .into_iter()
                     .map(|chunk| {
+                        let worker = shard.fork();
                         s.spawn(move |_| {
-                            chunk
+                            let out = chunk
                                 .into_iter()
-                                .map(|m| extract_feature(db_ref, m))
-                                .collect::<Vec<_>>()
+                                .map(|m| extract_feature(db_ref, m, &worker))
+                                .collect::<Vec<_>>();
+                            (out, worker)
                         })
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("extraction worker panicked"))
-                    .collect()
+                let mut out = Vec::new();
+                for h in handles {
+                    let (chunk_out, worker) = h.join().expect("extraction worker panicked");
+                    out.extend(chunk_out);
+                    shard.merge(worker);
+                }
+                out
             })
             .expect("crossbeam scope")
         };
+        drop(centers_span);
 
         let mut features = Vec::with_capacity(extracted.len());
         let mut trie = CanonTrie::new();
@@ -164,6 +208,9 @@ impl TreePiIndex {
             centers.push(per_graph);
             features.push(feature);
         }
+        shard.add("build.features", features.len() as u64);
+        shard.add("build.center_entries", center_entries as u64);
+        shard.add("build.center_positions", n_positions as u64);
         let stats = BuildStats {
             mined: mined_count,
             features: features.len(),

@@ -55,5 +55,5 @@ pub use partition::{
 };
 pub use query::{QueryOptions, QueryResult, QueryStats, SfMode, INTRA_PAR_THRESHOLD};
 pub use trie::{CanonTrie, FeatureId};
-pub use verify::scan_support;
+pub use verify::{scan_support, verify_all_threaded_obs};
 pub use workload::{query_batch, summarize, WorkloadSummary};

@@ -72,6 +72,21 @@ pub(crate) fn pos_distance(
 /// the parts that satisfies all Center Distance Constraints (Algorithm 2's
 /// per-graph test).
 pub fn satisfies_cdc(index: &TreePiIndex, gid: u32, parts: &[Part], dq: &[Vec<u32>]) -> bool {
+    satisfies_cdc_obs(index, gid, parts, dq, &obs::Shard::disabled())
+}
+
+/// [`satisfies_cdc`] recording `prune.cdc_tests` and the BFS runs its
+/// distance oracle performed (`graph.bfs`) into `shard`. Both counts depend
+/// only on the candidate and the partition, never on which worker runs the
+/// test, so batch totals stay thread-count invariant.
+pub fn satisfies_cdc_obs(
+    index: &TreePiIndex,
+    gid: u32,
+    parts: &[Part],
+    dq: &[Vec<u32>],
+    shard: &obs::Shard,
+) -> bool {
+    shard.add("prune.cdc_tests", 1);
     let g = &index.db()[gid as usize];
     // Candidates per part; fail fast on an empty list.
     let mut cands: Vec<&[CenterPos]> = Vec::with_capacity(parts.len());
@@ -120,14 +135,27 @@ pub fn satisfies_cdc(index: &TreePiIndex, gid: u32, parts: &[Part], dq: &[Vec<u3
         false
     }
 
-    backtrack(&order, 0, &cands, dq, g, &mut oracle, &mut assigned)
+    let ok = backtrack(&order, 0, &cands, dq, g, &mut oracle, &mut assigned);
+    shard.add("graph.bfs", oracle.bfs_runs());
+    ok
 }
 
 /// Algorithm 2: reduce the filtered set `P_q` to `P'_q`.
 pub fn center_prune(index: &TreePiIndex, pq: &[u32], parts: &[Part], dq: &[Vec<u32>]) -> Vec<u32> {
+    center_prune_obs(index, pq, parts, dq, &obs::Shard::disabled())
+}
+
+/// [`center_prune`] recording per-candidate CDC metrics into `shard`.
+pub fn center_prune_obs(
+    index: &TreePiIndex,
+    pq: &[u32],
+    parts: &[Part],
+    dq: &[Vec<u32>],
+    shard: &obs::Shard,
+) -> Vec<u32> {
     pq.iter()
         .copied()
-        .filter(|&gid| satisfies_cdc(index, gid, parts, dq))
+        .filter(|&gid| satisfies_cdc_obs(index, gid, parts, dq, shard))
         .collect()
 }
 
@@ -142,19 +170,41 @@ pub fn center_prune_threaded(
     dq: &[Vec<u32>],
     threads: usize,
 ) -> Vec<u32> {
+    center_prune_threaded_obs(index, pq, parts, dq, threads, &obs::Shard::disabled())
+}
+
+/// [`center_prune_threaded`] with metrics: each worker records into a
+/// [`obs::Shard::fork`] of `shard`, merged back after the join, so counter
+/// totals are identical to the sequential run for any `threads`.
+pub fn center_prune_threaded_obs(
+    index: &TreePiIndex,
+    pq: &[u32],
+    parts: &[Part],
+    dq: &[Vec<u32>],
+    threads: usize,
+    shard: &obs::Shard,
+) -> Vec<u32> {
     let threads = threads.clamp(1, pq.len().max(1));
     if threads == 1 {
-        return center_prune(index, pq, parts, dq);
+        return center_prune_obs(index, pq, parts, dq, shard);
     }
     let chunk_size = pq.len().div_ceil(threads);
     crossbeam::thread::scope(|s| {
         let handles: Vec<_> = pq
             .chunks(chunk_size)
-            .map(|chunk| s.spawn(move |_| center_prune(index, chunk, parts, dq)))
+            .map(|chunk| {
+                let worker = shard.fork();
+                s.spawn(move |_| {
+                    let kept = center_prune_obs(index, chunk, parts, dq, &worker);
+                    (kept, worker)
+                })
+            })
             .collect();
         let mut out = Vec::new();
         for h in handles {
-            out.extend(h.join().expect("prune worker panicked"));
+            let (kept, worker) = h.join().expect("prune worker panicked");
+            out.extend(kept);
+            shard.merge(worker);
         }
         out
     })

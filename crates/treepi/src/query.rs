@@ -5,8 +5,8 @@
 use crate::filter::filter;
 use crate::index::TreePiIndex;
 use crate::partition::{partition_runs_with, PartitionRuns};
-use crate::prune::{center_prune_threaded, query_center_distances};
-use crate::verify::verify_all_threaded;
+use crate::prune::{center_prune_threaded_obs, query_center_distances};
+use crate::verify::verify_all_threaded_obs;
 use graph_core::Graph;
 use rand::Rng;
 use std::time::{Duration, Instant};
@@ -86,6 +86,28 @@ impl QueryStats {
     pub fn total(&self) -> Duration {
         self.t_partition + self.t_filter + self.t_prune + self.t_verify
     }
+
+    /// Record this query's funnel counters and stage timings into `shard`.
+    ///
+    /// All four pipeline spans ([`obs::names::PIPELINE_SPANS`]) are observed
+    /// unconditionally — short-circuited queries (feature-tree shortcut,
+    /// missing feature) contribute zero-duration observations — so a metrics
+    /// snapshot always carries the full stage breakdown. Everything recorded
+    /// here is a pure function of the query outcome, so batch totals are
+    /// bit-identical at any thread count.
+    pub fn record_into(&self, shard: &obs::Shard) {
+        shard.add(obs::names::QUERIES, 1);
+        shard.add(obs::names::FILTERED, self.filtered as u64);
+        shard.add(obs::names::PRUNED, self.pruned as u64);
+        shard.add(obs::names::ANSWERS, self.answers as u64);
+        shard.add(obs::names::MISSING_FEATURE, self.missing_feature as u64);
+        shard.add("funnel.partition_parts", self.partition_size as u64);
+        shard.add("funnel.sf_features", self.sf_size as u64);
+        shard.observe(obs::names::SPAN_PARTITION, self.t_partition);
+        shard.observe(obs::names::SPAN_FILTER, self.t_filter);
+        shard.observe(obs::names::SPAN_PRUNE, self.t_prune);
+        shard.observe(obs::names::SPAN_VERIFY, self.t_verify);
+    }
 }
 
 /// Result of a TreePi query.
@@ -120,6 +142,34 @@ impl TreePiIndex {
         opts: QueryOptions,
         rng: &mut R,
         threads: usize,
+    ) -> QueryResult {
+        self.query_with_threads_obs(q, opts, rng, threads, &obs::Shard::disabled())
+    }
+
+    /// [`Self::query_with_threads`] recording stage spans and funnel
+    /// counters into `shard` (see [`QueryStats::record_into`] for the
+    /// determinism contract). With a disabled shard every record is a single
+    /// predicted branch, so the uninstrumented entry points cost nothing.
+    pub fn query_with_threads_obs<R: Rng>(
+        &self,
+        q: &Graph,
+        opts: QueryOptions,
+        rng: &mut R,
+        threads: usize,
+        shard: &obs::Shard,
+    ) -> QueryResult {
+        let r = self.query_impl(q, opts, rng, threads, shard);
+        r.stats.record_into(shard);
+        r
+    }
+
+    fn query_impl<R: Rng>(
+        &self,
+        q: &Graph,
+        opts: QueryOptions,
+        rng: &mut R,
+        threads: usize,
+        shard: &obs::Shard,
     ) -> QueryResult {
         assert!(q.edge_count() > 0, "queries must have at least one edge");
         let mut stats = QueryStats::default();
@@ -210,7 +260,7 @@ impl TreePiIndex {
         let t = Instant::now();
         let dq = query_center_distances(q, &parts);
         let pruned = if opts.use_cdc {
-            center_prune_threaded(self, &pq, &parts, &dq, stage_threads(pq.len()))
+            center_prune_threaded_obs(self, &pq, &parts, &dq, stage_threads(pq.len()), shard)
         } else {
             pq
         };
@@ -220,11 +270,21 @@ impl TreePiIndex {
         // ---- Verify (Algorithm 3) ----
         let t = Instant::now();
         let matches = if opts.use_reconstruction {
-            verify_all_threaded(self, q, &pruned, &parts, &dq, stage_threads(pruned.len()))
+            verify_all_threaded_obs(
+                self,
+                q,
+                &pruned,
+                &parts,
+                &dq,
+                stage_threads(pruned.len()),
+                shard,
+            )
         } else {
             pruned
                 .into_iter()
-                .filter(|&gid| graph_core::is_subgraph_isomorphic(q, &self.db()[gid as usize]))
+                .filter(|&gid| {
+                    graph_core::is_subgraph_isomorphic_obs(q, &self.db()[gid as usize], shard)
+                })
                 .collect()
         };
         stats.t_verify = t.elapsed();

@@ -204,6 +204,30 @@ pub(crate) fn verify_with_boundaries(
     boundaries: &[Vec<bool>],
     matchers: &[CenteredMatcher<'_>],
 ) -> bool {
+    verify_with_boundaries_obs(
+        index,
+        q,
+        gid,
+        parts,
+        dq,
+        boundaries,
+        matchers,
+        &obs::Shard::disabled(),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn verify_with_boundaries_obs(
+    index: &TreePiIndex,
+    q: &Graph,
+    gid: u32,
+    parts: &[Part],
+    dq: &[Vec<u32>],
+    boundaries: &[Vec<bool>],
+    matchers: &[CenteredMatcher<'_>],
+    shard: &obs::Shard,
+) -> bool {
+    shard.add("verify.tests", 1);
     let g = &index.db()[gid as usize];
 
     // Every part needs at least one stored center; most-constrained first.
@@ -229,9 +253,11 @@ pub(crate) fn verify_with_boundaries(
         assigned_centers: Vec::with_capacity(parts.len()),
         oracle: DistanceOracle::new(g),
     };
-    search(
+    let ok = search(
         index, g, gid, parts, dq, &order, boundaries, matchers, &mut st, 0,
-    )
+    );
+    shard.add("graph.bfs", st.oracle.bfs_runs());
+    ok
 }
 
 /// Verify every graph in `pruned`, returning the exact answer set.
@@ -258,6 +284,30 @@ pub fn verify_all_threaded(
     dq: &[Vec<u32>],
     threads: usize,
 ) -> Vec<u32> {
+    verify_all_threaded_obs(
+        index,
+        q,
+        pruned,
+        parts,
+        dq,
+        threads,
+        &obs::Shard::disabled(),
+    )
+}
+
+/// [`verify_all_threaded`] with metrics: records `verify.tests` per
+/// candidate and the reconstruction oracle's `graph.bfs` runs. Parallel
+/// workers record into [`obs::Shard::fork`]s merged after the join, so the
+/// totals match the sequential run for any `threads`.
+pub fn verify_all_threaded_obs(
+    index: &TreePiIndex,
+    q: &Graph,
+    pruned: &[u32],
+    parts: &[Part],
+    dq: &[Vec<u32>],
+    threads: usize,
+    shard: &obs::Shard,
+) -> Vec<u32> {
     let boundaries = part_boundaries(q, parts);
     let matchers: Vec<CenteredMatcher<'_>> = parts
         .iter()
@@ -268,7 +318,9 @@ pub fn verify_all_threaded(
         return pruned
             .iter()
             .copied()
-            .filter(|&gid| verify_with_boundaries(index, q, gid, parts, dq, &boundaries, &matchers))
+            .filter(|&gid| {
+                verify_with_boundaries_obs(index, q, gid, parts, dq, &boundaries, &matchers, shard)
+            })
             .collect();
     }
     let chunk_size = pruned.len().div_ceil(threads);
@@ -278,20 +330,26 @@ pub fn verify_all_threaded(
             .map(|chunk| {
                 let boundaries = &boundaries;
                 let matchers = &matchers;
+                let worker = shard.fork();
                 s.spawn(move |_| {
-                    chunk
+                    let kept = chunk
                         .iter()
                         .copied()
                         .filter(|&gid| {
-                            verify_with_boundaries(index, q, gid, parts, dq, boundaries, matchers)
+                            verify_with_boundaries_obs(
+                                index, q, gid, parts, dq, boundaries, matchers, &worker,
+                            )
                         })
-                        .collect::<Vec<u32>>()
+                        .collect::<Vec<u32>>();
+                    (kept, worker)
                 })
             })
             .collect();
         let mut out = Vec::new();
         for h in handles {
-            out.extend(h.join().expect("verify worker panicked"));
+            let (kept, worker) = h.join().expect("verify worker panicked");
+            out.extend(kept);
+            shard.merge(worker);
         }
         out
     })

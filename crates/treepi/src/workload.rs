@@ -32,13 +32,24 @@ pub struct WorkloadSummary {
     pub p95_time: Duration,
     /// Worst total processing time.
     pub max_time: Duration,
-    /// Filtering precision `Σ|D_q| / Σ|P_q|` (1.0 = perfect filter).
+    /// Filtering precision `Σ|D_q| / Σ|P_q|` (1.0 = perfect filter). When
+    /// the funnel is empty (`Σ|P_q| = 0` — every query short-circuited or
+    /// filtered to nothing), this is defined as 1.0, not NaN: an empty
+    /// candidate set admitted zero false positives, which is exactly what
+    /// precision 1.0 claims, and it keeps the ratio finite for plots and
+    /// CSV output. Same convention for [`Self::prune_precision`].
     pub filter_precision: f64,
     /// Pruning precision `Σ|D_q| / Σ|P'_q|` (1.0 = verification-free).
+    /// Defined as 1.0 on an empty funnel (see [`Self::filter_precision`]).
     pub prune_precision: f64,
 }
 
 /// Aggregate a batch of per-query statistics.
+///
+/// Funnel ratios are guarded against empty denominators: a batch whose
+/// every query produced zero candidates reports both precisions as exactly
+/// 1.0 rather than dividing by zero (see the field docs on
+/// [`WorkloadSummary`]).
 pub fn summarize(stats: &[QueryStats]) -> WorkloadSummary {
     if stats.is_empty() {
         return WorkloadSummary::default();
@@ -204,6 +215,28 @@ mod tests {
     #[test]
     fn empty_summary_is_default() {
         assert_eq!(summarize(&[]).queries, 0);
+    }
+
+    #[test]
+    fn empty_funnel_precisions_are_one_not_nan() {
+        // Every query short-circuited (missing feature): Σ|Pq| = Σ|P'q| = 0.
+        // The precisions must be exactly 1.0 — finite, plottable, and
+        // truthful (an empty candidate set admitted no false positives).
+        let mut s = fake(0, 0, 0, 1);
+        s.missing_feature = true;
+        let sum = summarize(&[s, s, s]);
+        assert_eq!(sum.queries, 3);
+        assert_eq!(sum.missing_feature, 3);
+        assert_eq!(sum.filter_precision, 1.0);
+        assert_eq!(sum.prune_precision, 1.0);
+        assert!(sum.filter_precision.is_finite());
+        assert!(sum.prune_precision.is_finite());
+
+        // Mixed case: only one query contributes candidates; ratios use the
+        // non-zero sums and stay well-defined.
+        let sum = summarize(&[fake(0, 0, 0, 1), fake(10, 5, 5, 1)]);
+        assert!((sum.filter_precision - 0.5).abs() < 1e-9);
+        assert!((sum.prune_precision - 1.0).abs() < 1e-9);
     }
 
     #[test]

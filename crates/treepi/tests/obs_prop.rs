@@ -1,0 +1,127 @@
+//! Property tests for the metrics layer: on arbitrary databases and query
+//! batches, the `obs` funnel counters must reconcile **exactly** with the
+//! per-query `QueryStats` the engine returns, and every counter outside the
+//! `engine.*` namespace must be bit-identical at 1, 2, and 8 threads.
+//!
+//! These are the two invariants the whole observability design rests on:
+//! shard-per-thread recording loses nothing (counters are integers merged
+//! commutatively), and instrumentation never observes the execution shape
+//! it is not supposed to (scheduling shows up only under `engine.*`).
+
+use graph_core::{ELabel, Graph, GraphBuilder, VLabel, VertexId};
+use proptest::prelude::*;
+use treepi::{QueryOptions, TreePiIndex, TreePiParams};
+
+/// A random connected labeled graph: random tree plus a few extra edges.
+fn arb_connected_graph(nmax: usize) -> impl Strategy<Value = Graph> {
+    (2..=nmax).prop_flat_map(move |n| {
+        let vlabels = proptest::collection::vec(0u32..3, n);
+        let parents = proptest::collection::vec((0usize..nmax, 0u32..2), n - 1);
+        let extras = proptest::collection::vec((0usize..nmax, 0usize..nmax, 0u32..2), 0..3);
+        (vlabels, parents, extras).prop_map(move |(vl, ps, ex)| {
+            let mut b = GraphBuilder::new();
+            for l in &vl {
+                b.add_vertex(VLabel(*l));
+            }
+            for (i, (p, el)) in ps.iter().enumerate() {
+                b.add_edge(
+                    VertexId((i + 1) as u32),
+                    VertexId((p % (i + 1)) as u32),
+                    ELabel(*el),
+                )
+                .expect("tree edge");
+            }
+            for (u, v, el) in ex {
+                let (u, v) = (VertexId((u % n) as u32), VertexId((v % n) as u32));
+                if u != v && !b.has_edge(u, v) {
+                    let _ = b.add_edge(u, v, ELabel(el));
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+fn arb_db(graphs: usize, nmax: usize) -> impl Strategy<Value = Vec<Graph>> {
+    proptest::collection::vec(arb_connected_graph(nmax), 1..=graphs)
+}
+
+fn run_metered(
+    idx: &TreePiIndex,
+    queries: &[Graph],
+    threads: usize,
+    seed: u64,
+) -> (Vec<treepi::QueryResult>, obs::MetricSet) {
+    let registry = obs::Registry::new();
+    let (results, _) =
+        idx.query_batch_obs(queries, QueryOptions::default(), threads, seed, &registry);
+    (results, registry.drain())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `funnel.*` counters are exact sums of the returned `QueryStats`, and
+    /// deterministic counters are bit-identical at 1, 2, and 8 threads.
+    #[test]
+    fn funnel_counters_reconcile_with_query_stats(
+        db in arb_db(8, 7),
+        queries in proptest::collection::vec(arb_connected_graph(5), 1..=6),
+        seed in any::<u64>(),
+    ) {
+        let idx = TreePiIndex::build(db, TreePiParams::quick());
+        let (results, base) = run_metered(&idx, &queries, 1, seed);
+        if !obs::COMPILED_IN {
+            // `--features off` build: the registry records nothing and the
+            // reconciliation below is vacuous.
+            return Ok(());
+        }
+
+        // Exact reconciliation against the per-query stats.
+        prop_assert_eq!(base.counter(obs::names::QUERIES), queries.len() as u64);
+        let sums = |f: fn(&treepi::QueryStats) -> usize| -> u64 {
+            results.iter().map(|r| f(&r.stats) as u64).sum()
+        };
+        prop_assert_eq!(base.counter(obs::names::FILTERED), sums(|s| s.filtered));
+        prop_assert_eq!(base.counter(obs::names::PRUNED), sums(|s| s.pruned));
+        prop_assert_eq!(base.counter(obs::names::ANSWERS), sums(|s| s.answers));
+        let missing: u64 = results.iter().filter(|r| r.stats.missing_feature).count() as u64;
+        prop_assert_eq!(base.counter(obs::names::MISSING_FEATURE), missing);
+
+        // All four pipeline spans are observed exactly once per query, even
+        // for short-circuited queries.
+        for name in obs::names::PIPELINE_SPANS {
+            let span = base.span(name).expect("pipeline span always present");
+            prop_assert_eq!(span.count, queries.len() as u64);
+        }
+
+        // Thread-count invariance of everything outside `engine.*`.
+        let base_det = base.deterministic_counters();
+        for threads in [2usize, 8] {
+            let (results_t, m) = run_metered(&idx, &queries, threads, seed);
+            for (a, b) in results.iter().zip(&results_t) {
+                prop_assert_eq!(&a.matches, &b.matches);
+            }
+            prop_assert_eq!(&m.deterministic_counters(), &base_det, "threads={}", threads);
+        }
+    }
+
+    /// The metered batch returns exactly what the unmetered batch returns —
+    /// instrumentation must never perturb results.
+    #[test]
+    fn metered_batch_matches_unmetered(
+        db in arb_db(6, 6),
+        queries in proptest::collection::vec(arb_connected_graph(5), 1..=4),
+        seed in any::<u64>(),
+    ) {
+        let idx = TreePiIndex::build(db, TreePiParams::quick());
+        let (plain, _) = idx.query_batch(&queries, QueryOptions::default(), 2, seed);
+        let (metered, _) = run_metered(&idx, &queries, 2, seed);
+        for (a, b) in plain.iter().zip(&metered) {
+            prop_assert_eq!(&a.matches, &b.matches);
+            prop_assert_eq!(a.stats.filtered, b.stats.filtered);
+            prop_assert_eq!(a.stats.pruned, b.stats.pruned);
+            prop_assert_eq!(a.stats.partition_size, b.stats.partition_size);
+        }
+    }
+}

@@ -9,6 +9,7 @@ pub use datagen;
 pub use gindex;
 pub use graph_core;
 pub use mining;
+pub use obs;
 pub use pathgrep;
 pub use tree_core;
 pub use treepi;
