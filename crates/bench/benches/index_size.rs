@@ -10,6 +10,17 @@ fn bench_index_size(c: &mut Criterion) {
     group.sample_size(10);
     for n in [30usize, 60, 120] {
         let db = chem_db(n);
+        // One-shot memory report alongside the timing series: estimated heap
+        // footprint of each index over the same database.
+        let tp = treepi_index(&db);
+        let gi = gindex_index(&db);
+        println!(
+            "fig9_index_size/heap_bytes n={n}: treepi={} (features {}), gindex={} (features {})",
+            tp.heap_bytes(),
+            tp.feature_count(),
+            gi.heap_bytes(),
+            gi.feature_count(),
+        );
         group.bench_with_input(BenchmarkId::new("treepi_build", n), &db, |b, db| {
             b.iter(|| treepi_index(db).feature_count())
         });

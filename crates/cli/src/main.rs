@@ -1,9 +1,10 @@
 //! `treepi` — command-line interface to the TreePi graph index.
 //!
 //! ```text
-//! treepi build  <db.gspan> <index.tpi> [--alpha A --beta B --eta E --gamma G]
-//! treepi query  <index.tpi> <queries.gspan> [--stats] [--seed N] [--threads N] [--metrics out.json]
+//! treepi build  <db.gspan> <index.tpi> [--alpha A --beta B --eta E --gamma G] [--threads N] [--metrics out.json]
+//! treepi query  <index.tpi> <queries.gspan> [--stats] [--seed N] [--threads N] [--metrics out.json] [--trace out.json]
 //! treepi gquery <db.gspan> <queries.gspan> [--threads N] [--metrics out.json]  (gIndex baseline)
+//! treepi metrics-diff <baseline.json> <current.json> [--max-regress-pct P] [--time]
 //! treepi stats  <index.tpi>
 //! treepi dbstats <db.gspan>
 //! treepi gen    <out.gspan> --chem N | --synthetic N L
@@ -11,9 +12,18 @@
 //! ```
 //!
 //! `--metrics out.json` enables the `obs` registry for the run and writes
-//! the drained counters and stage-span histograms as stable JSON (schema
-//! `treepi.obs/v1`; see EXPERIMENTS.md). Without the flag the pipeline runs
-//! with a disabled registry and records nothing.
+//! the drained counters, `mem.*` gauges, and stage-span histograms as
+//! stable JSON (schema `treepi.obs/v1`; see EXPERIMENTS.md). Without the
+//! flag the pipeline runs with a disabled registry and records nothing.
+//!
+//! `--trace out.json` (query) additionally collects a per-query trace
+//! timeline and writes it as Chrome trace-event JSON, loadable in
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
+//! `metrics-diff` compares two metrics files and exits non-zero when a
+//! gated value (counters, `mem.*` gauges, span counts; with `--time` also
+//! span p50/p95) regressed by more than `--max-regress-pct` percent — the
+//! CI perf gate.
 //!
 //! Graph files use the gSpan transaction format (`t # i` / `v id label` /
 //! `e u v label`); see `graph_core::io`.
@@ -24,11 +34,19 @@ use rand_chacha::ChaCha8Rng;
 use std::process::ExitCode;
 use treepi::{TreePiIndex, TreePiParams};
 
+/// Count every (de)allocation of the process so `--metrics` runs can report
+/// `mem.alloc.*` gauges. Compiled with the obs `off` feature, the wrapper
+/// forwards straight to the system allocator without touching a counter.
+#[global_allocator]
+static ALLOC: obs::alloc::TrackingAlloc<std::alloc::System> =
+    obs::alloc::TrackingAlloc::new(std::alloc::System);
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  treepi build  <db.gspan> <index.tpi> [--alpha A] [--beta B] [--eta E] [--gamma G]\n  \
-         treepi query  <index.tpi> <queries.gspan> [--stats] [--seed N] [--threads N] [--metrics out.json]\n  \
+        "usage:\n  treepi build  <db.gspan> <index.tpi> [--alpha A] [--beta B] [--eta E] [--gamma G] [--threads N] [--metrics out.json]\n  \
+         treepi query  <index.tpi> <queries.gspan> [--stats] [--seed N] [--threads N] [--metrics out.json] [--trace out.json]\n  \
          treepi gquery <db.gspan> <queries.gspan> [--threads N] [--metrics out.json]\n  \
+         treepi metrics-diff <baseline.json> <current.json> [--max-regress-pct P] [--time]\n  \
          treepi stats  <index.tpi>\n  \
          treepi dbstats <db.gspan>\n  \
          treepi gen    <out.gspan> (--chem N | --synthetic N L) [--seed N]\n  \
@@ -55,10 +73,13 @@ fn read_graphs_file(path: &str) -> Result<Vec<graph_core::Graph>, String> {
     parse_graphs(&text).map_err(|e| format!("{path}: {e}"))
 }
 
-/// A registry enabled only when `--metrics` was given, so the pipeline's
-/// instrumented entry points cost one predicted branch otherwise.
-fn metrics_registry(metrics_path: &Option<String>) -> obs::Registry {
-    if metrics_path.is_some() {
+/// A registry enabled only when `--metrics` or `--trace` was given, so the
+/// pipeline's instrumented entry points cost one predicted branch otherwise.
+/// Tracing implies metric collection (both ride the same shards).
+fn metrics_registry(metrics_path: &Option<String>, trace_path: &Option<String>) -> obs::Registry {
+    if trace_path.is_some() {
+        obs::Registry::with_tracing()
+    } else if metrics_path.is_some() {
         obs::Registry::new()
     } else {
         obs::Registry::disabled()
@@ -70,6 +91,18 @@ fn write_metrics(registry: &obs::Registry, path: &str) -> Result<(), String> {
     let set = registry.drain();
     std::fs::write(path, set.render_json()).map_err(|e| format!("{path}: {e}"))?;
     eprintln!("wrote metrics to {path}");
+    Ok(())
+}
+
+/// Drain the trace timeline to `path` as Chrome trace-event JSON.
+fn write_trace(registry: &obs::Registry, path: &str) -> Result<(), String> {
+    let events = registry.drain_trace();
+    std::fs::write(path, obs::trace::render_chrome_json(&events))
+        .map_err(|e| format!("{path}: {e}"))?;
+    eprintln!(
+        "wrote {} trace events to {path} (load in chrome://tracing or ui.perfetto.dev)",
+        events.len()
+    );
     Ok(())
 }
 
@@ -92,9 +125,17 @@ fn run() -> Result<(), String> {
                 gamma: parse_flag(&args, "--gamma", defaults.gamma)?,
                 ..defaults
             };
+            let threads = treepi::resolve_threads(parse_flag(&args, "--threads", 0usize)?);
+            let metrics_path = flag_value(&args, "--metrics");
+            let registry = metrics_registry(&metrics_path, &None);
             let t = std::time::Instant::now();
             let n = db.len();
-            let index = TreePiIndex::build(db, params);
+            let index = {
+                let shard = registry.shard();
+                let index = TreePiIndex::build_with_threads_obs(db, params, threads, &shard);
+                registry.absorb(shard);
+                index
+            };
             eprintln!(
                 "indexed {n} graphs: {} features, {} center positions in {:.2?}",
                 index.feature_count(),
@@ -104,6 +145,11 @@ fn run() -> Result<(), String> {
             let mut f = std::fs::File::create(out_path).map_err(|e| e.to_string())?;
             index.save(&mut f).map_err(|e| e.to_string())?;
             eprintln!("wrote {out_path}");
+            if let Some(path) = &metrics_path {
+                index.record_mem_gauges(&registry);
+                obs::alloc::record_gauges(&registry);
+                write_metrics(&registry, path)?;
+            }
             Ok(())
         }
         "query" => {
@@ -119,7 +165,8 @@ fn run() -> Result<(), String> {
             let threads = parse_flag(&args, "--threads", 0usize)?;
             let want_stats = args.iter().any(|a| a == "--stats");
             let metrics_path = flag_value(&args, "--metrics");
-            let registry = metrics_registry(&metrics_path);
+            let trace_path = flag_value(&args, "--trace");
+            let registry = metrics_registry(&metrics_path, &trace_path);
             let (results, summary) = index.query_batch_obs(
                 &queries,
                 treepi::QueryOptions::default(),
@@ -146,7 +193,12 @@ fn run() -> Result<(), String> {
             if want_stats {
                 eprintln!("{summary}");
             }
+            if let Some(path) = &trace_path {
+                write_trace(&registry, path)?;
+            }
             if let Some(path) = &metrics_path {
+                index.record_mem_gauges(&registry);
+                obs::alloc::record_gauges(&registry);
                 write_metrics(&registry, path)?;
             }
             Ok(())
@@ -167,14 +219,38 @@ fn run() -> Result<(), String> {
                 index.fragments().len(),
                 t.elapsed()
             );
-            let registry = metrics_registry(&metrics_path);
+            let registry = metrics_registry(&metrics_path, &None);
             let results = index.query_batch_obs(&queries, threads, &registry);
             for (i, r) in results.iter().enumerate() {
                 let ids: Vec<String> = r.matches.iter().map(|g| g.to_string()).collect();
                 println!("q{i}: {}", ids.join(" "));
             }
             if let Some(path) = &metrics_path {
+                index.record_mem_gauges(&registry);
+                obs::alloc::record_gauges(&registry);
                 write_metrics(&registry, path)?;
+            }
+            Ok(())
+        }
+        "metrics-diff" => {
+            let (Some(base_path), Some(cur_path)) = (args.get(1), args.get(2)) else {
+                return Err("metrics-diff needs <baseline.json> <current.json>".into());
+            };
+            let read = |path: &str| -> Result<obs::MetricSet, String> {
+                let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                obs::json::parse_metric_set(&text).map_err(|e| format!("{path}: {e}"))
+            };
+            let base = read(base_path)?;
+            let current = read(cur_path)?;
+            let opts = obs::diff::DiffOptions {
+                max_regress_pct: parse_flag(&args, "--max-regress-pct", 10.0f64)?,
+                include_timings: args.iter().any(|a| a == "--time"),
+            };
+            let report = obs::diff::diff(&base, &current, &opts);
+            print!("{}", report.render_text());
+            if report.regressed() {
+                // Verdict already printed; exit non-zero for CI.
+                return Err(String::new());
             }
             Ok(())
         }
@@ -230,6 +306,13 @@ fn run() -> Result<(), String> {
             println!("center entries:    {}", s.center_entries);
             println!("center positions:  {}", s.center_positions);
             println!("memory estimate:   {} KiB", index.memory_estimate() / 1024);
+            let m = index.memory_breakdown();
+            println!("heap breakdown:    {} KiB total", m.total() / 1024);
+            println!("  database:        {} KiB", m.db_bytes / 1024);
+            println!("  feature trees:   {} KiB", m.features_bytes / 1024);
+            println!("  support sets:    {} KiB", m.supports_bytes / 1024);
+            println!("  center tables:   {} KiB", m.centers_bytes / 1024);
+            println!("  canon trie:      {} KiB", m.trie_bytes / 1024);
             let p = index.params();
             println!(
                 "params:            alpha={} beta={} eta={} gamma={}",

@@ -54,16 +54,23 @@ fn stage_breakdown(
             name.to_string(),
             format!("{:.2}", t.total_ns as f64 / 1e6),
             format!("{:.1}", t.mean_ns() as f64 / 1e3),
+            format!("{:.1}", t.quantile_ns(0.50) as f64 / 1e3),
             format!("{:.1}", t.quantile_ns(0.95) as f64 / 1e3),
             format!("{:.2}", g.total_ns as f64 / 1e6),
             format!("{:.1}", g.mean_ns() as f64 / 1e3),
+            format!("{:.1}", g.quantile_ns(0.50) as f64 / 1e3),
+            format!("{:.1}", g.quantile_ns(0.95) as f64 / 1e3),
         ]);
         csv.push(format!(
-            "{name},{:.3},{:.3},{:.3},{:.3}",
+            "{name},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
             t.total_ns as f64 / 1e6,
             t.mean_ns() as f64 / 1e3,
+            t.quantile_ns(0.50) as f64 / 1e3,
+            t.quantile_ns(0.95) as f64 / 1e3,
             g.total_ns as f64 / 1e6,
             g.mean_ns() as f64 / 1e3,
+            g.quantile_ns(0.50) as f64 / 1e3,
+            g.quantile_ns(0.95) as f64 / 1e3,
         ));
     }
     print_table(
@@ -71,9 +78,12 @@ fn stage_breakdown(
             "stage",
             "tp total ms",
             "tp mean µs",
+            "tp p50 µs",
             "tp p95 µs",
             "gi total ms",
             "gi mean µs",
+            "gi p50 µs",
+            "gi p95 µs",
         ],
         &rows,
     );
@@ -88,7 +98,7 @@ fn stage_breakdown(
     write_csv(
         opts,
         &format!("stages_{dataset}.csv"),
-        "stage,treepi_total_ms,treepi_mean_us,gindex_total_ms,gindex_mean_us",
+        "stage,treepi_total_ms,treepi_mean_us,treepi_p50_us,treepi_p95_us,gindex_total_ms,gindex_mean_us,gindex_p50_us,gindex_p95_us",
         &csv,
     );
 }

@@ -173,6 +173,51 @@ impl GIndex {
     pub fn fragment_by_code(&self, code: &CanonCode) -> Option<&Fragment> {
         self.by_code.get(code).map(|&i| &self.fragments[i as usize])
     }
+
+    /// Estimated heap bytes of the fragment set: pattern graphs, canonical
+    /// codes, and support sets. Length-based, like
+    /// [`graph_core::Graph::heap_bytes`].
+    pub fn fragments_heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.fragments
+            .iter()
+            .map(|f| {
+                f.graph.heap_bytes()
+                    + f.code.0.len() * size_of::<u32>()
+                    + f.support.len() * size_of::<u32>()
+            })
+            .sum()
+    }
+
+    /// Estimated heap bytes of the code → fragment lookup map (keys are
+    /// cloned codes).
+    pub fn lookup_heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.by_code
+            .keys()
+            .map(|code| size_of::<(CanonCode, u32)>() + code.0.len() * size_of::<u32>())
+            .sum()
+    }
+
+    /// Total estimated heap bytes (database + fragments + lookup map).
+    pub fn heap_bytes(&self) -> usize {
+        self.db.iter().map(Graph::heap_bytes).sum::<usize>()
+            + self.fragments_heap_bytes()
+            + self.lookup_heap_bytes()
+    }
+
+    /// Record the heap estimates as `mem.gindex.*` gauges.
+    pub fn record_mem_gauges(&self, registry: &obs::Registry) {
+        registry.set_gauge(obs::names::GAUGE_GINDEX_TOTAL, self.heap_bytes() as u64);
+        registry.set_gauge(
+            obs::names::GAUGE_GINDEX_FRAGMENTS,
+            self.fragments_heap_bytes() as u64,
+        );
+        registry.set_gauge(
+            obs::names::GAUGE_GINDEX_LOOKUP,
+            self.lookup_heap_bytes() as u64,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +253,22 @@ mod tests {
                 .map(|(i, _)| i as u32)
                 .collect();
             assert_eq!(f.support, brute);
+        }
+    }
+
+    #[test]
+    fn heap_estimates_are_positive_and_consistent() {
+        let idx = GIndex::build(tiny_db(), GIndexParams::quick(3));
+        assert!(idx.fragments_heap_bytes() > 0);
+        assert!(idx.lookup_heap_bytes() > 0);
+        assert!(idx.heap_bytes() > idx.fragments_heap_bytes() + idx.lookup_heap_bytes());
+        if obs::COMPILED_IN {
+            let r = obs::Registry::new();
+            idx.record_mem_gauges(&r);
+            assert_eq!(
+                r.snapshot().gauge(obs::names::GAUGE_GINDEX_TOTAL),
+                Some(idx.heap_bytes() as u64)
+            );
         }
     }
 

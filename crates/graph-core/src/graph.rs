@@ -194,6 +194,22 @@ impl Graph {
         m
     }
 
+    /// Estimated heap bytes held by this graph: label, edge, and adjacency
+    /// storage. Length-based (live elements, not reserved capacity), so the
+    /// estimate is deterministic for a given graph regardless of build
+    /// history; feeds the `mem.*` observability gauges.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.vlabels.len() * size_of::<VLabel>()
+            + self.edges.len() * size_of::<Edge>()
+            + self.adj.len() * size_of::<SmallVec<[(VertexId, EdgeId); 6]>>()
+            + self
+                .adj
+                .iter()
+                .map(|a| a.len() * size_of::<(VertexId, EdgeId)>())
+                .sum::<usize>()
+    }
+
     /// Multiset of `(min endpoint label, edge label, max endpoint label)`
     /// triples, sorted. Two isomorphic graphs have equal triple multisets.
     pub fn edge_triple_multiset(&self) -> Vec<(VLabel, ELabel, VLabel)> {

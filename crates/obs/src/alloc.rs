@@ -1,0 +1,216 @@
+//! Memory accounting: a tracking allocator wrapping the global allocator
+//! with atomic live/peak byte counters.
+//!
+//! Install it once in a binary crate:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: obs::alloc::TrackingAlloc<std::alloc::System> =
+//!     obs::alloc::TrackingAlloc::new(std::alloc::System);
+//! ```
+//!
+//! Every (de)allocation then maintains four process-wide counters, read
+//! via [`live_bytes`] / [`peak_bytes`] / [`total_allocated_bytes`] /
+//! [`allocation_count`] and snapshotted into `mem.alloc.*` gauges with
+//! [`record_gauges`]. Counting is exact request-size accounting (what the
+//! program asked for, not what the allocator rounded to), so values are
+//! comparable across allocators and platforms.
+//!
+//! Cost model: two relaxed atomic RMWs per allocation (add + max) and one
+//! per deallocation — negligible next to the allocation itself. Under the
+//! crate's `off` feature the wrapper forwards without touching any
+//! counter, so the instrumented binary is bit-for-bit a plain
+//! `System`-allocated one; the public API is unchanged.
+
+use std::alloc::{GlobalAlloc, Layout};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static LIVE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+static TOTAL: AtomicU64 = AtomicU64::new(0);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+fn on_alloc(bytes: u64) {
+    if !crate::COMPILED_IN {
+        return;
+    }
+    let live = LIVE.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+    TOTAL.fetch_add(bytes, Ordering::Relaxed);
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+fn on_dealloc(bytes: u64) {
+    if !crate::COMPILED_IN {
+        return;
+    }
+    LIVE.fetch_sub(bytes, Ordering::Relaxed);
+}
+
+/// A [`GlobalAlloc`] wrapper that counts live, peak, and cumulative bytes.
+/// The counters are module-level statics, so readers need no handle to the
+/// installed instance.
+#[derive(Debug, Default)]
+pub struct TrackingAlloc<A>(A);
+
+impl<A> TrackingAlloc<A> {
+    /// Wrap `inner` (const, so it can initialize a `#[global_allocator]`
+    /// static).
+    pub const fn new(inner: A) -> Self {
+        Self(inner)
+    }
+}
+
+// SAFETY: all methods delegate to the inner allocator unchanged; the
+// wrapper only updates counters and never inspects or alters the returned
+// memory, so the inner allocator's contract carries over.
+unsafe impl<A: GlobalAlloc> GlobalAlloc for TrackingAlloc<A> {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = self.0.alloc(layout);
+        if !ptr.is_null() {
+            on_alloc(layout.size() as u64);
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = self.0.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            on_alloc(layout.size() as u64);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        self.0.dealloc(ptr, layout);
+        on_dealloc(layout.size() as u64);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = self.0.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            // Accounted as a fresh allocation plus a free of the old block:
+            // TOTAL/ALLOCS see the churn, LIVE sees the net change.
+            on_alloc(new_size as u64);
+            on_dealloc(layout.size() as u64);
+        }
+        new_ptr
+    }
+}
+
+/// Bytes currently allocated and not yet freed.
+pub fn live_bytes() -> u64 {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// High-water mark of [`live_bytes`] since process start (or the last
+/// [`reset_peak`]).
+pub fn peak_bytes() -> u64 {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Cumulative bytes ever allocated (never decreases).
+pub fn total_allocated_bytes() -> u64 {
+    TOTAL.load(Ordering::Relaxed)
+}
+
+/// Number of allocation calls served (never decreases).
+pub fn allocation_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Whether a [`TrackingAlloc`] has observed any allocation — i.e. one is
+/// installed as the global allocator and instrumentation is compiled in.
+pub fn installed() -> bool {
+    allocation_count() > 0
+}
+
+/// Lower the peak to the current live level, so a subsequent phase's peak
+/// is measured from here.
+pub fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Record the allocator counters as `mem.alloc.*` gauges
+/// ([`crate::names::GAUGE_ALLOC_LIVE`] and friends) into `registry`.
+/// A no-op when no tracking allocator is installed (the gauges would all
+/// read zero and mean nothing).
+pub fn record_gauges(registry: &crate::Registry) {
+    if !installed() {
+        return;
+    }
+    registry.set_gauge(crate::names::GAUGE_ALLOC_LIVE, live_bytes());
+    registry.set_gauge(crate::names::GAUGE_ALLOC_PEAK, peak_bytes());
+    registry.set_gauge(crate::names::GAUGE_ALLOC_TOTAL, total_allocated_bytes());
+    registry.set_gauge(crate::names::GAUGE_ALLOC_COUNT, allocation_count());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The counters are process-wide statics; serialize the tests that
+    /// mutate them so their deltas are exact.
+    static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    /// Exercise the GlobalAlloc impl directly (a test binary cannot install
+    /// a second global allocator, but the counters are instance-free).
+    #[test]
+    #[cfg(not(feature = "off"))]
+    fn counting_tracks_alloc_realloc_dealloc() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let a = TrackingAlloc::new(std::alloc::System);
+        let layout = Layout::from_size_align(1024, 8).unwrap();
+        let live0 = live_bytes();
+        let total0 = total_allocated_bytes();
+        let count0 = allocation_count();
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            assert_eq!(live_bytes() - live0, 1024);
+            assert!(peak_bytes() >= live_bytes());
+            let p = a.realloc(p, layout, 4096);
+            assert!(!p.is_null());
+            assert_eq!(live_bytes() - live0, 4096);
+            a.dealloc(p, Layout::from_size_align(4096, 8).unwrap());
+        }
+        assert_eq!(live_bytes(), live0);
+        assert_eq!(total_allocated_bytes() - total0, 1024 + 4096);
+        assert_eq!(allocation_count() - count0, 2);
+        assert!(installed());
+    }
+
+    #[test]
+    #[cfg(not(feature = "off"))]
+    fn reset_peak_lowers_to_live() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let a = TrackingAlloc::new(std::alloc::System);
+        let layout = Layout::from_size_align(4096, 8).unwrap();
+        unsafe {
+            let p = a.alloc_zeroed(layout);
+            assert!(!p.is_null());
+            assert!(peak_bytes() >= live_bytes());
+            a.dealloc(p, layout);
+        }
+        reset_peak();
+        assert_eq!(peak_bytes(), live_bytes());
+    }
+
+    #[test]
+    #[cfg(feature = "off")]
+    fn off_feature_counts_nothing() {
+        let a = TrackingAlloc::new(std::alloc::System);
+        let layout = Layout::from_size_align(64, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            a.dealloc(p, layout);
+        }
+        assert_eq!(live_bytes(), 0);
+        assert_eq!(total_allocated_bytes(), 0);
+        assert_eq!(allocation_count(), 0);
+        assert!(!installed());
+    }
+}

@@ -391,6 +391,117 @@ impl Parser<'_> {
     }
 }
 
+/// Parse a `treepi.obs/v1` document (the output of
+/// [`crate::MetricSet::render_json`]) back into a [`crate::MetricSet`].
+///
+/// Validates the schema tag and every field shape; derived span fields
+/// (`mean_ns`, `p50_ns`, `p95_ns`) are ignored on input — they are
+/// recomputed from the histogram, so `render → parse → render` is a
+/// fixpoint. This is the input side of the metrics regression gate
+/// ([`crate::diff`]).
+pub fn parse_metric_set(input: &str) -> Result<crate::MetricSet, ParseError> {
+    fn sem(msg: String) -> ParseError {
+        ParseError { at: 0, msg }
+    }
+    fn u64_field(obj: &Value, key: &str, ctx: &str) -> Result<u64, ParseError> {
+        obj.get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| sem(format!("{ctx}: missing or non-integer \"{key}\"")))
+    }
+
+    let v = parse(input)?;
+    let schema = v.get("schema").and_then(Value::as_str);
+    if schema != Some(crate::JSON_SCHEMA) {
+        return Err(sem(format!(
+            "unsupported metrics schema {schema:?} (expected {:?})",
+            crate::JSON_SCHEMA
+        )));
+    }
+    let mut set = crate::MetricSet::new();
+    let counters = v
+        .get("counters")
+        .and_then(Value::as_object)
+        .ok_or_else(|| sem("missing \"counters\" object".to_string()))?;
+    for (name, val) in counters {
+        let n = val
+            .as_u64()
+            .ok_or_else(|| sem(format!("counter \"{name}\": non-integer value")))?;
+        set.add(name, n);
+    }
+    // "gauges" is additive to the v1 schema: absent in documents written
+    // before gauges existed, so treat a missing key as empty.
+    if let Some(gauges) = v.get("gauges") {
+        let gauges = gauges
+            .as_object()
+            .ok_or_else(|| sem("\"gauges\" is not an object".to_string()))?;
+        for (name, val) in gauges {
+            let n = val
+                .as_u64()
+                .ok_or_else(|| sem(format!("gauge \"{name}\": non-integer value")))?;
+            set.set_gauge(name, n);
+        }
+    }
+    let spans = v
+        .get("spans")
+        .and_then(Value::as_object)
+        .ok_or_else(|| sem("missing \"spans\" object".to_string()))?;
+    for (name, span) in spans {
+        let ctx = format!("span \"{name}\"");
+        let mut stat = crate::SpanStat {
+            count: u64_field(span, "count", &ctx)?,
+            total_ns: u64_field(span, "total_ns", &ctx)?,
+            min_ns: u64_field(span, "min_ns", &ctx)?,
+            max_ns: u64_field(span, "max_ns", &ctx)?,
+            buckets: [0; crate::BUCKETS],
+        };
+        if stat.count == 0 {
+            // The renderer reports min as 0 for empty spans; restore the
+            // internal "nothing seen yet" sentinel.
+            stat.min_ns = u64::MAX;
+        }
+        let buckets = span
+            .get("buckets")
+            .and_then(Value::as_array)
+            .ok_or_else(|| sem(format!("{ctx}: missing \"buckets\" array")))?;
+        for pair in buckets {
+            let (upper, count) = match pair.as_array() {
+                Some([u, c]) => (u.as_u64(), c.as_u64()),
+                _ => (None, None),
+            };
+            let (upper, count) = match (upper, count) {
+                (Some(u), Some(c)) => (u, c),
+                _ => {
+                    return Err(sem(format!(
+                        "{ctx}: bucket entries must be [upper_ns, count] integer pairs"
+                    )))
+                }
+            };
+            let idx = if upper == 0 {
+                0
+            } else if upper.is_power_of_two() {
+                upper.trailing_zeros() as usize
+            } else {
+                return Err(sem(format!(
+                    "{ctx}: bucket upper bound {upper} is not a power of two"
+                )));
+            };
+            if idx >= crate::BUCKETS {
+                return Err(sem(format!(
+                    "{ctx}: bucket upper bound {upper} out of range"
+                )));
+            }
+            stat.buckets[idx] += count;
+        }
+        if stat.buckets.iter().sum::<u64>() != stat.count {
+            return Err(sem(format!(
+                "{ctx}: histogram total does not match \"count\""
+            )));
+        }
+        set.spans.insert(name.clone(), stat);
+    }
+    Ok(set)
+}
+
 fn utf8_len(first: u8) -> usize {
     match first {
         0x00..=0x7F => 1,

@@ -44,7 +44,10 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
+pub mod diff;
 pub mod json;
+pub mod trace;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -173,6 +176,7 @@ impl SpanStat {
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct MetricSet {
     counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
     spans: BTreeMap<String, SpanStat>,
 }
 
@@ -184,7 +188,7 @@ impl MetricSet {
 
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.spans.is_empty()
+        self.counters.is_empty() && self.gauges.is_empty() && self.spans.is_empty()
     }
 
     /// Add `n` to counter `name` (created at 0 on first use).
@@ -209,11 +213,34 @@ impl MetricSet {
         }
     }
 
+    /// Set gauge `name` to `v` — a point-in-time *level* (bytes held, peak
+    /// bytes, structure sizes), as opposed to a monotonically accumulating
+    /// counter. Setting overwrites; merging keeps the max (see [`Self::merge`]).
+    pub fn set_gauge(&mut self, name: &str, v: u64) {
+        match self.gauges.get_mut(name) {
+            Some(g) => *g = v,
+            None => {
+                self.gauges.insert(name.to_string(), v);
+            }
+        }
+    }
+
     /// Merge `other` into `self` (commutative and associative, so the merge
-    /// order of per-worker shards cannot change any total).
+    /// order of per-worker shards cannot change any total). Counters and
+    /// span histograms add; gauges keep the **max** of both sides, so level
+    /// readings like peak memory survive shard merges as true high-water
+    /// marks.
     pub fn merge(&mut self, other: &MetricSet) {
         for (k, v) in &other.counters {
             self.add(k, *v);
+        }
+        for (k, v) in &other.gauges {
+            match self.gauges.get_mut(k) {
+                Some(mine) => *mine = (*mine).max(*v),
+                None => {
+                    self.gauges.insert(k.clone(), *v);
+                }
+            }
         }
         for (k, s) in &other.spans {
             match self.spans.get_mut(k) {
@@ -228,6 +255,16 @@ impl MetricSet {
     /// Current value of counter `name` (0 if never recorded).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of gauge `name`, if set.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// All gauges, name-sorted.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
     /// Statistics of span `name`, if recorded.
@@ -279,6 +316,13 @@ impl MetricSet {
                 out.push_str(&format!("  {k:<w$}  {v}\n"));
             }
         }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            let w = self.gauges.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (k, v) in &self.gauges {
+                out.push_str(&format!("  {k:<w$}  {v}\n"));
+            }
+        }
         if !self.spans.is_empty() {
             let w = self.spans.keys().map(|k| k.len()).max().unwrap_or(0).max(4);
             out.push_str(&format!(
@@ -326,6 +370,17 @@ impl MetricSet {
             out.push_str("\n  ");
         }
         out.push_str("},\n");
+        out.push_str("  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {v}", json::escape_string(k)));
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
         out.push_str("  \"spans\": {");
         for (i, (k, s)) in self.spans.iter().enumerate() {
             if i > 0 {
@@ -368,6 +423,7 @@ impl MetricSet {
 pub struct Shard {
     enabled: bool,
     set: RefCell<MetricSet>,
+    trace: Option<trace::TraceShard>,
 }
 
 impl Shard {
@@ -377,6 +433,43 @@ impl Shard {
         Self {
             enabled: enabled && COMPILED_IN,
             set: RefCell::new(MetricSet::new()),
+            trace: None,
+        }
+    }
+
+    /// A shard that additionally buffers trace events (only handed out by a
+    /// tracing [`Registry`]).
+    fn traced(enabled: bool, trace: Option<trace::TraceShard>) -> Self {
+        Self {
+            enabled: enabled && COMPILED_IN,
+            set: RefCell::new(MetricSet::new()),
+            trace,
+        }
+    }
+
+    /// Whether this shard buffers trace events.
+    #[inline]
+    pub fn is_tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Attach `q` (a query's batch position) to subsequently traced events;
+    /// `None` detaches. A single branch when tracing is off.
+    #[inline]
+    pub fn set_trace_query(&self, q: Option<u64>) {
+        if let Some(t) = &self.trace {
+            t.set_query(q);
+        }
+    }
+
+    /// Record a complete trace event retroactively: `name` ran from `start`
+    /// for `dur`. Used by pipeline sites that measure stage durations
+    /// themselves instead of holding a [`SpanGuard`]. A single branch when
+    /// tracing is off.
+    #[inline]
+    pub fn trace_complete(&self, name: &str, start: Instant, dur: Duration) {
+        if let Some(t) = &self.trace {
+            t.push(name, start, dur);
         }
     }
 
@@ -392,7 +485,8 @@ impl Shard {
     }
 
     /// An empty shard with the same enablement (for handing to a helper
-    /// thread; merge it back with [`Shard::merge`]).
+    /// thread; merge it back with [`Shard::merge`]). Forks never trace —
+    /// the per-query timeline belongs to the worker that owns the query.
     pub fn fork(&self) -> Shard {
         Shard::detached(self.enabled)
     }
@@ -409,6 +503,14 @@ impl Shard {
     pub fn add(&self, name: &str, n: u64) {
         if self.enabled {
             self.set.borrow_mut().add(name, n);
+        }
+    }
+
+    /// Set gauge `name` to `v` (see [`MetricSet::set_gauge`]).
+    #[inline]
+    pub fn set_gauge(&self, name: &str, v: u64) {
+        if self.enabled {
+            self.set.borrow_mut().set_gauge(name, v);
         }
     }
 
@@ -442,6 +544,11 @@ impl Shard {
     pub fn into_set(self) -> MetricSet {
         self.set.into_inner()
     }
+
+    /// Consume the shard, yielding metrics and the trace buffer (if any).
+    fn into_parts(self) -> (MetricSet, Option<trace::TraceShard>) {
+        (self.set.into_inner(), self.trace)
+    }
 }
 
 /// RAII span timer returned by [`Shard::span`]; records on drop.
@@ -455,7 +562,9 @@ pub struct SpanGuard<'a> {
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         if let Some(start) = self.start {
-            self.shard.observe(self.name, start.elapsed());
+            let elapsed = start.elapsed();
+            self.shard.observe(self.name, elapsed);
+            self.shard.trace_complete(self.name, start, elapsed);
         }
     }
 }
@@ -491,6 +600,7 @@ impl Counter {
 pub struct Registry {
     enabled: bool,
     agg: Mutex<MetricSet>,
+    trace: Option<trace::TraceSink>,
 }
 
 impl Registry {
@@ -499,6 +609,21 @@ impl Registry {
         Self {
             enabled: COMPILED_IN,
             agg: Mutex::new(MetricSet::new()),
+            trace: None,
+        }
+    }
+
+    /// An enabled registry that additionally collects a trace timeline:
+    /// shards it hands out buffer begin/end events for every span (and the
+    /// retroactive pipeline-stage records, [`Shard::trace_complete`]),
+    /// merged at absorb time and exported via [`Self::drain_trace`]. Under
+    /// the `off` feature this is [`Registry::disabled`] — tracing compiles
+    /// out with the rest of the instrumentation.
+    pub fn with_tracing() -> Self {
+        Self {
+            enabled: COMPILED_IN,
+            agg: Mutex::new(MetricSet::new()),
+            trace: COMPILED_IN.then(trace::TraceSink::new),
         }
     }
 
@@ -508,6 +633,7 @@ impl Registry {
         Self {
             enabled: false,
             agg: Mutex::new(MetricSet::new()),
+            trace: None,
         }
     }
 
@@ -517,17 +643,31 @@ impl Registry {
         self.enabled
     }
 
-    /// A fresh shard with this registry's enablement.
-    pub fn shard(&self) -> Shard {
-        Shard::detached(self.enabled)
+    /// Whether a trace timeline is being collected.
+    #[inline]
+    pub fn is_tracing(&self) -> bool {
+        self.trace.is_some()
     }
 
-    /// Merge a shard's metrics into the aggregate.
+    /// A fresh shard with this registry's enablement (and, when tracing, a
+    /// trace buffer on a fresh lane).
+    pub fn shard(&self) -> Shard {
+        match &self.trace {
+            Some(sink) if self.enabled => Shard::traced(true, Some(sink.shard())),
+            _ => Shard::detached(self.enabled),
+        }
+    }
+
+    /// Merge a shard's metrics (and trace events, if any) into the
+    /// aggregate.
     pub fn absorb(&self, shard: Shard) {
         if self.enabled {
-            let set = shard.into_set();
+            let (set, shard_trace) = shard.into_parts();
             if !set.is_empty() {
                 self.agg.lock().expect("obs registry poisoned").merge(&set);
+            }
+            if let (Some(sink), Some(t)) = (&self.trace, shard_trace) {
+                sink.absorb(t);
             }
         }
     }
@@ -538,6 +678,26 @@ impl Registry {
         if self.enabled {
             self.agg.lock().expect("obs registry poisoned").add(name, n);
         }
+    }
+
+    /// Set an aggregate gauge (takes the lock — cold paths only; see
+    /// [`MetricSet::set_gauge`]).
+    pub fn set_gauge(&self, name: &str, v: u64) {
+        if self.enabled {
+            self.agg
+                .lock()
+                .expect("obs registry poisoned")
+                .set_gauge(name, v);
+        }
+    }
+
+    /// Take the collected trace timeline (empty when not tracing), sorted
+    /// by start offset.
+    pub fn drain_trace(&self) -> Vec<trace::TraceEvent> {
+        self.trace
+            .as_ref()
+            .map(trace::TraceSink::drain)
+            .unwrap_or_default()
     }
 
     /// A copy of the current aggregate.
@@ -575,6 +735,35 @@ pub mod names {
     pub const ANSWERS: &str = "funnel.answers";
     /// Queries short-circuited by a missing feature.
     pub const MISSING_FEATURE: &str = "funnel.missing_feature";
+
+    /// Gauge: bytes currently live per the tracking allocator.
+    pub const GAUGE_ALLOC_LIVE: &str = "mem.alloc.live_bytes";
+    /// Gauge: peak live bytes per the tracking allocator.
+    pub const GAUGE_ALLOC_PEAK: &str = "mem.alloc.peak_bytes";
+    /// Gauge: cumulative bytes ever allocated.
+    pub const GAUGE_ALLOC_TOTAL: &str = "mem.alloc.total_bytes";
+    /// Gauge: cumulative allocation calls.
+    pub const GAUGE_ALLOC_COUNT: &str = "mem.alloc.allocations";
+
+    /// Gauge: total estimated heap bytes of the TreePi index.
+    pub const GAUGE_INDEX_TOTAL: &str = "mem.index.bytes";
+    /// Gauge: heap bytes of the indexed graph database.
+    pub const GAUGE_INDEX_DB: &str = "mem.index.db_bytes";
+    /// Gauge: heap bytes of the feature trees + canonical codes.
+    pub const GAUGE_INDEX_FEATURES: &str = "mem.index.features_bytes";
+    /// Gauge: heap bytes of the per-feature support sets.
+    pub const GAUGE_INDEX_SUPPORTS: &str = "mem.index.supports_bytes";
+    /// Gauge: heap bytes of the center-position tables.
+    pub const GAUGE_INDEX_CENTERS: &str = "mem.index.centers_bytes";
+    /// Gauge: heap bytes of the canonical-code trie.
+    pub const GAUGE_INDEX_TRIE: &str = "mem.index.trie_bytes";
+
+    /// Gauge: total estimated heap bytes of the gIndex baseline.
+    pub const GAUGE_GINDEX_TOTAL: &str = "mem.gindex.bytes";
+    /// Gauge: heap bytes of the gIndex fragment set (graphs + codes).
+    pub const GAUGE_GINDEX_FRAGMENTS: &str = "mem.gindex.fragments_bytes";
+    /// Gauge: heap bytes of the gIndex code→fragment lookup map.
+    pub const GAUGE_GINDEX_LOOKUP: &str = "mem.gindex.lookup_bytes";
 }
 
 #[cfg(test)]
@@ -746,6 +935,148 @@ mod tests {
         let v = json::parse(&MetricSet::new().render_json()).unwrap();
         assert!(v.get("counters").is_some());
         assert!(v.get("spans").is_some());
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Empty stat: every quantile is 0.
+        let empty = SpanStat::default();
+        for p in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(empty.quantile_ns(p), 0);
+        }
+        // Single observation: every quantile is that observation (the
+        // bucket upper bound clamps to max_ns).
+        let mut single = SpanStat::default();
+        single.observe_ns(777);
+        for p in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(single.quantile_ns(p), 777);
+        }
+        // Exact bucket boundaries: powers of two land in their own bucket
+        // (bucket i covers (2^(i-1), 2^i]), so the quantile reports them
+        // exactly rather than one bucket high.
+        for ns in [1u64, 2, 4, 1024, 1 << 20] {
+            let mut s = SpanStat::default();
+            s.observe_ns(ns);
+            assert_eq!(s.quantile_ns(0.5), ns, "boundary value {ns}");
+        }
+        // Zero-duration observations occupy the dedicated 0 bucket.
+        let mut zeros = SpanStat::default();
+        zeros.observe_ns(0);
+        zeros.observe_ns(0);
+        assert_eq!(zeros.quantile_ns(1.0), 0);
+        // Two-bucket split: p at the first bucket's cumulative fraction
+        // stays in it; just above moves to the next.
+        let mut split = SpanStat::default();
+        for _ in 0..50 {
+            split.observe_ns(3); // bucket 2, upper 4
+        }
+        for _ in 0..50 {
+            split.observe_ns(1000); // bucket 10, upper 1024
+        }
+        assert_eq!(split.quantile_ns(0.50), 4);
+        assert_eq!(split.quantile_ns(0.51), 1000);
+    }
+
+    #[test]
+    fn json_round_trips_to_equal_metric_set() {
+        let mut m = MetricSet::new();
+        m.add("funnel.queries", 3);
+        m.add("engine.workers", 2);
+        m.set_gauge("mem.index.bytes", 123_456);
+        m.set_gauge("mem.alloc.peak_bytes", 9_999_999);
+        for ns in [0u64, 1, 500, 1_000_000, u64::MAX >> 20] {
+            m.observe_ns("query.verify", ns);
+        }
+        m.observe_ns("query.filter", 42);
+        let parsed = json::parse_metric_set(&m.render_json()).expect("round-trip parse");
+        assert_eq!(parsed, m);
+        // And rendering the parsed set is a fixpoint.
+        assert_eq!(parsed.render_json(), m.render_json());
+        // Empty set round-trips too.
+        let empty = MetricSet::new();
+        assert_eq!(json::parse_metric_set(&empty.render_json()).unwrap(), empty);
+    }
+
+    #[test]
+    fn parse_metric_set_rejects_malformed_documents() {
+        // Wrong schema tag.
+        assert!(json::parse_metric_set(
+            "{\"schema\": \"other/v9\", \"counters\": {}, \"spans\": {}}"
+        )
+        .is_err());
+        // Missing counters object.
+        assert!(json::parse_metric_set(&format!(
+            "{{\"schema\": \"{JSON_SCHEMA}\", \"spans\": {{}}}}"
+        ))
+        .is_err());
+        // Histogram total inconsistent with count.
+        let bad = format!(
+            "{{\"schema\": \"{JSON_SCHEMA}\", \"counters\": {{}}, \"spans\": {{\"s\": \
+             {{\"count\": 2, \"total_ns\": 5, \"min_ns\": 1, \"max_ns\": 4, \"buckets\": \
+             [[4, 1]]}}}}}}"
+        );
+        assert!(json::parse_metric_set(&bad).is_err());
+        // Non-power-of-two bucket bound.
+        let bad = format!(
+            "{{\"schema\": \"{JSON_SCHEMA}\", \"counters\": {{}}, \"spans\": {{\"s\": \
+             {{\"count\": 1, \"total_ns\": 3, \"min_ns\": 3, \"max_ns\": 3, \"buckets\": \
+             [[3, 1]]}}}}}}"
+        );
+        assert!(json::parse_metric_set(&bad).is_err());
+        // Documents without a "gauges" key (pre-gauge emitters) still parse.
+        let old = format!(
+            "{{\"schema\": \"{JSON_SCHEMA}\", \"counters\": {{\"c\": 1}}, \"spans\": {{}}}}"
+        );
+        let parsed = json::parse_metric_set(&old).unwrap();
+        assert_eq!(parsed.counter("c"), 1);
+        assert_eq!(parsed.gauges().count(), 0);
+    }
+
+    #[test]
+    #[cfg(not(feature = "off"))]
+    fn tracing_registry_collects_span_timeline() {
+        let r = Registry::with_tracing();
+        assert!(r.is_tracing());
+        let s = r.shard();
+        assert!(s.is_tracing());
+        s.set_trace_query(Some(7));
+        {
+            let _g = s.span("query.filter");
+        }
+        s.set_trace_query(None);
+        // Forks never trace.
+        assert!(!s.fork().is_tracing());
+        r.absorb(s);
+        let events = r.drain_trace();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "query.filter");
+        assert_eq!(events[0].query, Some(7));
+        // Metrics flow unchanged alongside the trace.
+        assert_eq!(r.snapshot().span("query.filter").unwrap().count, 1);
+        // Non-tracing registries yield no events and no trace shards.
+        let plain = Registry::new();
+        assert!(!plain.is_tracing());
+        assert!(!plain.shard().is_tracing());
+        assert!(plain.drain_trace().is_empty());
+    }
+
+    #[test]
+    fn gauges_set_overwrite_and_merge_keeps_max() {
+        let mut a = MetricSet::new();
+        a.set_gauge("mem.x", 10);
+        a.set_gauge("mem.x", 5); // set overwrites, even downward
+        assert_eq!(a.gauge("mem.x"), Some(5));
+        let mut b = MetricSet::new();
+        b.set_gauge("mem.x", 8);
+        b.set_gauge("mem.y", 1);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "gauge merge must be commutative");
+        assert_eq!(ab.gauge("mem.x"), Some(8), "merge keeps the max");
+        assert_eq!(ab.gauge("mem.y"), Some(1));
+        assert_eq!(ab.gauge("mem.missing"), None);
     }
 
     #[test]

@@ -27,6 +27,12 @@ impl CanonString {
     pub fn tokens(&self) -> &[u32] {
         &self.0
     }
+
+    /// Heap bytes held by the token vector (length-based).
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.0.len() * std::mem::size_of::<u32>()
+    }
 }
 
 // Token tags. Labels are offset so they never collide with tags.

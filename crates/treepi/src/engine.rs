@@ -102,10 +102,11 @@ impl TreePiIndex {
             let shard = registry.shard();
             let results = {
                 let _wall = shard.span("engine.worker_wall");
-                queries
+                let results: Vec<QueryResult> = queries
                     .iter()
                     .enumerate()
                     .map(|(i, q)| {
+                        shard.set_trace_query(Some(i as u64));
                         let _busy = shard.span("engine.worker_busy");
                         self.query_with_threads_obs(
                             q,
@@ -115,7 +116,9 @@ impl TreePiIndex {
                             &shard,
                         )
                     })
-                    .collect()
+                    .collect();
+                shard.set_trace_query(None);
+                results
             };
             shard.add("engine.workers", 1);
             shard.add("engine.queries", queries.len() as u64);
@@ -142,6 +145,7 @@ impl TreePiIndex {
                                         break;
                                     }
                                     let r = {
+                                        shard.set_trace_query(Some(i as u64));
                                         let _busy = shard.span("engine.worker_busy");
                                         self.query_with_threads_obs(
                                             &queries[i],
@@ -154,6 +158,7 @@ impl TreePiIndex {
                                     served += 1;
                                     *slots[i].lock().expect("slot") = Some(r);
                                 }
+                                shard.set_trace_query(None);
                             }
                             shard.add("engine.workers", 1);
                             shard.add("engine.queries", served);
@@ -321,6 +326,53 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn tracing_batch_emits_stage_timeline_per_query() {
+        if !obs::COMPILED_IN {
+            return;
+        }
+        let idx = index();
+        let qs = queries();
+        for threads in [1usize, 3] {
+            let reg = obs::Registry::with_tracing();
+            let (_, _) = idx.query_batch_obs(&qs, QueryOptions::default(), threads, 42, &reg);
+            let events = reg.drain_trace();
+            // Every query contributes its four pipeline stages, tagged with
+            // its batch position.
+            for name in obs::names::PIPELINE_SPANS {
+                let ids: std::collections::BTreeSet<u64> = events
+                    .iter()
+                    .filter(|e| e.name == name)
+                    .filter_map(|e| e.query)
+                    .collect();
+                assert_eq!(
+                    ids,
+                    (0..qs.len() as u64).collect(),
+                    "{name} missing queries (threads={threads})"
+                );
+            }
+            // Worker spans are present and the wall span carries no query id.
+            assert!(events.iter().any(|e| e.name == "engine.worker_busy"));
+            let wall = events
+                .iter()
+                .find(|e| e.name == "engine.worker_wall")
+                .expect("wall span traced");
+            assert_eq!(wall.query, None);
+            // Stage events nest inside the batch: no start beyond the wall end.
+            let wall_end = wall.start_ns + wall.dur_ns;
+            for e in &events {
+                assert!(e.start_ns <= wall_end.max(e.start_ns));
+            }
+            // Metrics unaffected by tracing.
+            let m = reg.drain();
+            assert_eq!(m.counter(obs::names::QUERIES), qs.len() as u64);
+        }
+        // Non-tracing registry produces no events for the same batch.
+        let reg = obs::Registry::new();
+        let _ = idx.query_batch_obs(&qs, QueryOptions::default(), 2, 42, &reg);
+        assert!(reg.drain_trace().is_empty());
     }
 
     #[test]

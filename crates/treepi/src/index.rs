@@ -372,22 +372,95 @@ impl TreePiIndex {
         Self::build(graphs, self.params)
     }
 
-    /// Estimated memory footprint of the index payload in bytes (supports +
-    /// center positions + trie nodes); used by the index-size experiments.
-    pub fn memory_estimate(&self) -> usize {
-        let supports: usize = self
+    /// Per-structure heap estimate of the whole index (database, feature
+    /// trees, support sets, center tables, trie). Length-based, so the
+    /// numbers are deterministic for a given index regardless of build
+    /// history; recorded as `mem.index.*` gauges by
+    /// [`Self::record_mem_gauges`].
+    pub fn memory_breakdown(&self) -> IndexMemory {
+        use std::mem::size_of;
+        let db_bytes = self.db.iter().map(Graph::heap_bytes).sum::<usize>()
+            + self.active.len() * size_of::<bool>();
+        let features_bytes = self
             .features
             .iter()
-            .map(|f| f.support.len() * std::mem::size_of::<u32>())
+            .map(|f| f.tree.heap_bytes() + f.canon.heap_bytes())
             .sum();
-        let centers: usize = self
+        let supports_bytes = self
+            .features
+            .iter()
+            .map(|f| f.support.len() * size_of::<u32>())
+            .sum();
+        let centers_bytes = self
             .centers
             .iter()
-            .flat_map(|m| m.values())
-            .map(|v| v.len() * std::mem::size_of::<CenterPos>() + 16)
+            .map(|m| {
+                m.len() * size_of::<(u32, Vec<CenterPos>)>()
+                    + m.values()
+                        .map(|v| v.len() * size_of::<CenterPos>())
+                        .sum::<usize>()
+            })
             .sum();
-        let trie = self.trie.node_count() * 48;
-        supports + centers + trie
+        IndexMemory {
+            db_bytes,
+            features_bytes,
+            supports_bytes,
+            centers_bytes,
+            trie_bytes: self.trie.heap_bytes(),
+        }
+    }
+
+    /// Total estimated heap bytes of the index (all parts of
+    /// [`Self::memory_breakdown`]).
+    pub fn heap_bytes(&self) -> usize {
+        self.memory_breakdown().total()
+    }
+
+    /// Estimated memory footprint of the index *payload* in bytes
+    /// (supports + center positions + trie) — the structures the paper's
+    /// Figure 9 "index size" metric counts, excluding the database and the
+    /// feature trees themselves. Used by the index-size experiments.
+    pub fn memory_estimate(&self) -> usize {
+        let m = self.memory_breakdown();
+        m.supports_bytes + m.centers_bytes + m.trie_bytes
+    }
+
+    /// Record [`Self::memory_breakdown`] as `mem.index.*` gauges.
+    pub fn record_mem_gauges(&self, registry: &obs::Registry) {
+        let m = self.memory_breakdown();
+        registry.set_gauge(obs::names::GAUGE_INDEX_TOTAL, m.total() as u64);
+        registry.set_gauge(obs::names::GAUGE_INDEX_DB, m.db_bytes as u64);
+        registry.set_gauge(obs::names::GAUGE_INDEX_FEATURES, m.features_bytes as u64);
+        registry.set_gauge(obs::names::GAUGE_INDEX_SUPPORTS, m.supports_bytes as u64);
+        registry.set_gauge(obs::names::GAUGE_INDEX_CENTERS, m.centers_bytes as u64);
+        registry.set_gauge(obs::names::GAUGE_INDEX_TRIE, m.trie_bytes as u64);
+    }
+}
+
+/// Per-structure heap estimate of a [`TreePiIndex`], from
+/// [`TreePiIndex::memory_breakdown`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IndexMemory {
+    /// The graph database (labels, edges, adjacency) plus tombstone flags.
+    pub db_bytes: usize,
+    /// Feature pattern trees and their canonical strings.
+    pub features_bytes: usize,
+    /// Per-feature support sets.
+    pub supports_bytes: usize,
+    /// Center-position tables (graph id → positions, per feature).
+    pub centers_bytes: usize,
+    /// The canonical-string trie.
+    pub trie_bytes: usize,
+}
+
+impl IndexMemory {
+    /// Sum of all parts.
+    pub fn total(&self) -> usize {
+        self.db_bytes
+            + self.features_bytes
+            + self.supports_bytes
+            + self.centers_bytes
+            + self.trie_bytes
     }
 }
 
@@ -530,6 +603,41 @@ mod tests {
     fn memory_estimate_positive() {
         let idx = quick_index();
         assert!(idx.memory_estimate() > 0);
+    }
+
+    #[test]
+    fn memory_breakdown_sums_and_feeds_gauges() {
+        let idx = quick_index();
+        let m = idx.memory_breakdown();
+        assert!(m.db_bytes > 0);
+        assert!(m.features_bytes > 0);
+        assert!(m.supports_bytes > 0);
+        assert!(m.centers_bytes > 0);
+        assert!(m.trie_bytes > 0);
+        assert_eq!(
+            m.total(),
+            m.db_bytes + m.features_bytes + m.supports_bytes + m.centers_bytes + m.trie_bytes
+        );
+        assert_eq!(idx.heap_bytes(), m.total());
+        assert_eq!(
+            idx.memory_estimate(),
+            m.supports_bytes + m.centers_bytes + m.trie_bytes
+        );
+        // Deterministic for the same build.
+        assert_eq!(quick_index().memory_breakdown(), m);
+        if obs::COMPILED_IN {
+            let r = obs::Registry::new();
+            idx.record_mem_gauges(&r);
+            let snap = r.snapshot();
+            assert_eq!(
+                snap.gauge(obs::names::GAUGE_INDEX_TOTAL),
+                Some(m.total() as u64)
+            );
+            assert_eq!(
+                snap.gauge(obs::names::GAUGE_INDEX_TRIE),
+                Some(m.trie_bytes as u64)
+            );
+        }
     }
 
     #[test]

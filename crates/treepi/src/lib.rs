@@ -47,7 +47,7 @@ pub mod workload;
 pub use directed::DirectedTreePiIndex;
 pub use engine::{query_rng, resolve_threads};
 pub use filter::enumerate_query_features;
-pub use index::{BuildStats, Feature, TreePiIndex};
+pub use index::{BuildStats, Feature, IndexMemory, TreePiIndex};
 pub use params::{Delta, TreePiParams};
 pub use partition::{
     partition_runs, partition_runs_with, random_partition, random_partition_collecting, Part,

@@ -108,6 +108,29 @@ impl QueryStats {
         shard.observe(obs::names::SPAN_PRUNE, self.t_prune);
         shard.observe(obs::names::SPAN_VERIFY, self.t_verify);
     }
+
+    /// Emit the four stage intervals as trace timeline events, anchored to
+    /// `end` — the instant the query finished. The stages run back-to-back
+    /// (partition → filter → prune → verify), so their start offsets are
+    /// reconstructed backwards from `end` without instrumenting the hot
+    /// `query_impl` internals. A no-op unless `shard` is tracing.
+    pub fn trace_into(&self, shard: &obs::Shard, end: std::time::Instant) {
+        if !shard.is_tracing() {
+            return;
+        }
+        let verify_start = end - self.t_verify;
+        let prune_start = verify_start - self.t_prune;
+        let filter_start = prune_start - self.t_filter;
+        let partition_start = filter_start - self.t_partition;
+        shard.trace_complete(
+            obs::names::SPAN_PARTITION,
+            partition_start,
+            self.t_partition,
+        );
+        shard.trace_complete(obs::names::SPAN_FILTER, filter_start, self.t_filter);
+        shard.trace_complete(obs::names::SPAN_PRUNE, prune_start, self.t_prune);
+        shard.trace_complete(obs::names::SPAN_VERIFY, verify_start, self.t_verify);
+    }
 }
 
 /// Result of a TreePi query.
@@ -160,6 +183,7 @@ impl TreePiIndex {
     ) -> QueryResult {
         let r = self.query_impl(q, opts, rng, threads, shard);
         r.stats.record_into(shard);
+        r.stats.trace_into(shard, std::time::Instant::now());
         r
     }
 

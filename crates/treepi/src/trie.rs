@@ -98,6 +98,19 @@ impl CanonTrie {
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
+
+    /// Estimated heap bytes: node storage plus each node's child map
+    /// entries (length-based, not capacity-based, so the estimate is
+    /// deterministic for a given key set).
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.nodes.len() * size_of::<TrieNode>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| n.children.len() * size_of::<(u32, u32)>())
+                .sum::<usize>()
+    }
 }
 
 #[cfg(test)]
