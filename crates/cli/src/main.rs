@@ -4,7 +4,7 @@
 //! treepi build  <db.gspan> <index.tpi> [--alpha A --beta B --eta E --gamma G] [--threads N] [--metrics out.json]
 //! treepi query  <index.tpi> <queries.gspan> [--stats] [--seed N] [--threads N] [--metrics out.json] [--trace out.json]
 //! treepi gquery <db.gspan> <queries.gspan> [--threads N] [--metrics out.json]  (gIndex baseline)
-//! treepi metrics-diff <baseline.json> <current.json> [--max-regress-pct P] [--time]
+//! treepi metrics-diff <baseline.json> <current.json> [--max-regress-pct P] [--time] [--update-baseline]
 //! treepi stats  <index.tpi>
 //! treepi dbstats <db.gspan>
 //! treepi gen    <out.gspan> --chem N | --synthetic N L
@@ -23,7 +23,10 @@
 //! `metrics-diff` compares two metrics files and exits non-zero when a
 //! gated value (counters, `mem.*` gauges, span counts; with `--time` also
 //! span p50/p95) regressed by more than `--max-regress-pct` percent — the
-//! CI perf gate.
+//! CI perf gate. `--update-baseline` instead rewrites `<baseline.json>`
+//! from `<current.json>` (canonically re-rendered) and skips gating — the
+//! convenience for refreshing `ci/*-baseline.json` after an intended
+//! change.
 //!
 //! Graph files use the gSpan transaction format (`t # i` / `v id label` /
 //! `e u v label`); see `graph_core::io`.
@@ -46,7 +49,7 @@ fn usage() -> ExitCode {
         "usage:\n  treepi build  <db.gspan> <index.tpi> [--alpha A] [--beta B] [--eta E] [--gamma G] [--threads N] [--metrics out.json]\n  \
          treepi query  <index.tpi> <queries.gspan> [--stats] [--seed N] [--threads N] [--metrics out.json] [--trace out.json]\n  \
          treepi gquery <db.gspan> <queries.gspan> [--threads N] [--metrics out.json]\n  \
-         treepi metrics-diff <baseline.json> <current.json> [--max-regress-pct P] [--time]\n  \
+         treepi metrics-diff <baseline.json> <current.json> [--max-regress-pct P] [--time] [--update-baseline]\n  \
          treepi stats  <index.tpi>\n  \
          treepi dbstats <db.gspan>\n  \
          treepi gen    <out.gspan> (--chem N | --synthetic N L) [--seed N]\n  \
@@ -240,6 +243,16 @@ fn run() -> Result<(), String> {
                 let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
                 obs::json::parse_metric_set(&text).map_err(|e| format!("{path}: {e}"))
             };
+            if args.iter().any(|a| a == "--update-baseline") {
+                // Re-render (rather than copy) so the baseline is always in
+                // canonical schema form regardless of how current.json was
+                // produced.
+                let current = read(cur_path)?;
+                std::fs::write(base_path, current.render_json())
+                    .map_err(|e| format!("{base_path}: {e}"))?;
+                eprintln!("updated baseline {base_path} from {cur_path}");
+                return Ok(());
+            }
             let base = read(base_path)?;
             let current = read(cur_path)?;
             let opts = obs::diff::DiffOptions {

@@ -367,6 +367,64 @@ pub fn fig_construction(opts: &Opts, dataset: &str) {
     );
 }
 
+/// Build scaling: TreePi construction wall time vs worker threads on one
+/// fixed database per dataset. Every run also checks that the built index
+/// serializes to the same bytes as the 1-thread build — the speedup column
+/// is only meaningful because the output is provably identical.
+pub fn buildscale(opts: &Opts, dataset: &str) {
+    println!("== build scaling: TreePi construction vs threads ({dataset}) ==");
+    let n = opts.scale.n(4000);
+    let db = match dataset {
+        "chem" => chem_db(opts, n),
+        _ => synthetic_db(opts, n, 5).0,
+    };
+    let save_bytes = |idx: &TreePiIndex| -> Vec<u8> {
+        let mut out = Vec::new();
+        idx.save(&mut out).expect("in-memory save");
+        out
+    };
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut base_ms = 0.0f64;
+    let mut base_bytes: Vec<u8> = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let (idx, t) =
+            timed(|| TreePiIndex::build_with_threads(db.clone(), TreePiParams::default(), threads));
+        let t = ms(t);
+        let bytes = save_bytes(&idx);
+        let identical = if threads == 1 {
+            base_ms = t;
+            base_bytes = bytes;
+            true
+        } else {
+            bytes == base_bytes
+        };
+        assert!(identical, "parallel build diverged at {threads} threads");
+        let speedup = base_ms / t;
+        rows.push(vec![
+            threads.to_string(),
+            format!("{:.1}", t),
+            format!("{:.2}", speedup),
+            idx.feature_count().to_string(),
+            "yes".to_string(),
+        ]);
+        csv.push(format!(
+            "{dataset},{n},{threads},{t:.1},{speedup:.3},{}",
+            idx.feature_count()
+        ));
+    }
+    print_table(
+        &["threads", "build ms", "speedup", "features", "bytes=1t"],
+        &rows,
+    );
+    write_csv(
+        opts,
+        &format!("build_scaling_{dataset}.csv"),
+        "dataset,n,threads,build_ms,speedup,features",
+        &csv,
+    );
+}
+
 /// Figures 12(b)/13(b): query processing time vs query edge size.
 pub fn fig_query_time(opts: &Opts, dataset: &str) {
     let figure = if dataset == "chem" { "12(b)" } else { "13(b)" };

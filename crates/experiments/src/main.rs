@@ -13,6 +13,8 @@
 //!   fig12b   query time, real dataset                 (Figure 12b)
 //!   fig13a   construction time, synthetic             (Figure 13a)
 //!   fig13b   query time, synthetic                    (Figure 13b)
+//!   buildscale  construction time vs worker threads   (EXPERIMENTS.md)
+//!            [--dataset chem|synthetic]
 //!   ablate   pipeline-stage ablations + γ sweep       (DESIGN.md)
 //!   classes  paths vs trees vs graphs comparison      (§1 argument)
 //!   datasets dataset summary statistics               (§6 descriptions)
@@ -29,7 +31,7 @@ use common::{Opts, Scale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <fig9|fig10|fig11|fig12a|fig12b|fig13a|fig13b|ablate|classes|all> \
+        "usage: experiments <fig9|fig10|fig11|fig12a|fig12b|fig13a|fig13b|buildscale|ablate|classes|all> \
          [--quick|--full] [--seed N] [--out DIR] [--group low|high] [--dataset chem|synthetic]"
     );
     std::process::exit(2);
@@ -69,6 +71,7 @@ fn main() {
         "fig12b" => figs::fig_query_time(&opts, "chem"),
         "fig13a" => figs::fig_construction(&opts, "synthetic"),
         "fig13b" => figs::fig_query_time(&opts, "synthetic"),
+        "buildscale" => figs::buildscale(&opts, dataset.as_deref().unwrap_or("synthetic")),
         "ablate" => figs::ablate(&opts),
         "classes" => figs::classes(&opts),
         "datasets" => figs::datasets(&opts),
@@ -81,6 +84,7 @@ fn main() {
             figs::fig_query_time(&opts, "chem");
             figs::fig_construction(&opts, "synthetic");
             figs::fig_query_time(&opts, "synthetic");
+            figs::buildscale(&opts, "synthetic");
             figs::ablate(&opts);
             figs::classes(&opts);
             figs::datasets(&opts);

@@ -1,10 +1,19 @@
-//! Order-preserving parallel map over a slice.
+//! Shared scoped-thread parallelism primitives.
 //!
-//! The one concurrency primitive the query-side crates share: run an
-//! independent function over every item on a small scoped worker pool and
-//! return results in item order. Workers self-schedule off a shared atomic
-//! counter, so one slow item does not stall a statically assigned chunk.
-//! Built on `std::thread::scope` — borrowed inputs, no detached threads.
+//! Three small building blocks the pipeline crates share, all built on
+//! `std::thread::scope` — borrowed inputs, no detached threads:
+//!
+//! - [`ordered_map`]/[`ordered_map_obs`]: run an independent function over
+//!   every item of a slice and return results in item order (the query
+//!   engine's primitive). Workers self-schedule off a shared atomic
+//!   counter, so one slow item does not stall a statically assigned chunk.
+//! - [`fork_join_obs`]: run one closure per worker rank with a forked
+//!   [`obs::Shard`] each, joining results and merging shards in rank order
+//!   (the parallel miner's primitive — the closure does its own
+//!   self-scheduling over whatever work units it partitions).
+//! - [`for_each_mut`]: run a mutation over every element of a mutable
+//!   slice on statically chunked workers (parallel post-processing of
+//!   per-pattern data).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -96,6 +105,72 @@ where
         .collect()
 }
 
+/// Run `f(rank, shard)` once per worker on `workers` scoped threads and
+/// return the results in rank order. Each worker records into a
+/// [`obs::Shard::fork`] of `shard`; forks are merged back in rank order
+/// after the join, so counter totals are independent of scheduling. With
+/// `workers <= 1` the closure runs inline on `shard` itself — the serial
+/// path is the parallel path with one worker, not a separate code path.
+///
+/// `f` receives only its rank: work distribution (an atomic chunk counter,
+/// a precomputed partition, …) is the caller's business.
+pub fn fork_join_obs<R, F>(workers: usize, shard: &obs::Shard, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, &obs::Shard) -> R + Sync,
+{
+    if workers <= 1 {
+        return vec![f(0, shard)];
+    }
+    let mut out = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|rank| {
+                let worker = shard.fork();
+                let f = &f;
+                s.spawn(move || {
+                    let r = f(rank, &worker);
+                    (r, worker)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (r, worker) = h.join().expect("fork_join worker panicked");
+            shard.merge(worker);
+            out.push(r);
+        }
+    });
+    out
+}
+
+/// Apply `f` to every element of `items` in place, on up to `threads`
+/// statically chunked scoped workers (`0` = available parallelism). `f`
+/// must be independent per element.
+pub fn for_each_mut<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let threads = resolve_threads(threads).min(items.len().max(1));
+    if threads <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        for c in items.chunks_mut(chunk) {
+            let f = &f;
+            s.spawn(move || {
+                for item in c {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,5 +220,41 @@ mod tests {
     fn zero_resolves_to_available() {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(5), 5);
+    }
+
+    #[test]
+    fn fork_join_returns_in_rank_order_and_merges_shards() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for workers in [1usize, 2, 5] {
+            let shard = obs::Shard::detached(true);
+            let next = AtomicUsize::new(0);
+            let ranks = fork_join_obs(workers, &shard, |rank, w| {
+                // Self-scheduled work units: each adds its index once.
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= 10 {
+                        break;
+                    }
+                    w.add("work.sum", i as u64);
+                }
+                rank
+            });
+            assert_eq!(ranks, (0..workers).collect::<Vec<_>>());
+            let set = shard.into_set();
+            if obs::COMPILED_IN {
+                assert_eq!(set.counter("work.sum"), (0..10).sum::<usize>() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_element() {
+        for threads in [1usize, 2, 4, 9] {
+            let mut items: Vec<u64> = (0..37).collect();
+            for_each_mut(&mut items, threads, |x| *x *= 3);
+            assert_eq!(items, (0..37).map(|x| x * 3).collect::<Vec<_>>());
+        }
+        let mut empty: Vec<u64> = Vec::new();
+        for_each_mut(&mut empty, 4, |_| unreachable!());
     }
 }

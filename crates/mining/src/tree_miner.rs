@@ -48,9 +48,14 @@ impl MinedTree {
 /// feature tree set can fit in the memory"; these are the hard stops).
 #[derive(Clone, Copy, Debug)]
 pub struct MiningLimits {
-    /// Hard cap on the total number of patterns kept across levels.
+    /// Hard cap on the total number of patterns kept across levels. The
+    /// level-wise miner cuts in `(size, canonical string)` order — the
+    /// smallest patterns in canonical order survive — which makes the
+    /// truncated set independent of scan order and thread count.
     pub max_patterns: usize,
-    /// Hard cap on candidates generated per level.
+    /// Hard cap on candidates generated per level. The level-wise miner
+    /// discards a level entirely when its distinct-instance count reaches
+    /// this cap (partial supports would be unsound to filter on).
     pub max_candidates_per_level: usize,
 }
 
@@ -64,7 +69,7 @@ impl Default for MiningLimits {
 }
 
 /// Statistics of one mining run.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MiningStats {
     /// Patterns found per level are summed here.
     pub patterns: usize,
@@ -189,17 +194,31 @@ pub fn leaf_removal_canons(t: &Tree) -> Vec<CanonString> {
 
 /// Mine all σ-frequent subtrees of `db`.
 ///
-/// Dispatches to [`mine_frequent_trees_enum`], which is exact and fastest
-/// at the paper's low thresholds (σ(s) = 1 for s ≤ α forces complete
-/// enumeration anyway). [`mine_frequent_trees_apriori`] implements the
-/// classical level-wise candidate-generation alternative and is kept as a
-/// cross-checking oracle and for high-threshold configurations.
+/// Dispatches to the single-threaded [`mine_frequent_trees_levelwise`];
+/// use [`mine_frequent_trees_threads`] to fan the level-wise scan out over
+/// worker threads (bit-for-bit identical output at any thread count).
+/// [`mine_frequent_trees_enum`] and [`mine_frequent_trees_apriori`] are
+/// kept as cross-checking oracles and for high-threshold configurations.
 pub fn mine_frequent_trees(
     db: &[Graph],
     sigma: &SigmaFn,
     limits: &MiningLimits,
 ) -> (Vec<MinedTree>, MiningStats) {
     mine_frequent_trees_levelwise(db, sigma, limits)
+}
+
+/// [`mine_frequent_trees`] with the level-wise scan parallelized over up to
+/// `threads` workers. The mined patterns, their representative trees,
+/// support sets, and [`MiningStats`] are **bit-for-bit identical at any
+/// thread count** — see [`mine_frequent_trees_threads_obs`] for the merge
+/// contract.
+pub fn mine_frequent_trees_threads(
+    db: &[Graph],
+    sigma: &SigmaFn,
+    limits: &MiningLimits,
+    threads: usize,
+) -> (Vec<MinedTree>, MiningStats) {
+    mine_frequent_trees_threads_obs(db, sigma, limits, threads, &obs::Shard::disabled())
 }
 
 /// [`mine_frequent_trees`] with per-level metrics recorded on `shard`:
@@ -253,70 +272,226 @@ pub fn mine_frequent_trees_levelwise_obs(
     limits: &MiningLimits,
     shard: &obs::Shard,
 ) -> (Vec<MinedTree>, MiningStats) {
+    mine_frequent_trees_threads_obs(db, sigma, limits, 1, shard)
+}
+
+/// [`mine_frequent_trees_threads`] with per-level metrics on `shard` (see
+/// [`mine_frequent_trees_obs`] for the deterministic metric names; workers
+/// additionally record `engine.mine.workers` and `engine.mine.worker_wall`
+/// spans, which describe execution shape and vary with `threads`).
+///
+/// # Determinism contract
+///
+/// The output — patterns, representative trees, support sets, instance
+/// lists, [`MiningStats`], and every non-`engine.*` counter — is a pure
+/// function of `(db, sigma, limits)`, independent of `threads` and of
+/// scheduling. The construction:
+///
+/// - **Partition by host graph.** Instance dedup is keyed on
+///   `(gid, edge set)`, and every occurrence of a gid lives in exactly one
+///   worker's gid-blocks, so worker-local dedup sets are globally complete
+///   and collision-free; the total instance count is partition-independent.
+/// - **Canonical candidate identity.** An extension's *kind* is
+///   `ExtKey = (pattern idx, rep idx, attach vertex, edge label, leaf
+///   label)`. The child tree for a kind is derived from the (shared,
+///   immutable) parent representative, so every worker computes the same
+///   child tree and canonical string for the same key — unlike the serial
+///   first-discovery scheme, no state depends on scan order.
+/// - **Min-reduction for shared instances.** When one `(gid, edge set)`
+///   instance is reachable via several kinds, all of them are observed by
+///   the *same* worker (same gid), which keeps the lexicographically
+///   smallest `(ExtKey, parent occurrence index, leaf vertex)` — an
+///   order-independent reduction over values that are themselves
+///   thread-count-invariant (parent occurrence lists are part of the
+///   previous level's deterministic output).
+/// - **Canonical merge.** Each worker returns its records sorted by
+///   `(ExtKey, gid, edge set)` plus a per-key range index; a k-way walk
+///   over those indexes merges the per-worker spans of each key. Candidates
+///   are grouped by canonical string (a stable sort, preserving `ExtKey`
+///   order among representatives), supports sorted and deduped, and
+///   occurrence lists materialized (and sorted by `(gid, edge set)`) only
+///   for candidates that survive the support filter.
+///
+/// Truncation is deterministic too: `max_candidates_per_level` discards the
+/// whole level when the *total* distinct-instance count reaches the cap
+/// (workers early-stop on their local counts purely as an optimization, and
+/// a discarded level contributes nothing to counters), and `max_patterns`
+/// cuts in `(size, canonical string)` order — see `MiningLimits`.
+pub fn mine_frequent_trees_threads_obs(
+    db: &[Graph],
+    sigma: &SigmaFn,
+    limits: &MiningLimits,
+    threads: usize,
+    shard: &obs::Shard,
+) -> (Vec<MinedTree>, MiningStats) {
+    use graph_core::par::{for_each_mut, fork_join_obs};
     use smallvec::SmallVec;
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     type Mapping = SmallVec<[u32; 11]>; // pattern vertex -> host vertex
     type EdgeSet = SmallVec<[u32; 10]>; // sorted host edge ids
+    /// Identity of an extension kind: (pattern index, representative index,
+    /// attach pattern vertex, edge label, leaf label). Two instances with
+    /// the same key have isomorphic children via the same parent embedding
+    /// shape, so the child tree/canon is a function of the key alone.
+    type ExtKey = (u32, u32, u32, u32, u32);
 
     assert!(sigma.is_monotone(), "σ(s) must be non-decreasing");
     let mut stats = MiningStats::default();
 
     /// One instance of a representative tree in a host graph.
+    #[derive(Clone)]
     struct Instance {
         gid: u32,
         mapping: Mapping,
         edges: EdgeSet,
     }
-    /// A representative tree with its instances. Several representatives
-    /// (different vertex numberings) can share one canonical string.
+    /// A representative tree with its instances, occs sorted by
+    /// `(gid, edges)`. Several representatives (different vertex
+    /// numberings) can share one canonical string.
     struct Rep {
         tree: Tree,
         occs: Vec<Instance>,
     }
-    type Level = FxHashMap<CanonString, Vec<Rep>>;
+    /// One candidate extension record. The child mapping is *not* stored:
+    /// it is `parent.occs[occ].mapping + leaf`, rebuilt once for the
+    /// records that survive dedup. Keeping records flat (edge sets stay
+    /// inline in the `SmallVec`) means the hot loop never touches the heap
+    /// per candidate.
+    struct Cand {
+        gid: u32,
+        edges: EdgeSet,
+        key: ExtKey,
+        /// Index into the parent representative's occurrence list.
+        occ: u32,
+        /// Host vertex id of the new leaf.
+        leaf: u32,
+    }
+    /// One worker's extension output for a level: records deduplicated by
+    /// `(gid, edges)` and sorted by `(key, gid, edges)`, plus the record
+    /// range of each distinct key.
+    struct ExtOut {
+        cands: Vec<Cand>,
+        groups: Vec<(ExtKey, u32, u32)>,
+        hit_limit: bool,
+    }
+    /// A distinct extension kind after the merge: per-worker record spans
+    /// `(worker, start, end)` plus the (key-derived) child tree and canon.
+    /// Occurrences are materialized from the spans only for candidates
+    /// that survive the support filter.
+    struct Group {
+        key: ExtKey,
+        spans: SmallVec<[(u8, u32, u32); 4]>,
+        canon: Option<CanonString>,
+        tree: Option<Tree>,
+    }
+    /// A surviving representative before occurrence materialization.
+    struct RepBuild {
+        tree: Tree,
+        gidx: u32,
+        occs: Vec<Instance>,
+    }
 
-    fn canon_support(reps: &[Rep]) -> SupportSet {
-        let mut s: SupportSet = reps
-            .iter()
-            .flat_map(|r| r.occs.iter().map(|o| o.gid))
-            .collect();
-        s.sort_unstable();
+    fn sort_occs(occs: &mut [Instance]) {
+        occs.sort_unstable_by(|a, b| (a.gid, a.edges.as_slice()).cmp(&(b.gid, b.edges.as_slice())));
+    }
+    /// Support of occs sorted by gid: linear dedup.
+    fn sorted_support(occs: &[Instance]) -> SupportSet {
+        let mut s: SupportSet = occs.iter().map(|o| o.gid).collect();
         s.dedup();
         s
     }
 
+    // Worker/block layout. Workers self-schedule gid-blocks off an atomic
+    // counter; a few blocks per worker evens out per-graph skew without
+    // letting the per-block pattern sweep dominate. The block layout never
+    // affects the output (see the determinism contract above).
+    let workers = threads.max(1).min(db.len().max(1));
+    let nblocks = (workers * 4).min(db.len()).max(1);
+    let block_len = db.len().div_ceil(nblocks).max(1);
+    let block_bounds = move |b: usize, len: usize| (b * block_len, ((b + 1) * block_len).min(len));
+
     // ---- Level 1: single-edge patterns, one instance per host edge. ----
     let level1_span = shard.span("mine.level1");
-    let mut level: Level = FxHashMap::default();
-    for (gid, g) in db.iter().enumerate() {
-        let gid = gid as u32;
-        for e in g.edge_ids() {
-            let edge = g.edge(e);
-            let (lu, lv) = (g.vlabel(edge.u), g.vlabel(edge.v));
-            let tree = single_edge_tree(lu, edge.label, lv);
-            // Orient the mapping to the representative (smaller label first).
-            let mapping: Mapping = if lu <= lv {
-                smallvec::smallvec![edge.u.0, edge.v.0]
-            } else {
-                smallvec::smallvec![edge.v.0, edge.u.0]
-            };
-            let canon = canonical_string(&tree);
-            let reps = level.entry(canon).or_default();
-            if reps.is_empty() {
-                reps.push(Rep {
-                    tree,
-                    occs: Vec::new(),
-                });
+    let next_block = AtomicUsize::new(0);
+    let outs = fork_join_obs(workers, shard, |_rank, wshard| {
+        let _wall = wshard.span("engine.mine.worker_wall");
+        wshard.add("engine.mine.workers", 1);
+        let mut local: FxHashMap<CanonString, (Tree, Vec<Instance>)> = FxHashMap::default();
+        // (smaller label, edge label, larger label) -> canon, once per kind.
+        let mut canon_cache: FxHashMap<(u32, u32, u32), CanonString> = FxHashMap::default();
+        loop {
+            let b = next_block.fetch_add(1, Ordering::Relaxed);
+            if b >= nblocks {
+                break;
             }
-            reps[0].occs.push(Instance {
-                gid,
-                mapping,
-                edges: smallvec::smallvec![e.0],
-            });
+            let (lo, hi) = block_bounds(b, db.len());
+            for (gid, g) in db.iter().enumerate().take(hi).skip(lo) {
+                let gid = gid as u32;
+                for e in g.edge_ids() {
+                    let edge = g.edge(e);
+                    let (lu, lv) = (g.vlabel(edge.u), g.vlabel(edge.v));
+                    // Orient the mapping to the representative (smaller
+                    // label first).
+                    let mapping: Mapping = if lu <= lv {
+                        smallvec::smallvec![edge.u.0, edge.v.0]
+                    } else {
+                        smallvec::smallvec![edge.v.0, edge.u.0]
+                    };
+                    let triple = (lu.min(lv).0, edge.label.0, lu.max(lv).0);
+                    let canon = canon_cache
+                        .entry(triple)
+                        .or_insert_with(|| canonical_string(&single_edge_tree(lu, edge.label, lv)))
+                        .clone();
+                    local
+                        .entry(canon)
+                        .or_insert_with(|| (single_edge_tree(lu, edge.label, lv), Vec::new()))
+                        .1
+                        .push(Instance {
+                            gid,
+                            mapping,
+                            edges: smallvec::smallvec![e.0],
+                        });
+                }
+            }
+        }
+        local
+    });
+    // Canonical merge: BTreeMap orders patterns by canon; the single-edge
+    // representative tree is identical across workers by construction.
+    let mut merged: BTreeMap<CanonString, (Tree, Vec<Instance>)> = BTreeMap::new();
+    for local in outs {
+        for (canon, (tree, mut occs)) in local {
+            merged
+                .entry(canon)
+                .or_insert_with(|| (tree, Vec::new()))
+                .1
+                .append(&mut occs);
         }
     }
+    let mut entries: Vec<(CanonString, Tree, Vec<Instance>)> = merged
+        .into_iter()
+        .map(|(canon, (tree, occs))| (canon, tree, occs))
+        .collect();
+    for_each_mut(&mut entries, workers, |(_, _, occs)| sort_occs(occs));
+
     let t1 = sigma.threshold(1).expect("σ(1) must be finite") as usize;
-    let level1_candidates = level.len() as u64;
-    level.retain(|_, reps| canon_support(reps).len() >= t1);
+    let level1_candidates = entries.len() as u64;
+    // Surviving patterns in canon order; each holds its representatives.
+    let mut level: Vec<Vec<Rep>> = Vec::new();
+    let mut result: Vec<MinedTree> = Vec::new();
+    for (canon, tree, occs) in entries {
+        let support = sorted_support(&occs);
+        if support.len() < t1 {
+            continue;
+        }
+        result.push(MinedTree {
+            tree: tree.clone(),
+            canon,
+            support,
+        });
+        level.push(vec![Rep { tree, occs }]);
+    }
     shard.add("mine.level1.candidates", level1_candidates);
     shard.add("mine.level1.patterns", level.len() as u64);
     shard.add(
@@ -325,16 +500,9 @@ pub fn mine_frequent_trees_levelwise_obs(
     );
     drop(level1_span);
 
-    let mut result: Vec<MinedTree> = level
-        .iter()
-        .map(|(canon, reps)| MinedTree {
-            tree: reps[0].tree.clone(),
-            canon: canon.clone(),
-            support: canon_support(reps),
-        })
-        .collect();
     if result.len() >= limits.max_patterns {
         stats.truncated = true;
+        result.truncate(limits.max_patterns);
     }
 
     let mut size = 1usize;
@@ -346,78 +514,271 @@ pub fn mine_frequent_trees_levelwise_obs(
         let level_name = format!("mine.level{}", size + 1);
         let _level_span = shard.span(&level_name);
 
-        let mut seen: FxHashSet<(u32, EdgeSet)> = FxHashSet::default();
-        let mut next: Level = FxHashMap::default();
-        let mut truncated = false;
-
-        'ext: for reps in level.values() {
-            for rep in reps {
-                // (attach vertex, edge label, leaf label) -> (child canon,
-                // rep slot within next[canon]); computed once per kind.
-                let mut ext_cache: FxHashMap<(u32, u32, u32), (CanonString, usize)> =
-                    FxHashMap::default();
-                for occ in &rep.occs {
-                    let g = &db[occ.gid as usize];
-                    for (pv, &hv) in occ.mapping.iter().enumerate() {
-                        for &(w, he) in g.neighbors(VertexId(hv)) {
-                            if occ.mapping.contains(&w.0) {
-                                continue; // cycle or already-used edge
-                            }
-                            let mut nedges = occ.edges.clone();
-                            let pos = match nedges.binary_search(&he.0) {
-                                Ok(_) => continue, // parallel guard (unreachable)
-                                Err(p) => p,
-                            };
-                            nedges.insert(pos, he.0);
-                            if !seen.insert((occ.gid, nedges.clone())) {
-                                continue;
-                            }
-                            stats.candidates += 1;
-                            let el = g.edge(he).label;
-                            let lv = g.vlabel(w);
-                            let key = (pv as u32, el.0, lv.0);
-                            let (canon, slot) = match ext_cache.get(&key) {
-                                Some(v) => v.clone(),
-                                None => {
-                                    let child =
-                                        extend_with_leaf(&rep.tree, VertexId(pv as u32), el, lv);
-                                    let canon = canonical_string(&child);
-                                    let reps = next.entry(canon.clone()).or_default();
-                                    reps.push(Rep {
-                                        tree: child,
-                                        occs: Vec::new(),
+        // ---- Parallel extension scan over gid-blocks. ----
+        //
+        // Workers emit flat candidate records into one growable vec — no
+        // per-worker hash maps, no per-candidate heap objects (edge sets
+        // stay inline in their `SmallVec`). Each block's segment is sorted
+        // and min-reduced in place; blocks hold whole gids, so the
+        // per-segment dedup is globally exact. This shape is what lets the
+        // fan-out scale: per-instance heap churn at this volume turns into
+        // mmap/munmap traffic that serializes the build on kernel time.
+        let level_ref = &level;
+        let next_block = AtomicUsize::new(0);
+        let outs = fork_join_obs(workers, shard, |_rank, wshard| {
+            let _wall = wshard.span("engine.mine.worker_wall");
+            wshard.add("engine.mine.workers", 1);
+            let mut cands: Vec<Cand> = Vec::new();
+            let mut hit_limit = false;
+            'blocks: loop {
+                let b = next_block.fetch_add(1, Ordering::Relaxed);
+                if b >= nblocks {
+                    break;
+                }
+                let (lo, hi) = block_bounds(b, db.len());
+                let seg = cands.len();
+                for (pidx, reps) in level_ref.iter().enumerate() {
+                    for (ridx, rep) in reps.iter().enumerate() {
+                        // occs are sorted by gid: slice out this block.
+                        let start = rep.occs.partition_point(|o| (o.gid as usize) < lo);
+                        let end = rep.occs.partition_point(|o| (o.gid as usize) < hi);
+                        for (oidx, occ) in rep.occs[start..end].iter().enumerate() {
+                            let g = &db[occ.gid as usize];
+                            for (pv, &hv) in occ.mapping.iter().enumerate() {
+                                for &(w, he) in g.neighbors(VertexId(hv)) {
+                                    if occ.mapping.contains(&w.0) {
+                                        continue; // cycle or already-used edge
+                                    }
+                                    let mut nedges = occ.edges.clone();
+                                    let pos = match nedges.binary_search(&he.0) {
+                                        Ok(_) => continue, // parallel guard (unreachable)
+                                        Err(p) => p,
+                                    };
+                                    nedges.insert(pos, he.0);
+                                    cands.push(Cand {
+                                        gid: occ.gid,
+                                        edges: nedges,
+                                        key: (
+                                            pidx as u32,
+                                            ridx as u32,
+                                            pv as u32,
+                                            g.edge(he).label.0,
+                                            g.vlabel(w).0,
+                                        ),
+                                        occ: (start + oidx) as u32,
+                                        leaf: w.0,
                                     });
-                                    let v = (canon, reps.len() - 1);
-                                    ext_cache.insert(key, v.clone());
-                                    v
                                 }
-                            };
-                            let mut nmapping = occ.mapping.clone();
-                            nmapping.push(w.0);
-                            next.get_mut(&canon).expect("slot registered")[slot]
-                                .occs
-                                .push(Instance {
-                                    gid: occ.gid,
-                                    mapping: nmapping,
-                                    edges: nedges,
-                                });
-                            if seen.len() >= limits.max_candidates_per_level {
-                                truncated = true;
-                                break 'ext;
                             }
                         }
                     }
                 }
+                // Min-reduce this block's segment: one record per
+                // (gid, edge set), owned by the smallest (key, occ, leaf).
+                cands[seg..].sort_unstable_by(|a, b| {
+                    (a.gid, a.edges.as_slice(), a.key, a.occ, a.leaf).cmp(&(
+                        b.gid,
+                        b.edges.as_slice(),
+                        b.key,
+                        b.occ,
+                        b.leaf,
+                    ))
+                });
+                let mut keep = seg;
+                for r in seg..cands.len() {
+                    if r == seg
+                        || cands[r].gid != cands[keep - 1].gid
+                        || cands[r].edges != cands[keep - 1].edges
+                    {
+                        cands.swap(keep, r);
+                        keep += 1;
+                    }
+                }
+                cands.truncate(keep);
+                if cands.len() >= limits.max_candidates_per_level {
+                    // The local distinct count is a lower bound on the
+                    // total, so the level is doomed; stop scanning early.
+                    hit_limit = true;
+                    break 'blocks;
+                }
             }
-        }
-        if truncated {
+            // Re-sort by (key, gid, edges) and index the range of each
+            // distinct key, so the serial merge below only walks per-key
+            // group lists, never individual records.
+            cands.sort_unstable_by(|a, b| {
+                (a.key, a.gid, a.edges.as_slice()).cmp(&(b.key, b.gid, b.edges.as_slice()))
+            });
+            let mut groups: Vec<(ExtKey, u32, u32)> = Vec::new();
+            for (i, c) in cands.iter().enumerate() {
+                match groups.last_mut() {
+                    Some((k, _, end)) if *k == c.key => *end = (i + 1) as u32,
+                    _ => groups.push((c.key, i as u32, (i + 1) as u32)),
+                }
+            }
+            ExtOut {
+                cands,
+                groups,
+                hit_limit,
+            }
+        });
+
+        let total_instances: usize = outs.iter().map(|o| o.cands.len()).sum();
+        if outs.iter().any(|o| o.hit_limit) || total_instances >= limits.max_candidates_per_level {
             // A mid-level stop would leave supports under-counted, which is
             // unsound for filtering; discard the partial level entirely.
+            // (The decision depends only on the total distinct-instance
+            // count, so it is thread-count-independent.)
             stats.truncated = true;
             break;
         }
-        let level_candidates = next.len() as u64;
-        next.retain(|_, reps| canon_support(reps).len() >= next_threshold);
+        stats.candidates += total_instances;
+
+        // ---- Canonical merge: k-way walk over per-worker group lists. ----
+        // Only group boundaries are walked serially; record spans stay in
+        // the worker vectors, and occurrences (with their rebuilt child
+        // mappings) are materialized later, in parallel, for candidates
+        // that survive the support filter only.
+        let mut groups: Vec<Group> = Vec::new();
+        {
+            let mut idx = vec![0usize; outs.len()];
+            loop {
+                let mut best: Option<usize> = None;
+                for (w, out) in outs.iter().enumerate() {
+                    if idx[w] >= out.groups.len() {
+                        continue;
+                    }
+                    let key = out.groups[idx[w]].0;
+                    best = Some(match best {
+                        None => w,
+                        Some(bw) => {
+                            if key < outs[bw].groups[idx[bw]].0 {
+                                w
+                            } else {
+                                bw
+                            }
+                        }
+                    });
+                }
+                let Some(wi) = best else { break };
+                let (key, start, end) = outs[wi].groups[idx[wi]];
+                idx[wi] += 1;
+                if groups.last().is_none_or(|grp| grp.key != key) {
+                    groups.push(Group {
+                        key,
+                        spans: SmallVec::new(),
+                        canon: None,
+                        tree: None,
+                    });
+                }
+                groups
+                    .last_mut()
+                    .expect("group pushed above")
+                    .spans
+                    .push((wi as u8, start, end));
+            }
+        }
+
+        // Child tree + canonical string once per extension kind, in
+        // parallel (the child is a pure function of the key).
+        for_each_mut(&mut groups, workers, |grp| {
+            let (pidx, ridx, pv, el, lv) = grp.key;
+            let rep = &level_ref[pidx as usize][ridx as usize];
+            let child = extend_with_leaf(&rep.tree, VertexId(pv), ELabel(el), VLabel(lv));
+            grp.canon = Some(canonical_string(&child));
+            grp.tree = Some(child);
+        });
+
+        // Group kinds by canonical string. The sort is stable, so within
+        // one canon the representatives keep their ExtKey order.
+        let mut order: Vec<u32> = (0..groups.len() as u32).collect();
+        order.sort_by(|&a, &b| groups[a as usize].canon.cmp(&groups[b as usize].canon));
+
+        let mut level_candidates = 0u64;
+        let mut next_build: Vec<Vec<RepBuild>> = Vec::new();
+        let mut i = 0usize;
+        while i < order.len() {
+            let mut j = i + 1;
+            while j < order.len()
+                && groups[order[j] as usize].canon == groups[order[i] as usize].canon
+            {
+                j += 1;
+            }
+            level_candidates += 1;
+            let mut support: SupportSet = order[i..j]
+                .iter()
+                .flat_map(|&gi| {
+                    groups[gi as usize].spans.iter().flat_map(|&(o, s, e)| {
+                        outs[o as usize].cands[s as usize..e as usize]
+                            .iter()
+                            .map(|c| c.gid)
+                    })
+                })
+                .collect();
+            support.sort_unstable();
+            support.dedup();
+            if support.len() >= next_threshold {
+                let reps: Vec<RepBuild> = order[i..j]
+                    .iter()
+                    .map(|&gi| {
+                        let grp = &mut groups[gi as usize];
+                        RepBuild {
+                            tree: grp.tree.take().expect("child tree computed per kind"),
+                            gidx: gi,
+                            occs: Vec::new(),
+                        }
+                    })
+                    .collect();
+                let canon = groups[order[i] as usize]
+                    .canon
+                    .take()
+                    .expect("canon computed per kind");
+                result.push(MinedTree {
+                    tree: reps[0].tree.clone(),
+                    canon,
+                    support,
+                });
+                next_build.push(reps);
+            }
+            i = j;
+        }
+
+        // Materialize the survivors' occurrence lists in parallel: rebuild
+        // each child mapping from its parent occurrence plus the new leaf,
+        // then sort by (gid, edges) — worker gid ranges interleave, so the
+        // span concatenation is not globally ordered by itself.
+        for_each_mut(&mut next_build, workers, |reps| {
+            for rb in reps.iter_mut() {
+                let grp = &groups[rb.gidx as usize];
+                let total: usize = grp.spans.iter().map(|&(_, s, e)| (e - s) as usize).sum();
+                rb.occs.reserve_exact(total);
+                for &(o, s, e) in &grp.spans {
+                    for c in &outs[o as usize].cands[s as usize..e as usize] {
+                        let parent =
+                            &level_ref[c.key.0 as usize][c.key.1 as usize].occs[c.occ as usize];
+                        let mut mapping = parent.mapping.clone();
+                        mapping.push(c.leaf);
+                        rb.occs.push(Instance {
+                            gid: c.gid,
+                            mapping,
+                            edges: c.edges.clone(),
+                        });
+                    }
+                }
+                sort_occs(&mut rb.occs);
+            }
+        });
+        drop(outs);
+        let next: Vec<Vec<Rep>> = next_build
+            .into_iter()
+            .map(|reps| {
+                reps.into_iter()
+                    .map(|rb| Rep {
+                        tree: rb.tree,
+                        occs: rb.occs,
+                    })
+                    .collect()
+            })
+            .collect();
         shard.add(&format!("{level_name}.candidates"), level_candidates);
         shard.add(&format!("{level_name}.patterns"), next.len() as u64);
         shard.add(
@@ -427,20 +788,11 @@ pub fn mine_frequent_trees_levelwise_obs(
         if next.is_empty() {
             break;
         }
-        result.extend(next.iter().map(|(canon, reps)| MinedTree {
-            tree: reps[0].tree.clone(),
-            canon: canon.clone(),
-            support: canon_support(reps),
-        }));
         if result.len() >= limits.max_patterns {
             stats.truncated = true;
-            result.sort_by(|a, b| {
-                (a.size(), std::cmp::Reverse(a.support.len()), &a.canon).cmp(&(
-                    b.size(),
-                    std::cmp::Reverse(b.support.len()),
-                    &b.canon,
-                ))
-            });
+            // `result` is (size, canon)-sorted by construction — levels
+            // append in size order, patterns within a level in canon order —
+            // so truncation is the deterministic (size, canon) cutoff.
             result.truncate(limits.max_patterns);
             break;
         }
@@ -713,20 +1065,32 @@ pub fn mine_frequent_trees_apriori(
 /// the *input* set, so removal order does not matter. Single-edge trees are
 /// always kept (completeness).
 pub fn shrink_features(mined: Vec<MinedTree>, gamma: f64) -> Vec<MinedTree> {
-    let by_canon: FxHashMap<CanonString, SupportSet> = mined
-        .iter()
-        .map(|m| (m.canon.clone(), m.support.clone()))
-        .collect();
-    mined
-        .into_iter()
-        .filter(|m| {
+    shrink_features_threads(mined, gamma, 1)
+}
+
+/// [`shrink_features`] with the per-tree keep/drop decisions fanned out
+/// over up to `threads` workers. Every decision reads only the (shared,
+/// immutable) input set and the result preserves input order, so the output
+/// is identical to the sequential pass at any thread count.
+pub fn shrink_features_threads(
+    mined: Vec<MinedTree>,
+    gamma: f64,
+    threads: usize,
+) -> Vec<MinedTree> {
+    let mut keep: Vec<(u32, bool)> = (0..mined.len() as u32).map(|i| (i, false)).collect();
+    {
+        let by_canon: FxHashMap<&CanonString, &[u32]> = mined
+            .iter()
+            .map(|m| (&m.canon, m.support.as_slice()))
+            .collect();
+        let decide = |m: &MinedTree| -> bool {
             if m.size() <= 1 {
                 return true;
             }
             let subs = leaf_removal_canons(&m.tree);
             let sets: Vec<&[u32]> = subs
                 .iter()
-                .filter_map(|c| by_canon.get(c).map(|s| s.as_slice()))
+                .filter_map(|c| by_canon.get(c).copied())
                 .collect();
             if sets.len() != subs.len() {
                 // Some subtree was not mined (only possible when mining was
@@ -736,7 +1100,15 @@ pub fn shrink_features(mined: Vec<MinedTree>, gamma: f64) -> Vec<MinedTree> {
             let inter = intersect_many(&sets, usize::MAX);
             let ratio = inter.len() as f64 / m.support.len() as f64;
             ratio > gamma
-        })
+        };
+        graph_core::par::for_each_mut(&mut keep, threads.max(1), |slot| {
+            slot.1 = decide(&mined[slot.0 as usize]);
+        });
+    }
+    let mut it = keep.iter();
+    mined
+        .into_iter()
+        .filter(|_| it.next().expect("one flag per tree").1)
         .collect()
 }
 

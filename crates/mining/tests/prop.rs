@@ -85,6 +85,104 @@ proptest! {
         prop_assert_eq!(canons.len(), n);
     }
 
+    /// The parallel miner is bit-for-bit identical to the serial miner at
+    /// any thread count: same patterns in the same order, same
+    /// representative trees, same support sets, same stats.
+    #[test]
+    fn parallel_mine_is_thread_count_invariant(
+        db in proptest::collection::vec(arb_connected_graph(7), 1..8),
+        alpha in 1usize..3,
+        beta in 1u32..3,
+        eta in 2usize..5,
+    ) {
+        let sigma = SigmaFn { alpha, beta: beta as f64, eta: eta.max(alpha) };
+        let limits = MiningLimits::default();
+        let (base, base_stats) = mine_frequent_trees_threads(&db, &sigma, &limits, 1);
+        for threads in [2usize, 3, 8] {
+            let (mined, stats) = mine_frequent_trees_threads(&db, &sigma, &limits, threads);
+            prop_assert_eq!(stats, base_stats, "stats differ at threads={}", threads);
+            prop_assert_eq!(mined.len(), base.len(), "pattern count differs at threads={}", threads);
+            for (a, b) in base.iter().zip(&mined) {
+                prop_assert_eq!(&a.canon, &b.canon, "canon order differs at threads={}", threads);
+                prop_assert_eq!(&a.support, &b.support, "supports differ at threads={}", threads);
+                prop_assert_eq!(
+                    a.tree.graph(), b.tree.graph(),
+                    "representative tree differs at threads={}", threads
+                );
+            }
+        }
+    }
+
+    /// Soundness oracle: the parallel-mined pattern set and supports equal
+    /// a brute-force subtree enumeration (independent of all miner
+    /// machinery), so the merge can't silently drop or duplicate anything.
+    #[test]
+    fn parallel_mine_matches_bruteforce_oracle(
+        db in proptest::collection::vec(arb_connected_graph(6), 1..6),
+        alpha in 1usize..3,
+        eta in 2usize..4,
+    ) {
+        let sigma = SigmaFn { alpha, beta: 1.0, eta: eta.max(alpha) };
+        let (mined, _) = mine_frequent_trees_threads(&db, &sigma, &MiningLimits::default(), 8);
+
+        // Oracle: enumerate every subtree edge subset of every graph,
+        // canonicalize, collect support sets, apply the σ filter.
+        let mut oracle: std::collections::BTreeMap<tree_core::CanonString, (usize, Vec<u32>)> =
+            std::collections::BTreeMap::new();
+        for (gid, g) in db.iter().enumerate() {
+            let _ = graph_core::for_each_subtree_edge_subset(g, sigma.eta, |edges| {
+                let sub = graph_core::edge_subgraph(g, edges);
+                let t = tree_core::Tree::from_graph(sub.graph).expect("subtree");
+                let c = tree_core::canonical_string(&t);
+                let entry = oracle.entry(c).or_insert((edges.len(), Vec::new()));
+                if entry.1.last() != Some(&(gid as u32)) {
+                    entry.1.push(gid as u32);
+                }
+                std::ops::ControlFlow::<()>::Continue(())
+            });
+        }
+        let expected: Vec<(tree_core::CanonString, Vec<u32>)> = oracle
+            .into_iter()
+            .filter_map(|(c, (size, support))| {
+                let thr = sigma.threshold(size)? as usize;
+                (support.len() >= thr).then_some((c, support))
+            })
+            .collect();
+        prop_assert_eq!(keyed(mined), expected);
+    }
+
+    /// `max_patterns` truncation is deterministic under parallelism: the
+    /// cutoff is taken in (size, canonical string) order, so a truncated
+    /// parallel mine equals a truncated serial mine, and both equal the
+    /// (size, canon)-ordered prefix of the untruncated result.
+    #[test]
+    fn truncation_is_thread_count_invariant(
+        db in proptest::collection::vec(arb_connected_graph(6), 2..7),
+        cap in 1usize..12,
+    ) {
+        let sigma = SigmaFn { alpha: 2, beta: 1.0, eta: 3 };
+        let full_limits = MiningLimits::default();
+        let capped = MiningLimits { max_patterns: cap, ..full_limits };
+        let (serial, serial_stats) = mine_frequent_trees_threads(&db, &sigma, &capped, 1);
+        for threads in [2usize, 8] {
+            let (par, par_stats) = mine_frequent_trees_threads(&db, &sigma, &capped, threads);
+            prop_assert_eq!(par_stats, serial_stats, "threads={}", threads);
+            prop_assert_eq!(keyed(par), keyed(serial.clone()), "threads={}", threads);
+        }
+        // The truncated result is a prefix of the untruncated one in the
+        // documented (size, canon) order.
+        let (full, full_stats) = mine_frequent_trees_threads(&db, &sigma, &full_limits, 1);
+        prop_assert!(!full_stats.truncated);
+        prop_assert_eq!(serial.len(), full.len().min(cap));
+        if full.len() > cap {
+            prop_assert!(serial_stats.truncated);
+        }
+        for (a, b) in serial.iter().zip(&full) {
+            prop_assert_eq!(&a.canon, &b.canon, "not a (size, canon) prefix");
+            prop_assert_eq!(&a.support, &b.support);
+        }
+    }
+
     #[test]
     fn shrinking_is_a_subset_and_keeps_edges(
         db in proptest::collection::vec(arb_connected_graph(6), 1..6),

@@ -10,7 +10,7 @@
 use crate::params::TreePiParams;
 use crate::trie::{CanonTrie, FeatureId};
 use graph_core::Graph;
-use mining::{shrink_features, SupportSet};
+use mining::{shrink_features_threads, SupportSet};
 use rustc_hash::FxHashMap;
 use tree_core::{center, center_positions, CanonString, Center, CenterPos, Tree};
 
@@ -133,9 +133,12 @@ impl TreePiIndex {
         Self::build_with_threads_obs(db, params, threads, shard)
     }
 
-    /// [`Self::build_obs`] with an explicit worker count. Parallel center-
-    /// extraction workers record into [`obs::Shard::fork`]s merged after the
-    /// join, so counter totals match the sequential build for any `threads`.
+    /// [`Self::build_obs`] with an explicit worker count, used for both the
+    /// mining and the center-extraction stage. Parallel workers record into
+    /// [`obs::Shard::fork`]s merged after the join, and the miner's merge is
+    /// canonical (see [`mining::mine_frequent_trees_threads_obs`]), so the
+    /// built index and every non-`engine.*` counter are identical to the
+    /// sequential build for any `threads`.
     pub fn build_with_threads_obs(
         db: Vec<Graph>,
         params: TreePiParams,
@@ -144,18 +147,30 @@ impl TreePiIndex {
     ) -> Self {
         let t0 = std::time::Instant::now();
         let mine_span = shard.span("build.mine");
-        let (mined, mstats) =
-            mining::mine_frequent_trees_obs(&db, &params.sigma, &params.limits, shard);
+        let (mined, mstats) = mining::mine_frequent_trees_threads_obs(
+            &db,
+            &params.sigma,
+            &params.limits,
+            threads,
+            shard,
+        );
         drop(mine_span);
         let mined_count = mined.len();
         let shrink_span = shard.span("build.shrink");
-        let kept = shrink_features(mined, params.gamma);
+        let kept = shrink_features_threads(mined, params.gamma, threads);
         drop(shrink_span);
         shard.add("build.mined", mined_count as u64);
         shard.add("build.features_kept", kept.len() as u64);
         let t_mine = t0.elapsed().as_millis();
 
-        // Center extraction is independent per feature: chunk and fan out.
+        // Center extraction is independent per feature: workers self-schedule
+        // single features off an atomic counter. Features are ordered by
+        // (size, canon) and their costs are wildly skewed — small features
+        // have huge support sets to scan, large ones pricey embeddings — so
+        // static contiguous chunks leave most workers idle behind one hot
+        // chunk. Results are placed back by feature index, so the output
+        // (and every table derived from it) is identical to the sequential
+        // pass.
         let t1 = std::time::Instant::now();
         let centers_span = shard.span("build.centers");
         let threads = threads.max(1).min(kept.len().max(1));
@@ -164,33 +179,27 @@ impl TreePiIndex {
                 .map(|m| extract_feature(&db, m, shard))
                 .collect()
         } else {
-            let chunk_size = kept.len().div_ceil(threads);
-            let chunks: Vec<Vec<mining::MinedTree>> =
-                kept.chunks(chunk_size).map(|c| c.to_vec()).collect();
             let db_ref = &db;
-            crossbeam::thread::scope(|s| {
-                let handles: Vec<_> = chunks
-                    .into_iter()
-                    .map(|chunk| {
-                        let worker = shard.fork();
-                        s.spawn(move |_| {
-                            let out = chunk
-                                .into_iter()
-                                .map(|m| extract_feature(db_ref, m, &worker))
-                                .collect::<Vec<_>>();
-                            (out, worker)
-                        })
-                    })
-                    .collect();
-                let mut out = Vec::new();
-                for h in handles {
-                    let (chunk_out, worker) = h.join().expect("extraction worker panicked");
-                    out.extend(chunk_out);
-                    shard.merge(worker);
+            let kept_ref = &kept;
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let outs = graph_core::par::fork_join_obs(threads, shard, |_rank, wshard| {
+                let _wall = wshard.span("engine.centers.worker_wall");
+                let mut out: Vec<(usize, Option<(Feature, CenterTable)>)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= kept_ref.len() {
+                        break;
+                    }
+                    out.push((i, extract_feature(db_ref, kept_ref[i].clone(), wshard)));
                 }
                 out
-            })
-            .expect("crossbeam scope")
+            });
+            let mut extracted: Vec<Option<(Feature, CenterTable)>> =
+                (0..kept.len()).map(|_| None).collect();
+            for (i, item) in outs.into_iter().flatten() {
+                extracted[i] = item;
+            }
+            extracted
         };
         drop(centers_span);
 

@@ -171,12 +171,17 @@ impl TreePiIndex {
                 }
             }
         }
-        // stats
+        // stats — shape counters only. The stage timings are transient
+        // build diagnostics; writing them would make the serialized bytes
+        // differ between otherwise identical builds, breaking the
+        // "equal indexes serialize to equal bytes" guarantee the parallel
+        // build-equivalence tests rely on. The two slots stay in the format
+        // as zeros for compatibility.
         buf.put_u64_le(self.stats.mined as u64);
         buf.put_u64_le(self.stats.center_entries as u64);
         buf.put_u64_le(self.stats.center_positions as u64);
-        buf.put_u64_le(self.stats.t_mine_ms as u64);
-        buf.put_u64_le(self.stats.t_centers_ms as u64);
+        buf.put_u64_le(0); // was t_mine_ms
+        buf.put_u64_le(0); // was t_centers_ms
         buf.put_u8(self.stats.truncated as u8);
         w.write_all(&buf)
     }

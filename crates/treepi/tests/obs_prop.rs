@@ -106,6 +106,48 @@ proptest! {
         }
     }
 
+    /// Build-path counter reconciliation: every counter outside `engine.*`
+    /// (`mine.level{N}.*`, `mine.*` totals, `build.*`) and every
+    /// non-`engine.*` span count must match exactly between a serial and a
+    /// parallel build — the parallel miner's canonical merge may not change
+    /// what the instrumentation observes.
+    #[test]
+    fn build_counters_reconcile_across_thread_counts(db in arb_db(10, 8)) {
+        let build_metered = |threads: usize| {
+            let registry = obs::Registry::new();
+            let shard = registry.shard();
+            let idx = TreePiIndex::build_with_threads_obs(
+                db.clone(),
+                TreePiParams::quick(),
+                threads,
+                &shard,
+            );
+            registry.absorb(shard);
+            (idx, registry.drain())
+        };
+        let (_, base) = build_metered(1);
+        if !obs::COMPILED_IN {
+            return Ok(());
+        }
+        // Sanity: the serial build actually recorded mining/build counters.
+        prop_assert!(base.counter("build.mined") > 0);
+        prop_assert!(base.counter("mine.level1.candidates") > 0);
+
+        let base_det = base.deterministic_counters();
+        let span_counts = |m: &obs::MetricSet| -> Vec<(String, u64)> {
+            m.spans()
+                .filter(|(k, _)| !k.starts_with("engine."))
+                .map(|(k, v)| (k.to_string(), v.count))
+                .collect()
+        };
+        let base_spans = span_counts(&base);
+        for threads in [2usize, 8] {
+            let (_, m) = build_metered(threads);
+            prop_assert_eq!(&m.deterministic_counters(), &base_det, "threads={}", threads);
+            prop_assert_eq!(&span_counts(&m), &base_spans, "threads={}", threads);
+        }
+    }
+
     /// The metered batch returns exactly what the unmetered batch returns —
     /// instrumentation must never perturb results.
     #[test]
