@@ -1,13 +1,16 @@
 //! Index-construction scaling: wall time of `TreePiIndex::build_with_threads`
 //! at 1/2/4/8 worker threads over a fixed synthetic database. The parallel
 //! miner and center-extraction stage are bit-for-bit deterministic at any
-//! thread count (test-enforced in `crates/treepi/tests/build_prop.rs` and
-//! `crates/mining/tests/prop.rs`); this group measures the speedup that
-//! determinism contract is not allowed to cost — the ISSUE acceptance bar
-//! is ≥ 2× at 8 threads over 1.
+//! thread count (test-enforced in `crates/treepi/tests/build_prop.rs`,
+//! `crates/treepi/tests/pool_prop.rs`, and `crates/mining/tests/prop.rs`);
+//! this group measures the speedup that determinism contract is not allowed
+//! to cost — the ISSUE acceptance bar is ≥ 2× at 8 threads over 1.
 //!
 //! The `build_metered` series runs the same build with an enabled
-//! `obs::Registry`, bounding the instrumentation overhead of the build path.
+//! `obs::Registry`, bounding the instrumentation overhead of the build
+//! path; `build_pooled` reuses one persistent worker pool across
+//! iterations, isolating the per-build thread spawn/join cost that the
+//! threads entry point still pays.
 
 use bench::synthetic_db;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -38,6 +41,18 @@ fn bench_build_parallel(c: &mut Criterion) {
                 );
                 registry.absorb(shard);
                 idx.feature_count() + registry.drain().counter("build.features") as usize
+            })
+        });
+        let pool = graph_core::par::Pool::new(threads);
+        group.bench_with_input(BenchmarkId::new("build_pooled", threads), &db, |b, db| {
+            b.iter(|| {
+                let idx = TreePiIndex::build_with_pool_obs(
+                    db.clone(),
+                    TreePiParams::default(),
+                    &pool,
+                    &obs::Shard::disabled(),
+                );
+                idx.feature_count()
             })
         });
     }

@@ -1,28 +1,43 @@
-//! Batch query engine scaling: throughput of `TreePiIndex::query_batch`
-//! at 1/2/4/8 worker threads over a fixed mixed-size workload, plus the
-//! gIndex batch baseline. Determinism is test-enforced elsewhere
-//! (`treepi::engine`, `crates/treepi/tests/prop.rs`); this group measures
-//! the speedup the determinism contract is not allowed to cost.
+//! Batch query engine scaling: throughput of the batch query entry points
+//! at 1/2/4/8 workers over a fixed mixed-size workload, plus the gIndex
+//! batch baseline. Determinism is test-enforced elsewhere
+//! (`treepi::engine`, `crates/treepi/tests/pool_prop.rs`); this group
+//! measures the speedup the determinism contract is not allowed to cost.
 //!
-//! The `treepi_batch_metered` series runs the same batch with an enabled
-//! `obs::Registry`: comparing it against `treepi_batch` at the same thread
-//! count bounds the instrumentation overhead, and `treepi_batch` itself
-//! (disabled registry on the default entry point) bounds the disabled-path
-//! cost against the pre-obs baseline.
+//! Series:
+//! - `treepi_batch`: the default entry point (transient pool per batch);
+//! - `treepi_batch_metered`: same with an enabled `obs::Registry`, bounding
+//!   instrumentation overhead;
+//! - `treepi_batch_scoped`: the retired scoped-thread implementation
+//!   (`treepi::scoped_ref`), the pre-pool baseline;
+//! - `treepi_batch_pooled`: a persistent [`treepi::Engine`] reused across
+//!   iterations — what a serving process pays per batch;
+//! - `gindex_batch`: the gIndex baseline on the shared pool path.
+//!
+//! Besides the human-readable criterion report, a measurement run (not
+//! `cargo test`'s `--test` smoke mode) re-times the scoped/pooled/gindex
+//! series standalone and rewrites `BENCH_query_parallel.json` at the repo
+//! root with per-series median ns/query, so pooled-vs-scoped numbers are
+//! machine-checkable without parsing bench stdout.
 
 use bench::{chem_db, gindex_index, queries, treepi_index};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use treepi::QueryOptions;
+
+fn workload(db: &[graph_core::Graph]) -> Vec<graph_core::Graph> {
+    // Mixed query sizes so workers see uneven per-query cost — the
+    // self-scheduling counter, not static chunking, is what's measured.
+    let mut qs = queries(db, 4, 16);
+    qs.extend(queries(db, 8, 16));
+    qs.extend(queries(db, 12, 8));
+    qs
+}
 
 fn bench_query_parallel(c: &mut Criterion) {
     let db = chem_db(200);
-    let tp = treepi_index(&db);
+    let mut tp = treepi_index(&db);
     let gi = gindex_index(&db);
-    // Mixed query sizes so workers see uneven per-query cost — the
-    // self-scheduling counter, not static chunking, is what's measured.
-    let mut qs = queries(&db, 4, 16);
-    qs.extend(queries(&db, 8, 16));
-    qs.extend(queries(&db, 12, 8));
+    let qs = workload(&db);
 
     let mut group = c.benchmark_group("query_parallel");
     group.sample_size(10);
@@ -47,6 +62,36 @@ fn bench_query_parallel(c: &mut Criterion) {
                 })
             },
         );
+        group.bench_with_input(
+            BenchmarkId::new("treepi_batch_scoped", threads),
+            &qs,
+            |b, qs| {
+                b.iter(|| {
+                    let (results, _) = treepi::scoped_ref::query_batch_scoped(
+                        &tp,
+                        qs,
+                        QueryOptions::default(),
+                        threads,
+                        9,
+                    );
+                    results.iter().map(|r| r.matches.len()).sum::<usize>()
+                })
+            },
+        );
+        // Persistent engine: pool threads spawned once, outside the timed
+        // loop — the per-batch cost a long-lived serving process sees.
+        let engine = treepi::Engine::new(tp, threads);
+        group.bench_with_input(
+            BenchmarkId::new("treepi_batch_pooled", threads),
+            &qs,
+            |b, qs| {
+                b.iter(|| {
+                    let (results, _) = engine.query_batch(qs, QueryOptions::default(), 9);
+                    results.iter().map(|r| r.matches.len()).sum::<usize>()
+                })
+            },
+        );
+        tp = engine.into_index();
         group.bench_with_input(BenchmarkId::new("gindex_batch", threads), &qs, |b, qs| {
             b.iter(|| {
                 gi.query_batch(qs, threads)
@@ -60,4 +105,90 @@ fn bench_query_parallel(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_query_parallel);
-criterion_main!(benches);
+
+/// Median of `runs` timings of `f`, in ns per query.
+fn median_ns_per_query(runs: usize, n_queries: usize, mut f: impl FnMut()) -> u64 {
+    let mut samples: Vec<u128> = (0..runs)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    (samples[samples.len() / 2] / n_queries as u128) as u64
+}
+
+/// Re-time the headline series and rewrite `BENCH_query_parallel.json` at
+/// the repo root (schema `treepi.bench.query_parallel/v1`).
+fn emit_json() {
+    let db = chem_db(200);
+    let mut tp = treepi_index(&db);
+    let gi = gindex_index(&db);
+    let qs = workload(&db);
+    const RUNS: usize = 5;
+
+    let mut rows = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        rows.push((
+            "treepi_batch_scoped",
+            threads,
+            median_ns_per_query(RUNS, qs.len(), || {
+                let (r, _) = treepi::scoped_ref::query_batch_scoped(
+                    &tp,
+                    &qs,
+                    QueryOptions::default(),
+                    threads,
+                    9,
+                );
+                criterion::black_box(r.len());
+            }),
+        ));
+        let engine = treepi::Engine::new(tp, threads);
+        rows.push((
+            "treepi_batch_pooled",
+            threads,
+            median_ns_per_query(RUNS, qs.len(), || {
+                let (r, _) = engine.query_batch(&qs, QueryOptions::default(), 9);
+                criterion::black_box(r.len());
+            }),
+        ));
+        tp = engine.into_index();
+        rows.push((
+            "gindex_batch",
+            threads,
+            median_ns_per_query(RUNS, qs.len(), || {
+                criterion::black_box(gi.query_batch(&qs, threads).len());
+            }),
+        ));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"treepi.bench.query_parallel/v1\",\n");
+    json.push_str(&format!("  \"queries\": {},\n  \"series\": [\n", qs.len()));
+    for (i, (name, threads, ns)) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"threads\": {threads}, \"median_ns_per_query\": {ns}}}{sep}\n"
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_query_parallel.json"
+    );
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    benches();
+    // `cargo test` runs bench binaries with `--test` as a smoke test: never
+    // overwrite the committed JSON with unmeasured garbage there.
+    if !std::env::args().any(|a| a == "--test") {
+        emit_json();
+    }
+}

@@ -164,19 +164,18 @@ fn run() -> Result<(), String> {
             let queries = read_graphs_file(q_path)?;
             let seed = parse_flag(&args, "--seed", 2007u64)?;
             // 0 = available parallelism (the default); results are
-            // identical at any thread count (per-query seeded RNGs).
+            // identical at any pool size (per-query seeded RNGs). The
+            // persistent worker pool is sized once here and reused for the
+            // whole serving run.
             let threads = parse_flag(&args, "--threads", 0usize)?;
             let want_stats = args.iter().any(|a| a == "--stats");
             let metrics_path = flag_value(&args, "--metrics");
             let trace_path = flag_value(&args, "--trace");
             let registry = metrics_registry(&metrics_path, &trace_path);
-            let (results, summary) = index.query_batch_obs(
-                &queries,
-                treepi::QueryOptions::default(),
-                threads,
-                seed,
-                &registry,
-            );
+            let engine = treepi::Engine::new(index, threads);
+            let (results, summary) =
+                engine.query_batch_obs(&queries, treepi::QueryOptions::default(), seed, &registry);
+            let index = engine.into_index();
             for (i, (q, r)) in queries.iter().zip(&results).enumerate() {
                 let ids: Vec<String> = r.matches.iter().map(|g| g.to_string()).collect();
                 println!("q{i}: {}", ids.join(" "));

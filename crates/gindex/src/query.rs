@@ -162,15 +162,28 @@ impl GIndex {
     /// [`Self::query_batch`] recording metrics into `registry`: per-worker
     /// shards merged at batch end (`engine.*` describes execution shape;
     /// everything else is thread-count invariant, exactly as for TreePi).
+    /// Spins up a transient worker pool; callers issuing repeated batches
+    /// should hold a [`graph_core::par::Pool`] and use
+    /// [`Self::query_batch_pool_obs`].
     pub fn query_batch_obs(
         &self,
         queries: &[Graph],
         threads: usize,
         registry: &obs::Registry,
     ) -> Vec<GQueryResult> {
-        graph_core::par::ordered_map_obs(queries, threads, registry, |q, shard| {
-            self.query_obs(q, shard)
-        })
+        let pool = graph_core::par::Pool::new(threads);
+        self.query_batch_pool_obs(queries, &pool, registry)
+    }
+
+    /// [`Self::query_batch_obs`] on a caller-owned worker pool, reusing its
+    /// threads instead of spawning per batch.
+    pub fn query_batch_pool_obs(
+        &self,
+        queries: &[Graph],
+        pool: &graph_core::par::Pool,
+        registry: &obs::Registry,
+    ) -> Vec<GQueryResult> {
+        pool.ordered_map_obs(queries, registry, |q, shard| self.query_obs(q, shard))
     }
 }
 

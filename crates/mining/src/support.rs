@@ -69,26 +69,49 @@ impl SigmaFn {
 /// contain it (Definition 6).
 pub type SupportSet = Vec<u32>;
 
-/// Intersect two sorted id sets.
-///
-/// Two-pointer merge when the sizes are comparable; when one side is much
-/// smaller, binary-search each of its elements in the larger side instead.
-pub fn intersect(a: &[u32], b: &[u32]) -> SupportSet {
+/// Ratio at which [`intersect`] switches from the two-pointer merge to
+/// galloping probes from the smaller side into the larger.
+const GALLOP_SKEW: usize = 16;
+
+/// First index `>= from` with `large[index] >= x` (`large.len()` if none):
+/// exponential search from `from`, then binary search inside the bracketed
+/// window. Cost is `O(log gap)` in the distance advanced, which is what
+/// makes a sweep of a tiny set through a huge one near-linear in the tiny
+/// set.
+fn gallop_first_ge(large: &[u32], from: usize, x: u32) -> usize {
+    if from >= large.len() || large[from] >= x {
+        return from;
+    }
+    // Invariant: large[from + off/2] < x (for off == 1, large[from] < x).
+    let mut off = 1usize;
+    while from + off < large.len() && large[from + off] < x {
+        off <<= 1;
+    }
+    let lo = from + (off >> 1) + 1;
+    let hi = (from + off).min(large.len());
+    lo + large[lo..hi].partition_point(|&y| y < x)
+}
+
+/// [`intersect`] writing into a caller-owned buffer (cleared first), so
+/// loops like [`intersect_many`] can reuse one allocation across steps.
+pub fn intersect_into(a: &[u32], b: &[u32], out: &mut SupportSet) {
+    out.clear();
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    let mut out = Vec::with_capacity(small.len());
-    if large.len() > small.len().saturating_mul(16) {
-        // Asymmetric: binary search with a moving left bound.
+    out.reserve(small.len());
+    if large.len() > small.len().saturating_mul(GALLOP_SKEW) {
+        // Asymmetric: gallop each small element forward from a moving
+        // left bound.
         let mut lo = 0usize;
         for &x in small {
-            match large[lo..].binary_search(&x) {
-                Ok(i) => {
-                    out.push(x);
-                    lo += i + 1;
-                }
-                Err(i) => lo += i,
-            }
-            if lo >= large.len() {
+            let pos = gallop_first_ge(large, lo, x);
+            if pos >= large.len() {
                 break;
+            }
+            if large[pos] == x {
+                out.push(x);
+                lo = pos + 1;
+            } else {
+                lo = pos;
             }
         }
     } else {
@@ -105,11 +128,24 @@ pub fn intersect(a: &[u32], b: &[u32]) -> SupportSet {
             }
         }
     }
+}
+
+/// Intersect two sorted id sets.
+///
+/// Two-pointer merge when the sizes are comparable; when one side is more
+/// than [`GALLOP_SKEW`]× smaller, gallop its elements through the larger
+/// side instead.
+pub fn intersect(a: &[u32], b: &[u32]) -> SupportSet {
+    let mut out = Vec::new();
+    intersect_into(a, b, &mut out);
     out
 }
 
 /// Intersect many sorted id sets, smallest first (empty input yields the
-/// universe `0..n_graphs`).
+/// universe `0..n_graphs`). The accumulator shrinks monotonically while the
+/// remaining sets stay full-size, so later steps hit the galloping path of
+/// [`intersect_into`]; one scratch buffer is ping-ponged across steps
+/// instead of allocating per intersection.
 pub fn intersect_many(sets: &[&[u32]], n_graphs: usize) -> SupportSet {
     if sets.is_empty() {
         return (0..n_graphs as u32).collect();
@@ -117,11 +153,13 @@ pub fn intersect_many(sets: &[&[u32]], n_graphs: usize) -> SupportSet {
     let mut order: Vec<&&[u32]> = sets.iter().collect();
     order.sort_by_key(|s| s.len());
     let mut acc: SupportSet = order[0].to_vec();
+    let mut scratch: SupportSet = Vec::new();
     for s in &order[1..] {
         if acc.is_empty() {
             break;
         }
-        acc = intersect(&acc, s);
+        intersect_into(&acc, s, &mut scratch);
+        std::mem::swap(&mut acc, &mut scratch);
     }
     acc
 }
@@ -182,6 +220,27 @@ mod tests {
         assert_eq!(intersect_many(&[&a, &b, &c], 10), vec![1, 3]);
     }
 
+    #[test]
+    fn gallop_first_ge_brackets_correctly() {
+        let v: Vec<u32> = (0..100).map(|x| x * 3).collect();
+        for from in [0usize, 1, 37, 99, 100] {
+            for x in [0u32, 1, 3, 100, 296, 297, 298, 1000] {
+                let expect = from + v[from.min(v.len())..].partition_point(|&y| y < x);
+                assert_eq!(gallop_first_ge(&v, from, x), expect, "from={from} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn intersect_extreme_skew_hits_gallop_path() {
+        // |large| / |small| far beyond GALLOP_SKEW, with matches at the
+        // ends and the middle so the moving bound sweeps the whole range.
+        let large: Vec<u32> = (0..10_000).map(|x| x * 2).collect();
+        let small = vec![0u32, 9_998, 10_000, 19_998, 19_999];
+        assert_eq!(intersect(&small, &large), vec![0, 9_998, 10_000, 19_998]);
+        assert_eq!(intersect(&large, &small), vec![0, 9_998, 10_000, 19_998]);
+    }
+
     proptest::proptest! {
         #[test]
         fn intersect_matches_naive(mut a in proptest::collection::vec(0u32..200, 0..60),
@@ -190,6 +249,32 @@ mod tests {
             b.sort_unstable(); b.dedup();
             let naive: Vec<u32> = a.iter().copied().filter(|x| b.contains(x)).collect();
             proptest::prop_assert_eq!(intersect(&a, &b), naive);
+        }
+
+        /// The skewed generator drives |b| past GALLOP_SKEW·|a| regularly,
+        /// so both the two-pointer and galloping paths are compared against
+        /// the naive merge.
+        #[test]
+        fn intersect_many_matches_naive_merge(
+            sets in proptest::collection::vec(
+                proptest::collection::vec(0u32..400, 0..120), 0..6),
+            n_graphs in 0usize..20,
+        ) {
+            let sets: Vec<Vec<u32>> = sets
+                .into_iter()
+                .map(|mut s| { s.sort_unstable(); s.dedup(); s })
+                .collect();
+            let refs: Vec<&[u32]> = sets.iter().map(|s| s.as_slice()).collect();
+            let naive: Vec<u32> = if refs.is_empty() {
+                (0..n_graphs as u32).collect()
+            } else {
+                let mut acc: Vec<u32> = refs[0].to_vec();
+                for s in &refs[1..] {
+                    acc.retain(|x| s.contains(x));
+                }
+                acc
+            };
+            proptest::prop_assert_eq!(intersect_many(&refs, n_graphs), naive);
         }
     }
 

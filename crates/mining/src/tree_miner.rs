@@ -324,7 +324,28 @@ pub fn mine_frequent_trees_threads_obs(
     threads: usize,
     shard: &obs::Shard,
 ) -> (Vec<MinedTree>, MiningStats) {
-    use graph_core::par::{for_each_mut, fork_join_obs};
+    let pool = graph_core::par::Pool::new(threads.max(1));
+    mine_frequent_trees_pool_obs(db, sigma, limits, &pool, shard)
+}
+
+/// [`mine_frequent_trees_threads_obs`] dispatching every parallel pass —
+/// the per-level extension scans, the canonical-string pass, and occurrence
+/// materialization — as seats on one persistent
+/// [`graph_core::par::Pool`], so a multi-level mining run reuses a single
+/// set of worker threads instead of forking fresh ones per level (and a
+/// caller can share the pool with center extraction and query serving).
+/// The canonical-string pass runs *from inside* the level loop on whatever
+/// thread dispatched the build — re-entrant dispatch is safe because the
+/// pool's dispatcher claims its own job's seats. Determinism contract
+/// identical to the threads version: output and non-`engine.*` counters
+/// depend only on `(db, sigma, limits)`, never on the pool size.
+pub fn mine_frequent_trees_pool_obs(
+    db: &[Graph],
+    sigma: &SigmaFn,
+    limits: &MiningLimits,
+    pool: &graph_core::par::Pool,
+    shard: &obs::Shard,
+) -> (Vec<MinedTree>, MiningStats) {
     use smallvec::SmallVec;
     use std::collections::BTreeMap;
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -406,7 +427,7 @@ pub fn mine_frequent_trees_threads_obs(
     // counter; a few blocks per worker evens out per-graph skew without
     // letting the per-block pattern sweep dominate. The block layout never
     // affects the output (see the determinism contract above).
-    let workers = threads.max(1).min(db.len().max(1));
+    let workers = pool.parallelism().max(1).min(db.len().max(1));
     let nblocks = (workers * 4).min(db.len()).max(1);
     let block_len = db.len().div_ceil(nblocks).max(1);
     let block_bounds = move |b: usize, len: usize| (b * block_len, ((b + 1) * block_len).min(len));
@@ -414,7 +435,7 @@ pub fn mine_frequent_trees_threads_obs(
     // ---- Level 1: single-edge patterns, one instance per host edge. ----
     let level1_span = shard.span("mine.level1");
     let next_block = AtomicUsize::new(0);
-    let outs = fork_join_obs(workers, shard, |_rank, wshard| {
+    let outs = pool.fork_join_obs(workers, shard, |_rank, wshard| {
         let _wall = wshard.span("engine.mine.worker_wall");
         wshard.add("engine.mine.workers", 1);
         let mut local: FxHashMap<CanonString, (Tree, Vec<Instance>)> = FxHashMap::default();
@@ -473,7 +494,7 @@ pub fn mine_frequent_trees_threads_obs(
         .into_iter()
         .map(|(canon, (tree, occs))| (canon, tree, occs))
         .collect();
-    for_each_mut(&mut entries, workers, |(_, _, occs)| sort_occs(occs));
+    pool.for_each_mut(&mut entries, |(_, _, occs)| sort_occs(occs));
 
     let t1 = sigma.threshold(1).expect("σ(1) must be finite") as usize;
     let level1_candidates = entries.len() as u64;
@@ -525,7 +546,7 @@ pub fn mine_frequent_trees_threads_obs(
         // mmap/munmap traffic that serializes the build on kernel time.
         let level_ref = &level;
         let next_block = AtomicUsize::new(0);
-        let outs = fork_join_obs(workers, shard, |_rank, wshard| {
+        let outs = pool.fork_join_obs(workers, shard, |_rank, wshard| {
             let _wall = wshard.span("engine.mine.worker_wall");
             wshard.add("engine.mine.workers", 1);
             let mut cands: Vec<Cand> = Vec::new();
@@ -679,8 +700,10 @@ pub fn mine_frequent_trees_threads_obs(
         }
 
         // Child tree + canonical string once per extension kind, in
-        // parallel (the child is a pure function of the key).
-        for_each_mut(&mut groups, workers, |grp| {
+        // parallel (the child is a pure function of the key). This pass
+        // dispatches re-entrantly when the whole build already runs on a
+        // pool seat.
+        pool.for_each_mut(&mut groups, |grp| {
             let (pidx, ridx, pv, el, lv) = grp.key;
             let rep = &level_ref[pidx as usize][ridx as usize];
             let child = extend_with_leaf(&rep.tree, VertexId(pv), ELabel(el), VLabel(lv));
@@ -746,7 +769,7 @@ pub fn mine_frequent_trees_threads_obs(
         // each child mapping from its parent occurrence plus the new leaf,
         // then sort by (gid, edges) — worker gid ranges interleave, so the
         // span concatenation is not globally ordered by itself.
-        for_each_mut(&mut next_build, workers, |reps| {
+        pool.for_each_mut(&mut next_build, |reps| {
             for rb in reps.iter_mut() {
                 let grp = &groups[rb.gidx as usize];
                 let total: usize = grp.spans.iter().map(|&(_, s, e)| (e - s) as usize).sum();
@@ -1077,6 +1100,18 @@ pub fn shrink_features_threads(
     gamma: f64,
     threads: usize,
 ) -> Vec<MinedTree> {
+    let pool = graph_core::par::Pool::new(threads.max(1));
+    shrink_features_pool(mined, gamma, &pool)
+}
+
+/// [`shrink_features_threads`] with the decisions dispatched as seats on a
+/// persistent [`graph_core::par::Pool`] (the same pool a build uses for
+/// mining and center extraction). Output identical at any pool size.
+pub fn shrink_features_pool(
+    mined: Vec<MinedTree>,
+    gamma: f64,
+    pool: &graph_core::par::Pool,
+) -> Vec<MinedTree> {
     let mut keep: Vec<(u32, bool)> = (0..mined.len() as u32).map(|i| (i, false)).collect();
     {
         let by_canon: FxHashMap<&CanonString, &[u32]> = mined
@@ -1101,7 +1136,7 @@ pub fn shrink_features_threads(
             let ratio = inter.len() as f64 / m.support.len() as f64;
             ratio > gamma
         };
-        graph_core::par::for_each_mut(&mut keep, threads.max(1), |slot| {
+        pool.for_each_mut(&mut keep, |slot| {
             slot.1 = decide(&mined[slot.0 as usize]);
         });
     }

@@ -194,7 +194,7 @@ impl DiffReport {
 
 /// Whether `(name, kind)` is covered by the gate under `opts`.
 fn gated(name: &str, kind: Kind, opts: &DiffOptions) -> bool {
-    if name.starts_with("engine.") {
+    if name.starts_with("engine.") || name.starts_with("pool.") {
         return false;
     }
     match kind {
@@ -396,6 +396,25 @@ mod tests {
         };
         assert!(!diff(&base, &worse, &opts).regressed());
         // Even disappearing engine metrics don't fail.
+        assert!(!diff(&base, &MetricSet::new(), &opts).regressed());
+    }
+
+    #[test]
+    fn pool_namespace_is_exempt() {
+        let base = set(&[("pool.tasks", 1)], &[], &[("pool.worker_busy", &[10])]);
+        let worse = set(
+            &[
+                ("pool.tasks", 640),
+                ("pool.steal_or_queue_wait_ns", 1 << 30),
+            ],
+            &[],
+            &[("pool.worker_busy", &[10, 10, 10, 10])],
+        );
+        let opts = DiffOptions {
+            max_regress_pct: 0.0,
+            include_timings: true,
+        };
+        assert!(!diff(&base, &worse, &opts).regressed());
         assert!(!diff(&base, &MetricSet::new(), &opts).regressed());
     }
 

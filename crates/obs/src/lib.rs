@@ -283,13 +283,14 @@ impl MetricSet {
     }
 
     /// The counters covered by the determinism contract: everything except
-    /// the `engine.` namespace, whose values describe execution shape
-    /// (worker counts, scheduling) and legitimately vary with `--threads`.
-    /// Totals here must be bit-identical at any thread count.
+    /// the `engine.` and `pool.` namespaces, whose values describe
+    /// execution shape (worker counts, scheduling, pool busy/park time)
+    /// and legitimately vary with `--threads`. Totals here must be
+    /// bit-identical at any thread count.
     pub fn deterministic_counters(&self) -> BTreeMap<String, u64> {
         self.counters
             .iter()
-            .filter(|(k, _)| !k.starts_with("engine."))
+            .filter(|(k, _)| !k.starts_with("engine.") && !k.starts_with("pool."))
             .map(|(k, v)| (k.clone(), *v))
             .collect()
     }
@@ -872,16 +873,19 @@ mod tests {
     }
 
     #[test]
-    fn deterministic_counters_exclude_engine_namespace() {
+    fn deterministic_counters_exclude_engine_and_pool_namespaces() {
         let mut m = MetricSet::new();
         m.add("funnel.filtered", 10);
         m.add("engine.workers", 4);
+        m.add("pool.tasks", 9);
+        m.add("pool.worker_busy_ns", 1234);
         m.add("graph.bfs", 2);
         let det = m.deterministic_counters();
         assert_eq!(det.len(), 2);
         assert!(det.contains_key("funnel.filtered"));
         assert!(det.contains_key("graph.bfs"));
         assert!(!det.contains_key("engine.workers"));
+        assert!(!det.contains_key("pool.tasks"));
     }
 
     #[test]

@@ -159,7 +159,18 @@ impl PathGrep {
     /// queries consume no randomness, so results are identical at any
     /// thread count; queries self-schedule and return in query order.
     pub fn query_batch(&self, queries: &[Graph], threads: usize) -> Vec<PQueryResult> {
-        graph_core::par::ordered_map(queries, threads, |q| self.query(q))
+        let pool = graph_core::par::Pool::new(threads);
+        self.query_batch_pool(queries, &pool)
+    }
+
+    /// [`Self::query_batch`] on a caller-owned worker pool, reusing its
+    /// threads instead of spawning per batch.
+    pub fn query_batch_pool(
+        &self,
+        queries: &[Graph],
+        pool: &graph_core::par::Pool,
+    ) -> Vec<PQueryResult> {
+        pool.ordered_map(queries, |q| self.query(q))
     }
 }
 

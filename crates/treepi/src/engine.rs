@@ -1,8 +1,12 @@
-//! Parallel batch query engine.
+//! Parallel batch query engine on a persistent worker pool.
 //!
-//! [`TreePiIndex::query_batch`] fans a workload of containment queries
-//! across a scoped worker pool. The determinism contract (see DESIGN.md,
-//! "Parallel query engine"):
+//! [`Engine`] is the long-lived serving front: an index plus one
+//! [`graph_core::par::Pool`] whose workers are spawned once and reused
+//! across every batch ([`Engine::query_batch`]). The convenience
+//! [`TreePiIndex::query_batch`] entry points build a transient pool per
+//! call — identical results, just without the reuse.
+//!
+//! The determinism contract (see DESIGN.md, "Parallel query engine"):
 //!
 //! - every query gets its own RNG, [`query_rng`]`(seed, i)`, derived only
 //!   from the batch seed and the query's position — never from which worker
@@ -11,19 +15,22 @@
 //!   chunk candidates contiguously and concatenate chunk results in order,
 //!   and neither consumes randomness.
 //!
-//! Together these make `query_batch` results bit-identical for any thread
-//! count, including 1 — verified by unit tests here and a property test in
-//! `tests/prop.rs`.
+//! Together these make batch results bit-identical for any pool size,
+//! including 1 — verified by unit tests here, property tests in
+//! `tests/prop.rs` and `tests/pool_prop.rs` (which also pin equality
+//! against the scoped reference path in [`crate::scoped_ref`]).
 //!
-//! Scheduling is work-stealing-lite: workers pull the next query index from
+//! Scheduling is work-stealing-lite: seats pull the next query index from
 //! a shared atomic counter, so long-running queries don't stall a statically
 //! assigned chunk. When the batch is smaller than the pool, leftover
 //! workers are instead spent *inside* queries (intra-query candidate
-//! parallelism, [`crate::query::INTRA_PAR_THRESHOLD`]).
+//! parallelism, [`crate::query::INTRA_PAR_THRESHOLD`]) — those stages
+//! dispatch re-entrantly into the same pool.
 
 use crate::index::TreePiIndex;
 use crate::query::{QueryOptions, QueryResult};
 use crate::workload::{summarize, WorkloadSummary};
+use graph_core::par::Pool;
 use graph_core::Graph;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -90,95 +97,185 @@ impl TreePiIndex {
         seed: u64,
         registry: &obs::Registry,
     ) -> (Vec<QueryResult>, WorkloadSummary) {
-        let threads = resolve_threads(threads);
-        // Spend the pool across queries first; only when the batch can't
-        // occupy it do queries get intra-candidate workers.
-        let intra = if queries.is_empty() || queries.len() >= threads {
-            1
-        } else {
-            threads / queries.len()
+        let pool = Pool::new(resolve_threads(threads));
+        batch_on_pool(self, queries, opts, &pool, seed, registry)
+    }
+}
+
+/// The shared batch implementation: fan `queries` across the pool's seats,
+/// each seat pulling indices off an atomic cursor into order-indexed result
+/// slots. Used by both [`Engine::query_batch_obs`] (persistent pool) and
+/// [`TreePiIndex::query_batch_obs`] (transient pool).
+fn batch_on_pool(
+    index: &TreePiIndex,
+    queries: &[Graph],
+    opts: QueryOptions,
+    pool: &Pool,
+    seed: u64,
+    registry: &obs::Registry,
+) -> (Vec<QueryResult>, WorkloadSummary) {
+    let threads = pool.parallelism();
+    // Spend the pool across queries first; only when the batch can't
+    // occupy it do queries get intra-candidate workers.
+    let intra = if queries.is_empty() || queries.len() >= threads {
+        1
+    } else {
+        threads / queries.len()
+    };
+    let results: Vec<QueryResult> = if threads == 1 || queries.len() <= 1 {
+        let shard = registry.shard();
+        let results = {
+            let _wall = shard.span("engine.worker_wall");
+            let results: Vec<QueryResult> = queries
+                .iter()
+                .enumerate()
+                .map(|(i, q)| {
+                    shard.set_trace_query(Some(i as u64));
+                    let _busy = shard.span("engine.worker_busy");
+                    index.query_with_pool_obs(
+                        q,
+                        opts,
+                        &mut query_rng(seed, i),
+                        pool,
+                        threads,
+                        &shard,
+                    )
+                })
+                .collect();
+            shard.set_trace_query(None);
+            results
         };
-        let results: Vec<QueryResult> = if threads == 1 || queries.len() <= 1 {
+        shard.add("engine.workers", 1);
+        shard.add("engine.queries", queries.len() as u64);
+        registry.absorb(shard);
+        results
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<QueryResult>>> =
+            queries.iter().map(|_| Mutex::new(None)).collect();
+        let workers = threads.min(queries.len());
+        pool.run(workers, |_seat| {
             let shard = registry.shard();
-            let results = {
+            let mut served = 0u64;
+            {
                 let _wall = shard.span("engine.worker_wall");
-                let results: Vec<QueryResult> = queries
-                    .iter()
-                    .enumerate()
-                    .map(|(i, q)| {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= queries.len() {
+                        break;
+                    }
+                    let r = {
                         shard.set_trace_query(Some(i as u64));
                         let _busy = shard.span("engine.worker_busy");
-                        self.query_with_threads_obs(
-                            q,
+                        index.query_with_pool_obs(
+                            &queries[i],
                             opts,
                             &mut query_rng(seed, i),
-                            threads,
+                            pool,
+                            intra,
                             &shard,
                         )
-                    })
-                    .collect();
-                shard.set_trace_query(None);
-                results
-            };
-            shard.add("engine.workers", 1);
-            shard.add("engine.queries", queries.len() as u64);
-            registry.absorb(shard);
-            results
-        } else {
-            let next = AtomicUsize::new(0);
-            let slots: Vec<Mutex<Option<QueryResult>>> =
-                queries.iter().map(|_| Mutex::new(None)).collect();
-            crossbeam::thread::scope(|s| {
-                let workers = threads.min(queries.len());
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        let next = &next;
-                        let slots = &slots;
-                        let shard = registry.shard();
-                        s.spawn(move |_| {
-                            let mut served = 0u64;
-                            {
-                                let _wall = shard.span("engine.worker_wall");
-                                loop {
-                                    let i = next.fetch_add(1, Ordering::Relaxed);
-                                    if i >= queries.len() {
-                                        break;
-                                    }
-                                    let r = {
-                                        shard.set_trace_query(Some(i as u64));
-                                        let _busy = shard.span("engine.worker_busy");
-                                        self.query_with_threads_obs(
-                                            &queries[i],
-                                            opts,
-                                            &mut query_rng(seed, i),
-                                            intra,
-                                            &shard,
-                                        )
-                                    };
-                                    served += 1;
-                                    *slots[i].lock().expect("slot") = Some(r);
-                                }
-                                shard.set_trace_query(None);
-                            }
-                            shard.add("engine.workers", 1);
-                            shard.add("engine.queries", served);
-                            shard
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    registry.absorb(h.join().expect("batch worker panicked"));
+                    };
+                    served += 1;
+                    *slots[i].lock().expect("slot") = Some(r);
                 }
-            })
-            .expect("batch scope");
-            slots
-                .into_iter()
-                .map(|slot| slot.into_inner().expect("slot").expect("every query ran"))
-                .collect()
-        };
-        let stats: Vec<_> = results.iter().map(|r| r.stats).collect();
-        let summary = summarize(&stats);
-        (results, summary)
+                shard.set_trace_query(None);
+            }
+            shard.add("engine.workers", 1);
+            shard.add("engine.queries", served);
+            registry.absorb(shard);
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("slot").expect("every query ran"))
+            .collect()
+    };
+    // Batch-end delta of the pool's scheduling metrics (pool.* namespace,
+    // exempt from the determinism contract like engine.*).
+    let shard = registry.shard();
+    pool.flush_metrics(&shard);
+    registry.absorb(shard);
+    let stats: Vec<_> = results.iter().map(|r| r.stats).collect();
+    let summary = summarize(&stats);
+    (results, summary)
+}
+
+/// A long-lived serving engine: a [`TreePiIndex`] plus one persistent
+/// worker [`Pool`] reused across every batch, so serving pays thread
+/// spawn/join once per process instead of once per batch. Construction of
+/// the answer is identical to [`TreePiIndex::query_batch`] — bit-identical
+/// results at any pool size, per the determinism contract in this module's
+/// docs.
+pub struct Engine {
+    index: TreePiIndex,
+    pool: Pool,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("parallelism", &self.pool.parallelism())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Wrap `index` with a pool of `threads` workers (`0` = available
+    /// parallelism). The pool threads are spawned here and live until the
+    /// engine is dropped.
+    pub fn new(index: TreePiIndex, threads: usize) -> Self {
+        Engine {
+            index,
+            pool: Pool::new(resolve_threads(threads)),
+        }
+    }
+
+    /// The wrapped index.
+    pub fn index(&self) -> &TreePiIndex {
+        &self.index
+    }
+
+    /// Mutable access to the wrapped index (inserts/removes between
+    /// batches).
+    pub fn index_mut(&mut self) -> &mut TreePiIndex {
+        &mut self.index
+    }
+
+    /// Recover the index, dropping the pool.
+    pub fn into_index(self) -> TreePiIndex {
+        self.index
+    }
+
+    /// The engine's worker pool (shared with index builds via
+    /// [`TreePiIndex::build_with_pool_obs`] if desired).
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    /// The pool's worker count.
+    pub fn parallelism(&self) -> usize {
+        self.pool.parallelism()
+    }
+
+    /// [`TreePiIndex::query_batch`] on the engine's persistent pool.
+    pub fn query_batch(
+        &self,
+        queries: &[Graph],
+        opts: QueryOptions,
+        seed: u64,
+    ) -> (Vec<QueryResult>, WorkloadSummary) {
+        self.query_batch_obs(queries, opts, seed, &obs::Registry::disabled())
+    }
+
+    /// [`TreePiIndex::query_batch_obs`] on the engine's persistent pool.
+    pub fn query_batch_obs(
+        &self,
+        queries: &[Graph],
+        opts: QueryOptions,
+        seed: u64,
+        registry: &obs::Registry,
+    ) -> (Vec<QueryResult>, WorkloadSummary) {
+        batch_on_pool(&self.index, queries, opts, &self.pool, seed, registry)
     }
 }
 
@@ -373,6 +470,42 @@ mod tests {
         let reg = obs::Registry::new();
         let _ = idx.query_batch_obs(&qs, QueryOptions::default(), 2, 42, &reg);
         assert!(reg.drain_trace().is_empty());
+    }
+
+    #[test]
+    fn engine_reuses_pool_and_matches_transient_batches() {
+        let idx = index();
+        let qs = queries();
+        let (base, base_sum) = idx.query_batch(&qs, QueryOptions::default(), 1, 42);
+        for threads in [1usize, 2, 8] {
+            let engine = Engine::new(index(), threads);
+            assert_eq!(engine.parallelism(), threads);
+            // Several batches on the same pool: results stay identical.
+            for _ in 0..3 {
+                let (r, sum) = engine.query_batch(&qs, QueryOptions::default(), 42);
+                for (a, b) in base.iter().zip(&r) {
+                    assert_eq!(a.matches, b.matches, "threads {threads}");
+                    assert_eq!(a.stats.pruned, b.stats.pruned, "threads {threads}");
+                }
+                assert_eq!(sum.queries, base_sum.queries);
+            }
+            let recovered = engine.into_index();
+            assert_eq!(recovered.db().len(), index().db().len());
+        }
+    }
+
+    #[test]
+    fn engine_obs_flushes_pool_metrics() {
+        if !obs::COMPILED_IN {
+            return;
+        }
+        let engine = Engine::new(index(), 2);
+        let reg = obs::Registry::new();
+        let (_, _) = engine.query_batch_obs(&queries(), QueryOptions::default(), 7, &reg);
+        let m = reg.drain();
+        assert!(m.counter("pool.tasks") >= 1, "batch dispatch counted");
+        // pool.* is outside the determinism contract.
+        assert!(!m.deterministic_counters().contains_key("pool.tasks"));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::params::TreePiParams;
 use crate::trie::{CanonTrie, FeatureId};
 use graph_core::Graph;
-use mining::{shrink_features_threads, SupportSet};
+use mining::{shrink_features_pool, SupportSet};
 use rustc_hash::FxHashMap;
 use tree_core::{center, center_positions, CanonString, Center, CenterPos, Tree};
 
@@ -134,30 +134,42 @@ impl TreePiIndex {
     }
 
     /// [`Self::build_obs`] with an explicit worker count, used for both the
-    /// mining and the center-extraction stage. Parallel workers record into
-    /// [`obs::Shard::fork`]s merged after the join, and the miner's merge is
-    /// canonical (see [`mining::mine_frequent_trees_threads_obs`]), so the
-    /// built index and every non-`engine.*` counter are identical to the
-    /// sequential build for any `threads`.
+    /// mining and the center-extraction stage. Spins up one
+    /// [`graph_core::par::Pool`] and runs the entire build on it via
+    /// [`Self::build_with_pool_obs`].
     pub fn build_with_threads_obs(
         db: Vec<Graph>,
         params: TreePiParams,
         threads: usize,
         shard: &obs::Shard,
     ) -> Self {
+        let pool = graph_core::par::Pool::new(threads.max(1));
+        Self::build_with_pool_obs(db, params, &pool, shard)
+    }
+
+    /// [`Self::build_obs`] on a caller-owned worker pool: every stage
+    /// (mining levels, canonical-string passes, shrinking, center
+    /// extraction) dispatches onto `pool`, so one set of worker threads is
+    /// reused across the whole build instead of re-spawning per stage.
+    /// Parallel workers record into [`obs::Shard::fork`]s merged after the
+    /// join, and the miner's merge is canonical (see
+    /// [`mining::mine_frequent_trees_pool_obs`]), so the built index and
+    /// every non-`engine.*`/non-`pool.*` counter are identical to the
+    /// sequential build for any pool size.
+    pub fn build_with_pool_obs(
+        db: Vec<Graph>,
+        params: TreePiParams,
+        pool: &graph_core::par::Pool,
+        shard: &obs::Shard,
+    ) -> Self {
         let t0 = std::time::Instant::now();
         let mine_span = shard.span("build.mine");
-        let (mined, mstats) = mining::mine_frequent_trees_threads_obs(
-            &db,
-            &params.sigma,
-            &params.limits,
-            threads,
-            shard,
-        );
+        let (mined, mstats) =
+            mining::mine_frequent_trees_pool_obs(&db, &params.sigma, &params.limits, pool, shard);
         drop(mine_span);
         let mined_count = mined.len();
         let shrink_span = shard.span("build.shrink");
-        let kept = shrink_features_threads(mined, params.gamma, threads);
+        let kept = shrink_features_pool(mined, params.gamma, pool);
         drop(shrink_span);
         shard.add("build.mined", mined_count as u64);
         shard.add("build.features_kept", kept.len() as u64);
@@ -173,7 +185,7 @@ impl TreePiIndex {
         // pass.
         let t1 = std::time::Instant::now();
         let centers_span = shard.span("build.centers");
-        let threads = threads.max(1).min(kept.len().max(1));
+        let threads = pool.parallelism().max(1).min(kept.len().max(1));
         let extracted: Vec<Option<(Feature, CenterTable)>> = if threads == 1 {
             kept.into_iter()
                 .map(|m| extract_feature(&db, m, shard))
@@ -182,7 +194,7 @@ impl TreePiIndex {
             let db_ref = &db;
             let kept_ref = &kept;
             let next = std::sync::atomic::AtomicUsize::new(0);
-            let outs = graph_core::par::fork_join_obs(threads, shard, |_rank, wshard| {
+            let outs = pool.fork_join_obs(threads, shard, |_rank, wshard| {
                 let _wall = wshard.span("engine.centers.worker_wall");
                 let mut out: Vec<(usize, Option<(Feature, CenterTable)>)> = Vec::new();
                 loop {

@@ -40,12 +40,13 @@ pub mod partition;
 pub mod persist;
 pub mod prune;
 pub mod query;
+pub mod scoped_ref;
 pub mod trie;
 pub mod verify;
 pub mod workload;
 
 pub use directed::DirectedTreePiIndex;
-pub use engine::{query_rng, resolve_threads};
+pub use engine::{query_rng, resolve_threads, Engine};
 pub use filter::enumerate_query_features;
 pub use index::{BuildStats, Feature, IndexMemory, TreePiIndex};
 pub use params::{Delta, TreePiParams};

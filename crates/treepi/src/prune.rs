@@ -176,6 +176,10 @@ pub fn center_prune_threaded(
 /// [`center_prune_threaded`] with metrics: each worker records into a
 /// [`obs::Shard::fork`] of `shard`, merged back after the join, so counter
 /// totals are identical to the sequential run for any `threads`.
+///
+/// This is the *scoped reference* implementation (spawn per stage); the
+/// serving path dispatches through [`center_prune_pool_obs`] instead. The
+/// two share chunking and merge order, so their outputs are identical.
 pub fn center_prune_threaded_obs(
     index: &TreePiIndex,
     pq: &[u32],
@@ -189,12 +193,12 @@ pub fn center_prune_threaded_obs(
         return center_prune_obs(index, pq, parts, dq, shard);
     }
     let chunk_size = pq.len().div_ceil(threads);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = pq
             .chunks(chunk_size)
             .map(|chunk| {
                 let worker = shard.fork();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let kept = center_prune_obs(index, chunk, parts, dq, &worker);
                     (kept, worker)
                 })
@@ -208,7 +212,35 @@ pub fn center_prune_threaded_obs(
         }
         out
     })
-    .expect("prune scope")
+}
+
+/// [`center_prune_threaded_obs`] dispatched on a persistent
+/// [`graph_core::par::Pool`] instead of freshly spawned scoped threads:
+/// the candidate set is chunked contiguously into up to `threads` pool
+/// seats (`Pool::fork_join_obs`, shard forks merged in rank order), so the
+/// output and every merged counter are bit-identical to the scoped and
+/// serial paths.
+pub fn center_prune_pool_obs(
+    index: &TreePiIndex,
+    pq: &[u32],
+    parts: &[Part],
+    dq: &[Vec<u32>],
+    pool: &graph_core::par::Pool,
+    threads: usize,
+    shard: &obs::Shard,
+) -> Vec<u32> {
+    let threads = threads.clamp(1, pq.len().max(1));
+    if threads == 1 {
+        return center_prune_obs(index, pq, parts, dq, shard);
+    }
+    let chunk_size = pq.len().div_ceil(threads);
+    let chunks: Vec<&[u32]> = pq.chunks(chunk_size).collect();
+    pool.fork_join_obs(chunks.len(), shard, |rank, worker| {
+        center_prune_obs(index, chunks[rank], parts, dq, worker)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]

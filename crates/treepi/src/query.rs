@@ -5,16 +5,36 @@
 use crate::filter::filter;
 use crate::index::TreePiIndex;
 use crate::partition::{partition_runs_with, PartitionRuns};
-use crate::prune::{center_prune_threaded_obs, query_center_distances};
-use crate::verify::verify_all_threaded_obs;
+use crate::prune::{center_prune_pool_obs, center_prune_threaded_obs, query_center_distances};
+use crate::verify::{verify_all_pool_obs, verify_all_threaded_obs};
+use graph_core::par::Pool;
 use graph_core::Graph;
 use rand::Rng;
 use std::time::{Duration, Instant};
 
 /// Minimum candidate-set size before a query's prune/verify stages are
 /// split across workers. Below this, per-candidate work is too small to
-/// amortize thread spawn/join; see DESIGN.md ("Parallel query engine").
+/// amortize the dispatch; see DESIGN.md ("Parallel query engine").
 pub const INTRA_PAR_THRESHOLD: usize = 64;
+
+/// How a query's intra-stage parallelism is dispatched. Both variants carry
+/// a worker budget and produce bit-identical results; only the execution
+/// substrate differs.
+pub(crate) enum Par<'p> {
+    /// Spawn scoped threads per stage (the legacy reference path).
+    Scoped(usize),
+    /// Dispatch stage chunks as seats on a persistent [`Pool`] — possibly
+    /// re-entrantly, when the query itself runs on a pool seat.
+    Pool(&'p Pool, usize),
+}
+
+impl Par<'_> {
+    fn budget(&self) -> usize {
+        match *self {
+            Par::Scoped(n) | Par::Pool(_, n) => n.max(1),
+        }
+    }
+}
 
 /// How the filter set `SF_q` is assembled.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -181,7 +201,28 @@ impl TreePiIndex {
         threads: usize,
         shard: &obs::Shard,
     ) -> QueryResult {
-        let r = self.query_impl(q, opts, rng, threads, shard);
+        let r = self.query_impl(q, opts, rng, Par::Scoped(threads), shard);
+        r.stats.record_into(shard);
+        r.stats.trace_into(shard, std::time::Instant::now());
+        r
+    }
+
+    /// [`Self::query_with_threads_obs`] with intra-query stages dispatched
+    /// on a persistent [`Pool`] (up to `intra` seats per stage) instead of
+    /// freshly spawned scoped threads. Safe to call from inside a pool seat
+    /// — the batch engine does exactly that — because [`Pool::run`] lets the
+    /// dispatcher claim its own job's seats. Results are bit-identical to
+    /// the scoped and serial paths at any `intra`/pool size.
+    pub fn query_with_pool_obs<R: Rng>(
+        &self,
+        q: &Graph,
+        opts: QueryOptions,
+        rng: &mut R,
+        pool: &Pool,
+        intra: usize,
+        shard: &obs::Shard,
+    ) -> QueryResult {
+        let r = self.query_impl(q, opts, rng, Par::Pool(pool, intra), shard);
         r.stats.record_into(shard);
         r.stats.trace_into(shard, std::time::Instant::now());
         r
@@ -192,7 +233,7 @@ impl TreePiIndex {
         q: &Graph,
         opts: QueryOptions,
         rng: &mut R,
-        threads: usize,
+        par: Par<'_>,
         shard: &obs::Shard,
     ) -> QueryResult {
         assert!(q.edge_count() > 0, "queries must have at least one edge");
@@ -271,10 +312,10 @@ impl TreePiIndex {
         stats.filtered = pq.len();
 
         // Intra-query parallelism only pays off on large candidate sets.
-        let threads = threads.max(1);
+        let budget = par.budget();
         let stage_threads = |candidates: usize| {
             if candidates >= INTRA_PAR_THRESHOLD {
-                threads
+                budget
             } else {
                 1
             }
@@ -284,7 +325,25 @@ impl TreePiIndex {
         let t = Instant::now();
         let dq = query_center_distances(q, &parts);
         let pruned = if opts.use_cdc {
-            center_prune_threaded_obs(self, &pq, &parts, &dq, stage_threads(pq.len()), shard)
+            match par {
+                Par::Scoped(_) => center_prune_threaded_obs(
+                    self,
+                    &pq,
+                    &parts,
+                    &dq,
+                    stage_threads(pq.len()),
+                    shard,
+                ),
+                Par::Pool(pool, _) => center_prune_pool_obs(
+                    self,
+                    &pq,
+                    &parts,
+                    &dq,
+                    pool,
+                    stage_threads(pq.len()),
+                    shard,
+                ),
+            }
         } else {
             pq
         };
@@ -294,15 +353,27 @@ impl TreePiIndex {
         // ---- Verify (Algorithm 3) ----
         let t = Instant::now();
         let matches = if opts.use_reconstruction {
-            verify_all_threaded_obs(
-                self,
-                q,
-                &pruned,
-                &parts,
-                &dq,
-                stage_threads(pruned.len()),
-                shard,
-            )
+            match par {
+                Par::Scoped(_) => verify_all_threaded_obs(
+                    self,
+                    q,
+                    &pruned,
+                    &parts,
+                    &dq,
+                    stage_threads(pruned.len()),
+                    shard,
+                ),
+                Par::Pool(pool, _) => verify_all_pool_obs(
+                    self,
+                    q,
+                    &pruned,
+                    &parts,
+                    &dq,
+                    pool,
+                    stage_threads(pruned.len()),
+                    shard,
+                ),
+            }
         } else {
             pruned
                 .into_iter()

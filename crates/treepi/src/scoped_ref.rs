@@ -1,0 +1,129 @@
+//! Scoped-thread reference implementation of the batch engine.
+//!
+//! This is the pre-pool serving path — one `std::thread::scope` spawn per
+//! batch, scoped spawns per intra-query stage — kept as the equivalence
+//! baseline: `tests/pool_prop.rs` pins [`crate::Engine`] output against
+//! [`query_batch_scoped_obs`] property-by-property, and
+//! `bench/query_parallel` reports a pooled-vs-scoped series. It shares the
+//! per-query RNG derivation, the atomic-cursor scheduling, and the chunked
+//! stage discipline with the pool path, so the two are bit-identical; only
+//! the thread lifecycle differs (spawn/join per batch here, persistent
+//! parked workers there).
+
+use crate::engine::{query_rng, resolve_threads};
+use crate::index::TreePiIndex;
+use crate::query::{QueryOptions, QueryResult};
+use crate::workload::{summarize, WorkloadSummary};
+use graph_core::Graph;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// [`TreePiIndex::query_batch_obs`] semantics on freshly spawned scoped
+/// threads (spawn/join per batch) instead of a persistent pool.
+pub fn query_batch_scoped_obs(
+    index: &TreePiIndex,
+    queries: &[Graph],
+    opts: QueryOptions,
+    threads: usize,
+    seed: u64,
+    registry: &obs::Registry,
+) -> (Vec<QueryResult>, WorkloadSummary) {
+    let threads = resolve_threads(threads);
+    let intra = if queries.is_empty() || queries.len() >= threads {
+        1
+    } else {
+        threads / queries.len()
+    };
+    let results: Vec<QueryResult> = if threads == 1 || queries.len() <= 1 {
+        let shard = registry.shard();
+        let results = {
+            let _wall = shard.span("engine.worker_wall");
+            let results: Vec<QueryResult> = queries
+                .iter()
+                .enumerate()
+                .map(|(i, q)| {
+                    shard.set_trace_query(Some(i as u64));
+                    let _busy = shard.span("engine.worker_busy");
+                    index.query_with_threads_obs(q, opts, &mut query_rng(seed, i), threads, &shard)
+                })
+                .collect();
+            shard.set_trace_query(None);
+            results
+        };
+        shard.add("engine.workers", 1);
+        shard.add("engine.queries", queries.len() as u64);
+        registry.absorb(shard);
+        results
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<QueryResult>>> =
+            queries.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            let workers = threads.min(queries.len());
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let slots = &slots;
+                    let shard = registry.shard();
+                    s.spawn(move || {
+                        let mut served = 0u64;
+                        {
+                            let _wall = shard.span("engine.worker_wall");
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= queries.len() {
+                                    break;
+                                }
+                                let r = {
+                                    shard.set_trace_query(Some(i as u64));
+                                    let _busy = shard.span("engine.worker_busy");
+                                    index.query_with_threads_obs(
+                                        &queries[i],
+                                        opts,
+                                        &mut query_rng(seed, i),
+                                        intra,
+                                        &shard,
+                                    )
+                                };
+                                served += 1;
+                                *slots[i].lock().expect("slot") = Some(r);
+                            }
+                            shard.set_trace_query(None);
+                        }
+                        shard.add("engine.workers", 1);
+                        shard.add("engine.queries", served);
+                        shard
+                    })
+                })
+                .collect();
+            for h in handles {
+                registry.absorb(h.join().expect("batch worker panicked"));
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("slot").expect("every query ran"))
+            .collect()
+    };
+    let stats: Vec<_> = results.iter().map(|r| r.stats).collect();
+    let summary = summarize(&stats);
+    (results, summary)
+}
+
+/// [`query_batch_scoped_obs`] without metrics.
+pub fn query_batch_scoped(
+    index: &TreePiIndex,
+    queries: &[Graph],
+    opts: QueryOptions,
+    threads: usize,
+    seed: u64,
+) -> (Vec<QueryResult>, WorkloadSummary) {
+    query_batch_scoped_obs(
+        index,
+        queries,
+        opts,
+        threads,
+        seed,
+        &obs::Registry::disabled(),
+    )
+}

@@ -33,13 +33,23 @@ struct JoinState<'g> {
     used: Vec<bool>,
     assigned_centers: Vec<(usize, CenterPos)>,
     oracle: DistanceOracle<'g>,
+    /// Scratch for CRF signature assembly, reused across every enumerated
+    /// embedding instead of allocating two fresh `Vec`s per candidate.
+    sig: Vec<u32>,
+    interior: Vec<u32>,
 }
 
-/// Signature of an embedding for CRF deduplication: boundary images in
-/// vertex order, separator, then the sorted interior image set.
-fn signature(emb: &[VertexId], boundary: &[bool]) -> Vec<u32> {
-    let mut sig: Vec<u32> = Vec::with_capacity(emb.len() + 1);
-    let mut interior: Vec<u32> = Vec::new();
+/// Fill `sig` with the embedding's CRF-deduplication signature: boundary
+/// images in vertex order, separator, then the sorted interior image set.
+/// `interior` is scratch; both buffers are cleared first.
+fn signature_into(
+    emb: &[VertexId],
+    boundary: &[bool],
+    sig: &mut Vec<u32>,
+    interior: &mut Vec<u32>,
+) {
+    sig.clear();
+    interior.clear();
     for (i, &gv) in emb.iter().enumerate() {
         if boundary[i] {
             sig.push(gv.0);
@@ -49,7 +59,13 @@ fn signature(emb: &[VertexId], boundary: &[bool]) -> Vec<u32> {
     }
     sig.push(u32::MAX);
     interior.sort_unstable();
-    sig.extend(interior);
+    sig.extend(interior.iter().copied());
+}
+
+#[cfg(test)]
+fn signature(emb: &[VertexId], boundary: &[bool]) -> Vec<u32> {
+    let (mut sig, mut interior) = (Vec::new(), Vec::new());
+    signature_into(emb, boundary, &mut sig, &mut interior);
     sig
 }
 
@@ -121,9 +137,14 @@ fn search(
                     return ControlFlow::Continue(());
                 }
             }
-            if !seen.insert(signature(emb, &boundaries[pi])) {
+            // CRF dedup: build the signature in the state's scratch (used
+            // and copied out before the recursion below can clobber it); a
+            // heap allocation is paid only for distinct signatures.
+            signature_into(emb, &boundaries[pi], &mut st.sig, &mut st.interior);
+            if seen.contains(st.sig.as_slice()) {
                 return ControlFlow::Continue(());
             }
+            seen.insert(st.sig.clone());
             // Apply, recurse, undo.
             let mut newly: smallvec::SmallVec<[VertexId; 12]> = smallvec::SmallVec::new();
             for (i, &gv) in emb.iter().enumerate() {
@@ -252,6 +273,8 @@ pub(crate) fn verify_with_boundaries_obs(
         used: vec![false; g.vertex_count()],
         assigned_centers: Vec::with_capacity(parts.len()),
         oracle: DistanceOracle::new(g),
+        sig: Vec::with_capacity(q.vertex_count() + 1),
+        interior: Vec::new(),
     };
     let ok = search(
         index, g, gid, parts, dq, &order, boundaries, matchers, &mut st, 0,
@@ -299,6 +322,10 @@ pub fn verify_all_threaded(
 /// candidate and the reconstruction oracle's `graph.bfs` runs. Parallel
 /// workers record into [`obs::Shard::fork`]s merged after the join, so the
 /// totals match the sequential run for any `threads`.
+///
+/// This is the *scoped reference* implementation (spawn per stage); the
+/// serving path dispatches through [`verify_all_pool_obs`] instead. The
+/// two share chunking and merge order, so their outputs are identical.
 pub fn verify_all_threaded_obs(
     index: &TreePiIndex,
     q: &Graph,
@@ -324,14 +351,14 @@ pub fn verify_all_threaded_obs(
             .collect();
     }
     let chunk_size = pruned.len().div_ceil(threads);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = pruned
             .chunks(chunk_size)
             .map(|chunk| {
                 let boundaries = &boundaries;
                 let matchers = &matchers;
                 let worker = shard.fork();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let kept = chunk
                         .iter()
                         .copied()
@@ -353,7 +380,54 @@ pub fn verify_all_threaded_obs(
         }
         out
     })
-    .expect("verify scope")
+}
+
+/// [`verify_all_threaded_obs`] dispatched on a persistent
+/// [`graph_core::par::Pool`]: boundary flags and centered matchers are
+/// computed once and shared read-only, candidates are chunked contiguously
+/// into up to `threads` pool seats, and chunk results concatenate in rank
+/// order — output and merged counters are bit-identical to the scoped and
+/// serial paths.
+#[allow(clippy::too_many_arguments)]
+pub fn verify_all_pool_obs(
+    index: &TreePiIndex,
+    q: &Graph,
+    pruned: &[u32],
+    parts: &[Part],
+    dq: &[Vec<u32>],
+    pool: &graph_core::par::Pool,
+    threads: usize,
+    shard: &obs::Shard,
+) -> Vec<u32> {
+    let boundaries = part_boundaries(q, parts);
+    let matchers: Vec<CenteredMatcher<'_>> = parts
+        .iter()
+        .map(|p| CenteredMatcher::new(&p.tree))
+        .collect();
+    let threads = threads.clamp(1, pruned.len().max(1));
+    if threads == 1 {
+        return pruned
+            .iter()
+            .copied()
+            .filter(|&gid| {
+                verify_with_boundaries_obs(index, q, gid, parts, dq, &boundaries, &matchers, shard)
+            })
+            .collect();
+    }
+    let chunk_size = pruned.len().div_ceil(threads);
+    let chunks: Vec<&[u32]> = pruned.chunks(chunk_size).collect();
+    pool.fork_join_obs(chunks.len(), shard, |rank, worker| {
+        chunks[rank]
+            .iter()
+            .copied()
+            .filter(|&gid| {
+                verify_with_boundaries_obs(index, q, gid, parts, dq, &boundaries, &matchers, worker)
+            })
+            .collect::<Vec<u32>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Brute-force oracle: scan the whole database with VF2 (what a system

@@ -1,12 +1,14 @@
 //! Property tests for the metrics layer: on arbitrary databases and query
 //! batches, the `obs` funnel counters must reconcile **exactly** with the
 //! per-query `QueryStats` the engine returns, and every counter outside the
-//! `engine.*` namespace must be bit-identical at 1, 2, and 8 threads.
+//! `engine.*` / `pool.*` namespaces must be bit-identical at 1, 2, and 8
+//! threads.
 //!
 //! These are the two invariants the whole observability design rests on:
 //! shard-per-thread recording loses nothing (counters are integers merged
 //! commutatively), and instrumentation never observes the execution shape
-//! it is not supposed to (scheduling shows up only under `engine.*`).
+//! it is not supposed to (scheduling shows up only under `engine.*` and
+//! `pool.*`).
 
 use graph_core::{ELabel, Graph, GraphBuilder, VLabel, VertexId};
 use proptest::prelude::*;
@@ -134,9 +136,11 @@ proptest! {
         prop_assert!(base.counter("mine.level1.candidates") > 0);
 
         let base_det = base.deterministic_counters();
+        // `pool.*` spans (worker busy/park histograms flushed from the
+        // worker pool) describe execution shape just like `engine.*`.
         let span_counts = |m: &obs::MetricSet| -> Vec<(String, u64)> {
             m.spans()
-                .filter(|(k, _)| !k.starts_with("engine."))
+                .filter(|(k, _)| !k.starts_with("engine.") && !k.starts_with("pool."))
                 .map(|(k, v)| (k.to_string(), v.count))
                 .collect()
         };

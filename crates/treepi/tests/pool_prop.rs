@@ -1,0 +1,185 @@
+//! Pool-equivalence property tests: the persistent worker pool must be
+//! invisible in every output. On arbitrary databases and query batches, a
+//! long-lived [`treepi::Engine`] must return bit-identical results and
+//! deterministic funnel counters at 1, 2, and 8 pool workers **and**
+//! against the retired scoped-thread implementation preserved in
+//! [`treepi::scoped_ref`]; index builds dispatched onto a pool must
+//! serialize to the same bytes at any pool size. A deterministic
+//! re-entrancy test drives the nested-dispatch path (a pool-run query
+//! fanning its prune/verify stages back into the same pool) that the
+//! random cases rarely reach.
+
+use graph_core::par::Pool;
+use graph_core::{graph_from, ELabel, Graph, GraphBuilder, VLabel, VertexId};
+use proptest::prelude::*;
+use treepi::{Engine, QueryOptions, TreePiIndex, TreePiParams, INTRA_PAR_THRESHOLD};
+
+/// A random connected labeled graph: random tree plus a few extra edges.
+fn arb_connected_graph(nmax: usize) -> impl Strategy<Value = Graph> {
+    (2..=nmax).prop_flat_map(move |n| {
+        let vlabels = proptest::collection::vec(0u32..3, n);
+        let parents = proptest::collection::vec((0usize..nmax, 0u32..2), n - 1);
+        let extras = proptest::collection::vec((0usize..nmax, 0usize..nmax, 0u32..2), 0..3);
+        (vlabels, parents, extras).prop_map(move |(vl, ps, ex)| {
+            let mut b = GraphBuilder::new();
+            for l in &vl {
+                b.add_vertex(VLabel(*l));
+            }
+            for (i, (p, el)) in ps.iter().enumerate() {
+                b.add_edge(
+                    VertexId((i + 1) as u32),
+                    VertexId((p % (i + 1)) as u32),
+                    ELabel(*el),
+                )
+                .expect("tree edge");
+            }
+            for (u, v, el) in ex {
+                let (u, v) = (VertexId((u % n) as u32), VertexId((v % n) as u32));
+                if u != v && !b.has_edge(u, v) {
+                    let _ = b.add_edge(u, v, ELabel(el));
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+fn arb_db(graphs: usize, nmax: usize) -> impl Strategy<Value = Vec<Graph>> {
+    proptest::collection::vec(arb_connected_graph(nmax), 1..=graphs)
+}
+
+fn save_bytes(idx: &TreePiIndex) -> Vec<u8> {
+    let mut out = Vec::new();
+    idx.save(&mut out).expect("in-memory save");
+    out
+}
+
+fn run_engine(
+    engine: &Engine,
+    queries: &[Graph],
+    seed: u64,
+) -> (Vec<treepi::QueryResult>, obs::MetricSet) {
+    let registry = obs::Registry::new();
+    let (results, _) = engine.query_batch_obs(queries, QueryOptions::default(), seed, &registry);
+    (results, registry.drain())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Engine batches return identical matches, stats, and deterministic
+    /// counters at 1, 2, and 8 pool workers, and match the scoped-thread
+    /// reference implementation exactly.
+    #[test]
+    fn engine_is_pool_size_invariant_and_matches_scoped(
+        db in arb_db(8, 7),
+        queries in proptest::collection::vec(arb_connected_graph(5), 1..=6),
+        seed in any::<u64>(),
+    ) {
+        let idx = TreePiIndex::build(db, TreePiParams::quick());
+
+        // Scoped reference (the pre-pool implementation, kept for exactly
+        // this comparison).
+        let scoped_registry = obs::Registry::new();
+        let (scoped, _) = treepi::scoped_ref::query_batch_scoped_obs(
+            &idx,
+            &queries,
+            QueryOptions::default(),
+            1,
+            seed,
+            &scoped_registry,
+        );
+        let scoped_det = scoped_registry.drain().deterministic_counters();
+
+        let mut engine = Engine::new(idx, 1);
+        let (base, base_metrics) = run_engine(&engine, &queries, seed);
+        for (a, b) in scoped.iter().zip(&base) {
+            prop_assert_eq!(&a.matches, &b.matches);
+            prop_assert_eq!(a.stats.filtered, b.stats.filtered);
+            prop_assert_eq!(a.stats.pruned, b.stats.pruned);
+            prop_assert_eq!(a.stats.answers, b.stats.answers);
+            prop_assert_eq!(a.stats.partition_size, b.stats.partition_size);
+        }
+        let base_det = base_metrics.deterministic_counters();
+        if obs::COMPILED_IN {
+            prop_assert_eq!(&base_det, &scoped_det);
+        }
+
+        for workers in [2usize, 8] {
+            engine = Engine::new(engine.into_index(), workers);
+            let (results, metrics) = run_engine(&engine, &queries, seed);
+            for (a, b) in base.iter().zip(&results) {
+                prop_assert_eq!(&a.matches, &b.matches);
+                prop_assert_eq!(a.stats.filtered, b.stats.filtered);
+                prop_assert_eq!(a.stats.pruned, b.stats.pruned);
+            }
+            prop_assert_eq!(
+                &metrics.deterministic_counters(),
+                &base_det,
+                "workers={}",
+                workers
+            );
+        }
+    }
+
+    /// Builds dispatched onto an explicit pool serialize to identical bytes
+    /// at 1, 2, and 8 workers (and match the thread-count entry point).
+    #[test]
+    fn pooled_build_is_pool_size_invariant(db in arb_db(10, 8)) {
+        let base = TreePiIndex::build_with_threads(db.clone(), TreePiParams::quick(), 1);
+        let base_bytes = save_bytes(&base);
+        for workers in [1usize, 2, 8] {
+            let pool = Pool::new(workers);
+            let idx = TreePiIndex::build_with_pool_obs(
+                db.clone(),
+                TreePiParams::quick(),
+                &pool,
+                &obs::Shard::disabled(),
+            );
+            prop_assert_eq!(
+                &save_bytes(&idx),
+                &base_bytes,
+                "serialized index differs at pool workers={}",
+                workers
+            );
+        }
+    }
+}
+
+/// One database where a 3-cycle query has well over [`INTRA_PAR_THRESHOLD`]
+/// candidates, batched twice on an 8-worker engine: the batch fans out over
+/// pool seats AND each query's prune/verify stages dispatch back into the
+/// same pool from inside a seat (re-entrant nesting). Must complete (no
+/// deadlock) and agree with a 1-worker engine.
+#[test]
+fn reentrant_stage_dispatch_is_deterministic() {
+    let mut db = Vec::new();
+    for i in 0..(INTRA_PAR_THRESHOLD + 8) {
+        // Triangle plus a tail; the tail label varies so the db is not all
+        // one graph.
+        let tail = (i % 3) as u32;
+        db.push(graph_from(
+            &[0, 0, 0, tail],
+            &[(0, 1, 0), (1, 2, 0), (2, 0, 0), (2, 3, 1)],
+        ));
+    }
+    let triangle = graph_from(&[0, 0, 0], &[(0, 1, 0), (1, 2, 0), (2, 0, 0)]);
+    let queries = vec![triangle.clone(), triangle];
+    let idx = TreePiIndex::build(db, TreePiParams::quick());
+
+    let serial = Engine::new(idx, 1);
+    let (base, _) = serial.query_batch(&queries, QueryOptions::default(), 7);
+    // Sanity: the filter stage really produces an intra-parallel workload.
+    assert!(base[0].stats.filtered >= INTRA_PAR_THRESHOLD);
+    assert_eq!(base[0].stats.answers, INTRA_PAR_THRESHOLD + 8);
+
+    let engine = Engine::new(serial.into_index(), 8);
+    for round in 0..3 {
+        let (results, _) = engine.query_batch(&queries, QueryOptions::default(), 7);
+        for (a, b) in base.iter().zip(&results) {
+            assert_eq!(a.matches, b.matches, "round {round}");
+            assert_eq!(a.stats.filtered, b.stats.filtered);
+            assert_eq!(a.stats.pruned, b.stats.pruned);
+        }
+    }
+}
