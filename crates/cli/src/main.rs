@@ -9,6 +9,10 @@
 //! treepi dbstats <db.gspan>
 //! treepi gen    <out.gspan> --chem N | --synthetic N L
 //! treepi scan   <db.gspan> <queries.gspan> [--threads N]   (index-free baseline)
+//! treepi serve  <index.tpi> [--addr HOST:PORT] [--threads N] [--batch-window-us U] [--max-batch N]
+//!               [--queue-cap N] [--cache-cap N] [--max-requests N] [--seed N] [--metrics out.json]
+//! treepi loadgen <addr> <queries.gspan> [--connections N] [--requests N] [--rate R] [--zipf S]
+//!               [--seed N] [--shutdown] [--metrics out.json]
 //! ```
 //!
 //! `--metrics out.json` enables the `obs` registry for the run and writes
@@ -53,7 +57,9 @@ fn usage() -> ExitCode {
          treepi stats  <index.tpi>\n  \
          treepi dbstats <db.gspan>\n  \
          treepi gen    <out.gspan> (--chem N | --synthetic N L) [--seed N]\n  \
-         treepi scan   <db.gspan> <queries.gspan> [--threads N]"
+         treepi scan   <db.gspan> <queries.gspan> [--threads N]\n  \
+         treepi serve  <index.tpi> [--addr 127.0.0.1:7878] [--threads N] [--batch-window-us 1000] [--max-batch 64] [--queue-cap 1024] [--cache-cap 4096] [--max-requests 0] [--seed N] [--metrics out.json]\n  \
+         treepi loadgen <addr> <queries.gspan> [--connections 4] [--requests 1000] [--rate R] [--zipf 0.0] [--seed N] [--shutdown] [--metrics out.json]"
     );
     ExitCode::from(2)
 }
@@ -325,6 +331,10 @@ fn run() -> Result<(), String> {
             println!("  support sets:    {} KiB", m.supports_bytes / 1024);
             println!("  center tables:   {} KiB", m.centers_bytes / 1024);
             println!("  canon trie:      {} KiB", m.trie_bytes / 1024);
+            println!(
+                "  tombstones:      {} KiB (excluded)",
+                m.tombstones_bytes / 1024
+            );
             let p = index.params();
             println!(
                 "params:            alpha={} beta={} eta={} gamma={}",
@@ -367,6 +377,77 @@ fn run() -> Result<(), String> {
             };
             std::fs::write(out_path, write_graphs(&graphs)).map_err(|e| e.to_string())?;
             eprintln!("wrote {} graphs to {out_path}", graphs.len());
+            Ok(())
+        }
+        "serve" => {
+            let Some(idx_path) = args.get(1) else {
+                return Err("serve needs <index.tpi>".into());
+            };
+            let mut f = std::fs::File::open(idx_path).map_err(|e| e.to_string())?;
+            let index = TreePiIndex::load(&mut f).map_err(|e| e.to_string())?;
+            let addr = flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
+            let threads = parse_flag(&args, "--threads", 0usize)?;
+            let config = serve::ServeConfig {
+                batch_window: std::time::Duration::from_micros(parse_flag(
+                    &args,
+                    "--batch-window-us",
+                    1000u64,
+                )?),
+                max_batch: parse_flag(&args, "--max-batch", 64usize)?,
+                queue_cap: parse_flag(&args, "--queue-cap", 1024usize)?,
+                cache_cap: parse_flag(&args, "--cache-cap", 4096usize)?,
+                max_requests: parse_flag(&args, "--max-requests", 0u64)?,
+                seed: parse_flag(&args, "--seed", 2007u64)?,
+                ..serve::ServeConfig::default()
+            };
+            let metrics_path = flag_value(&args, "--metrics");
+            let registry = metrics_registry(&metrics_path, &None);
+            let mut engine = treepi::Engine::new(index, threads);
+            let server = serve::Server::bind(&addr, config).map_err(|e| format!("{addr}: {e}"))?;
+            eprintln!(
+                "serving {} graphs on {} ({} worker threads)",
+                engine.index().active_count(),
+                server.local_addr().map_err(|e| e.to_string())?,
+                engine.parallelism()
+            );
+            let report = server
+                .run(&mut engine, &registry)
+                .map_err(|e| e.to_string())?;
+            eprintln!("serve done: {report}");
+            if let Some(path) = &metrics_path {
+                engine.index().record_mem_gauges(&registry);
+                obs::alloc::record_gauges(&registry);
+                write_metrics(&registry, path)?;
+            }
+            Ok(())
+        }
+        "loadgen" => {
+            let (Some(addr), Some(q_path)) = (args.get(1), args.get(2)) else {
+                return Err("loadgen needs <addr> <queries.gspan>".into());
+            };
+            let queries = read_graphs_file(q_path)?;
+            let cfg = serve::LoadgenConfig {
+                connections: parse_flag(&args, "--connections", 4usize)?,
+                requests: parse_flag(&args, "--requests", 1000u64)?,
+                rate: flag_value(&args, "--rate")
+                    .map(|v| v.parse().map_err(|_| format!("bad value for --rate: {v}")))
+                    .transpose()?,
+                zipf: parse_flag(&args, "--zipf", 0.0f64)?,
+                seed: parse_flag(&args, "--seed", 42u64)?,
+                shutdown: args.iter().any(|a| a == "--shutdown"),
+                ..serve::LoadgenConfig::default()
+            };
+            let metrics_path = flag_value(&args, "--metrics");
+            let registry = metrics_registry(&metrics_path, &None);
+            let report =
+                serve::loadgen::run(addr, &queries, &cfg, &registry).map_err(|e| e.to_string())?;
+            println!("{report}");
+            if let Some(path) = &metrics_path {
+                write_metrics(&registry, path)?;
+            }
+            if report.ok == 0 {
+                return Err("no successful responses".into());
+            }
             Ok(())
         }
         "scan" => {

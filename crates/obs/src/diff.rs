@@ -194,7 +194,11 @@ impl DiffReport {
 
 /// Whether `(name, kind)` is covered by the gate under `opts`.
 fn gated(name: &str, kind: Kind, opts: &DiffOptions) -> bool {
-    if name.starts_with("engine.") || name.starts_with("pool.") {
+    // Exempt the timing-dependent namespaces, matching
+    // MetricSet::deterministic_counters: execution shape (engine/pool)
+    // and arrival timing (serve/cache/loadgen).
+    const EXEMPT: [&str; 5] = ["engine.", "pool.", "serve.", "cache.", "loadgen."];
+    if EXEMPT.iter().any(|p| name.starts_with(p)) {
         return false;
     }
     match kind {
@@ -396,6 +400,27 @@ mod tests {
         };
         assert!(!diff(&base, &worse, &opts).regressed());
         // Even disappearing engine metrics don't fail.
+        assert!(!diff(&base, &MetricSet::new(), &opts).regressed());
+    }
+
+    #[test]
+    fn serving_namespaces_are_exempt() {
+        // serve./cache./loadgen. depend on arrival timing, like engine.*.
+        let base = set(
+            &[("serve.shed", 0), ("cache.hit", 100), ("loadgen.ok", 50)],
+            &[],
+            &[("serve.request", &[10])],
+        );
+        let worse = set(
+            &[("serve.shed", 999), ("cache.hit", 1), ("loadgen.ok", 1)],
+            &[],
+            &[("serve.request", &[10, 10, 10])],
+        );
+        let opts = DiffOptions {
+            max_regress_pct: 0.0,
+            include_timings: true,
+        };
+        assert!(!diff(&base, &worse, &opts).regressed());
         assert!(!diff(&base, &MetricSet::new(), &opts).regressed());
     }
 

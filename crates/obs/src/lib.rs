@@ -285,12 +285,16 @@ impl MetricSet {
     /// The counters covered by the determinism contract: everything except
     /// the `engine.` and `pool.` namespaces, whose values describe
     /// execution shape (worker counts, scheduling, pool busy/park time)
-    /// and legitimately vary with `--threads`. Totals here must be
-    /// bit-identical at any thread count.
+    /// and legitimately vary with `--threads` — and the `serve.`,
+    /// `cache.`, and `loadgen.` namespaces, whose values depend on
+    /// arrival timing (batch boundaries, cache hits vs. in-flight misses,
+    /// shed decisions). Totals here must be bit-identical at any thread
+    /// count.
     pub fn deterministic_counters(&self) -> BTreeMap<String, u64> {
+        const EXEMPT: [&str; 5] = ["engine.", "pool.", "serve.", "cache.", "loadgen."];
         self.counters
             .iter()
-            .filter(|(k, _)| !k.starts_with("engine.") && !k.starts_with("pool."))
+            .filter(|(k, _)| !EXEMPT.iter().any(|p| k.starts_with(p)))
             .map(|(k, v)| (k.clone(), *v))
             .collect()
     }
@@ -758,6 +762,9 @@ pub mod names {
     pub const GAUGE_INDEX_CENTERS: &str = "mem.index.centers_bytes";
     /// Gauge: heap bytes of the canonical-code trie.
     pub const GAUGE_INDEX_TRIE: &str = "mem.index.trie_bytes";
+    /// Gauge: heap bytes still held by removed (tombstoned) graphs —
+    /// reclaimable by a rebuild, excluded from `mem.index.bytes`.
+    pub const GAUGE_INDEX_TOMBSTONES: &str = "mem.index.tombstones_bytes";
 
     /// Gauge: total estimated heap bytes of the gIndex baseline.
     pub const GAUGE_GINDEX_TOTAL: &str = "mem.gindex.bytes";
@@ -765,6 +772,56 @@ pub mod names {
     pub const GAUGE_GINDEX_FRAGMENTS: &str = "mem.gindex.fragments_bytes";
     /// Gauge: heap bytes of the gIndex code→fragment lookup map.
     pub const GAUGE_GINDEX_LOOKUP: &str = "mem.gindex.lookup_bytes";
+
+    // The serving front end (`serve.*` / `cache.*`) and the load
+    // generator (`loadgen.*`). All three namespaces depend on arrival
+    // timing and are exempt from the determinism contract and the
+    // metrics-diff gate, like `engine.*` / `pool.*`.
+
+    /// Counter: request frames decoded by the server.
+    pub const SERVE_REQUESTS: &str = "serve.requests";
+    /// Counter: query requests (cache hits, queued, and shed included).
+    pub const SERVE_QUERIES: &str = "serve.queries";
+    /// Counter: queries refused with a Busy response (admission queue
+    /// full — the backpressure path).
+    pub const SERVE_SHED: &str = "serve.shed";
+    /// Counter: micro-batches dispatched to the engine.
+    pub const SERVE_BATCHES: &str = "serve.batches";
+    /// Counter: queries executed inside micro-batches.
+    pub const SERVE_BATCHED: &str = "serve.batched_queries";
+    /// Counter: maintenance operations (insert/remove) applied.
+    pub const SERVE_MAINTENANCE: &str = "serve.maintenance";
+    /// Counter: malformed frames / protocol errors answered with `E`.
+    pub const SERVE_ERRORS: &str = "serve.errors";
+    /// Span: admission-to-response latency of one served query.
+    pub const SPAN_SERVE_REQUEST: &str = "serve.request";
+    /// Span: wall time of one engine micro-batch execution.
+    pub const SPAN_SERVE_BATCH: &str = "serve.batch_exec";
+    /// Gauge: peak depth the admission queue ever reached (≤ queue cap —
+    /// the bounded-memory witness).
+    pub const GAUGE_SERVE_QUEUE_PEAK: &str = "serve.queue_peak";
+
+    /// Counter: result-cache hits (answered without touching the engine).
+    pub const CACHE_HIT: &str = "cache.hit";
+    /// Counter: result-cache misses.
+    pub const CACHE_MISS: &str = "cache.miss";
+    /// Counter: entries evicted by LRU capacity pressure.
+    pub const CACHE_EVICTIONS: &str = "cache.evictions";
+    /// Counter: whole-cache invalidations caused by an epoch bump
+    /// (§7.1 insert/remove maintenance).
+    pub const CACHE_INVALIDATIONS: &str = "cache.invalidations";
+    /// Gauge: resident cache entries at shutdown.
+    pub const GAUGE_CACHE_ENTRIES: &str = "cache.entries";
+
+    /// Span: client-observed request round-trip latency in the load
+    /// generator (p50/p95/p99 come from this histogram).
+    pub const SPAN_LOADGEN_REQUEST: &str = "loadgen.request";
+    /// Counter: loadgen requests answered with matches.
+    pub const LOADGEN_OK: &str = "loadgen.ok";
+    /// Counter: loadgen requests answered with Busy (shed by the server).
+    pub const LOADGEN_BUSY: &str = "loadgen.busy";
+    /// Counter: loadgen transport/protocol errors.
+    pub const LOADGEN_ERRORS: &str = "loadgen.errors";
 }
 
 #[cfg(test)]
@@ -879,6 +936,9 @@ mod tests {
         m.add("engine.workers", 4);
         m.add("pool.tasks", 9);
         m.add("pool.worker_busy_ns", 1234);
+        m.add("serve.shed", 3);
+        m.add("cache.hit", 8);
+        m.add("loadgen.ok", 5);
         m.add("graph.bfs", 2);
         let det = m.deterministic_counters();
         assert_eq!(det.len(), 2);
@@ -886,6 +946,9 @@ mod tests {
         assert!(det.contains_key("graph.bfs"));
         assert!(!det.contains_key("engine.workers"));
         assert!(!det.contains_key("pool.tasks"));
+        assert!(!det.contains_key("serve.shed"));
+        assert!(!det.contains_key("cache.hit"));
+        assert!(!det.contains_key("loadgen.ok"));
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! Online serving front end for the TreePi engine.
+//!
+//! This crate turns the batch-oriented [`treepi::Engine`] into a
+//! long-running network service (DESIGN.md, "Online serving"):
+//!
+//! - [`protocol`] — the length-prefixed wire format: tagged query /
+//!   insert / remove / shutdown requests, graphs in gSpan text form.
+//! - [`cache`] — an LRU result cache keyed on the query's canonical
+//!   code, invalidated wholesale whenever the index's maintenance epoch
+//!   moves (§7.1 insert/remove), so a cached answer can never outlive
+//!   the database state it was computed against.
+//! - [`server`] — a single-threaded event loop (vendored `minipoll`,
+//!   level-triggered epoll) that admits queries into a **bounded** queue,
+//!   groups them into micro-batches under a latency budget, and runs each
+//!   batch on the engine's persistent worker pool. When the queue is
+//!   full, requests are refused with an explicit Busy response — the
+//!   server never buffers unboundedly.
+//! - [`client`] / [`loadgen`] — a blocking client and an open/closed-loop
+//!   load generator with a Zipf skew knob, reporting p50/p95/p99 from the
+//!   obs histograms.
+//!
+//! Metrics live in the `serve.*` / `cache.*` / `loadgen.*` namespaces,
+//! which are exempt from the determinism contract and the metrics-diff
+//! gate (like `engine.*` / `pool.*`): their values depend on arrival
+//! timing, not on the algorithm.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use cache::QueryCache;
+pub use client::Client;
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use protocol::{Request, RequestBody, Response, ResponseBody};
+pub use server::{ServeConfig, ServeReport, Server};

@@ -1,0 +1,630 @@
+//! The serving event loop: micro-batching, backpressure, cache.
+//!
+//! One thread owns every socket (accepted connections are registered
+//! with the vendored level-triggered `minipoll` selector) while the
+//! engine's persistent worker pool provides the parallelism that
+//! matters — executing micro-batches. The loop:
+//!
+//! 1. **Admission.** Each decoded query is answered from the result
+//!    cache when possible; otherwise it enters a **bounded** queue. A
+//!    full queue means an immediate `Busy` response (`serve.shed`) —
+//!    overload degrades into explicit sheds, never into unbounded
+//!    buffering. Per-connection read/write buffers are capped too, so
+//!    total memory is `O(max_conns · buffer caps + queue_cap · query)`.
+//! 2. **Micro-batching.** Queued queries are dispatched to
+//!    [`treepi::Engine::query_batch_obs`] as soon as the batch fills
+//!    ([`ServeConfig::max_batch`]) or the oldest entry has waited
+//!    [`ServeConfig::batch_window`] — the latency budget a query may be
+//!    held in exchange for batching efficiency. The poll timeout is the
+//!    oldest entry's remaining budget, so a sleepy server still honors
+//!    the window.
+//! 3. **Maintenance.** Insert/remove requests apply immediately via the
+//!    engine's epoch-bumping API; the cache compares epochs and drops
+//!    its entries, so no answer computed against the old database can
+//!    be served afterwards. Queued queries always observe the database
+//!    state at *execution* time.
+//!
+//! Determinism caveat: which queries share a batch depends on arrival
+//! timing, so `serve.*` / `cache.*` metrics (and batch seeds) are
+//! timing-dependent — exempted namespaces. The *answers* are not:
+//! every query is answered against the current database regardless of
+//! batch shape.
+
+use crate::cache::QueryCache;
+use crate::protocol::{self, Request, RequestBody, Response, ResponseBody, MAX_FRAME};
+use graph_core::{canonical_code, CanonCode, Graph};
+use minipoll::{Events, Interest, Poll, Token};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+use treepi::{Engine, QueryOptions};
+
+const LISTENER: Token = Token(0);
+/// Stop draining a connection after this many bytes per readable event;
+/// level triggering re-notifies, and the cap keeps one firehose client
+/// from growing `rbuf` without bound inside a single event.
+const READ_QUANTUM: usize = 256 << 10;
+/// A connection whose client stops reading is dropped once this many
+/// unsent response bytes pile up.
+const WBUF_CAP: usize = 8 << 20;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Latency budget a queued query may wait for its batch to fill.
+    pub batch_window: Duration,
+    /// Maximum queries per engine micro-batch.
+    pub max_batch: usize,
+    /// Admission queue bound; beyond it queries are shed with `Busy`.
+    pub queue_cap: usize,
+    /// Result-cache capacity in entries (0 disables the cache).
+    pub cache_cap: usize,
+    /// Maximum simultaneously open connections; excess accepts are
+    /// dropped immediately.
+    pub max_conns: usize,
+    /// Base seed for batch RNGs (batch `b` runs with `seed + b`).
+    pub seed: u64,
+    /// Stop after decoding this many request frames (0 = run until a
+    /// shutdown request). A safety valve for scripted runs.
+    pub max_requests: u64,
+    /// Query pipeline options used for every batch.
+    pub opts: QueryOptions,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            batch_window: Duration::from_millis(1),
+            max_batch: 64,
+            queue_cap: 1024,
+            cache_cap: 4096,
+            max_conns: 1024,
+            seed: 2007,
+            max_requests: 0,
+            opts: QueryOptions::default(),
+        }
+    }
+}
+
+/// Totals of one server run, returned by [`Server::run`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeReport {
+    /// Request frames decoded.
+    pub requests: u64,
+    /// Query requests (cache hits, batched, and shed included).
+    pub queries: u64,
+    /// Queries answered from the result cache.
+    pub cache_hits: u64,
+    /// Queries executed inside micro-batches.
+    pub served: u64,
+    /// Queries refused with `Busy` (admission queue full).
+    pub shed: u64,
+    /// Micro-batches dispatched.
+    pub batches: u64,
+    /// Maintenance operations (insert/remove) applied.
+    pub maintenance: u64,
+    /// Malformed frames answered with an error.
+    pub errors: u64,
+    /// Peak admission-queue depth (≤ `queue_cap` by construction).
+    pub queue_peak: usize,
+}
+
+impl std::fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "requests={} queries={} cache_hits={} served={} shed={} \
+             batches={} maintenance={} errors={} queue_peak={}",
+            self.requests,
+            self.queries,
+            self.cache_hits,
+            self.served,
+            self.shed,
+            self.batches,
+            self.maintenance,
+            self.errors,
+            self.queue_peak
+        )
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    writable_interest: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            writable_interest: false,
+        }
+    }
+
+    fn unsent(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+}
+
+struct PendingQuery {
+    conn: usize,
+    tag: u32,
+    key: Option<CanonCode>,
+    graph: Graph,
+    admitted: Instant,
+}
+
+/// A bound-but-not-yet-running server. [`Server::bind`] then
+/// [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    poll: Poll,
+    config: ServeConfig,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:7878`; port 0 picks an ephemeral
+    /// port — read it back with [`Server::local_addr`]).
+    pub fn bind(addr: &str, config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let poll = Poll::new()?;
+        poll.register(&listener, LISTENER, Interest::READABLE)?;
+        Ok(Server {
+            listener,
+            poll,
+            config,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Run the event loop until a shutdown request (or `max_requests`)
+    /// arrives, then drain the queue, flush responses, and return the
+    /// run's totals. Latency histograms (`serve.request`,
+    /// `serve.batch_exec`) and the `serve.*` / `cache.*` counters are
+    /// recorded into `registry`.
+    pub fn run(self, engine: &mut Engine, registry: &obs::Registry) -> io::Result<ServeReport> {
+        let epoch = engine.epoch();
+        let mut lp = EventLoop {
+            listener: self.listener,
+            poll: self.poll,
+            cache: QueryCache::new(self.config.cache_cap, epoch),
+            config: self.config,
+            engine,
+            shard: registry.shard(),
+            conns: Vec::new(),
+            free: Vec::new(),
+            pending: VecDeque::new(),
+            report: ServeReport::default(),
+            shutdown: false,
+        };
+        let result = lp.serve(registry);
+        lp.cache.record_metrics(registry);
+        registry.set_gauge(
+            obs::names::GAUGE_SERVE_QUEUE_PEAK,
+            lp.report.queue_peak as u64,
+        );
+        lp.report.cache_hits = lp.cache.hits();
+        registry.absorb(lp.shard);
+        result.map(|()| lp.report)
+    }
+}
+
+struct EventLoop<'e> {
+    listener: TcpListener,
+    poll: Poll,
+    cache: QueryCache,
+    config: ServeConfig,
+    engine: &'e mut Engine,
+    shard: obs::Shard,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    pending: VecDeque<PendingQuery>,
+    report: ServeReport,
+    shutdown: bool,
+}
+
+impl EventLoop<'_> {
+    fn serve(&mut self, registry: &obs::Registry) -> io::Result<()> {
+        let mut events = Events::with_capacity(256);
+        loop {
+            while self.batch_due() {
+                self.run_batch(registry);
+            }
+            if self.shutdown && self.pending.is_empty() {
+                break;
+            }
+            let timeout = self.pending.front().map(|p| {
+                (p.admitted + self.config.batch_window).saturating_duration_since(Instant::now())
+            });
+            self.poll.poll(&mut events, timeout)?;
+            for ev in &events {
+                match ev.token() {
+                    LISTENER => self.accept_ready(),
+                    Token(t) => {
+                        let idx = t - 1;
+                        if ev.is_writable() {
+                            self.flush_conn(idx);
+                        }
+                        if ev.is_readable() {
+                            self.handle_readable(idx);
+                        }
+                    }
+                }
+            }
+        }
+        self.drain_writes();
+        Ok(())
+    }
+
+    /// Dispatch when the batch is full, the oldest query's latency budget
+    /// is spent, or the server is draining for shutdown.
+    fn batch_due(&self) -> bool {
+        match self.pending.front() {
+            None => false,
+            Some(_) if self.shutdown => true,
+            Some(_) if self.pending.len() >= self.config.max_batch.max(1) => true,
+            Some(p) => p.admitted.elapsed() >= self.config.batch_window,
+        }
+    }
+
+    fn run_batch(&mut self, registry: &obs::Registry) {
+        let n = self.pending.len().min(self.config.max_batch.max(1));
+        let (metas, graphs): (Vec<_>, Vec<Graph>) = self
+            .pending
+            .drain(..n)
+            .map(|p| ((p.conn, p.tag, p.key, p.admitted), p.graph))
+            .unzip();
+        let seed = self.config.seed.wrapping_add(self.report.batches);
+        let results = {
+            let _span = self.shard.span(obs::names::SPAN_SERVE_BATCH);
+            let (results, _) =
+                self.engine
+                    .query_batch_obs(&graphs, self.config.opts, seed, registry);
+            results
+        };
+        self.report.batches += 1;
+        self.report.served += n as u64;
+        self.shard.add(obs::names::SERVE_BATCHES, 1);
+        self.shard.add(obs::names::SERVE_BATCHED, n as u64);
+        for ((conn, tag, key, admitted), r) in metas.into_iter().zip(results) {
+            if let Some(key) = key {
+                self.cache.insert(key, r.matches.clone());
+            }
+            self.shard
+                .observe(obs::names::SPAN_SERVE_REQUEST, admitted.elapsed());
+            self.respond(
+                conn,
+                Response {
+                    tag,
+                    body: ResponseBody::Matches(r.matches),
+                },
+            );
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let open = self.conns.iter().filter(|c| c.is_some()).count();
+                    if open >= self.config.max_conns || stream.set_nonblocking(true).is_err() {
+                        continue; // dropped: accept backlog is the only wait
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let idx = self.free.pop().unwrap_or_else(|| {
+                        self.conns.push(None);
+                        self.conns.len() - 1
+                    });
+                    match self
+                        .poll
+                        .register(&stream, Token(idx + 1), Interest::READABLE)
+                    {
+                        Ok(()) => self.conns[idx] = Some(Conn::new(stream)),
+                        Err(_) => self.free.push(idx),
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        if let Some(conn) = self.conns[idx].take() {
+            let _ = self.poll.deregister(&conn.stream);
+            self.free.push(idx);
+        }
+        // Pending queries from this connection still execute; their
+        // responses are silently dropped by `respond`.
+    }
+
+    fn handle_readable(&mut self, idx: usize) {
+        let mut dead = false;
+        {
+            let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                return;
+            };
+            let mut tmp = [0u8; 16 << 10];
+            let mut taken = 0usize;
+            loop {
+                if taken >= READ_QUANTUM {
+                    break; // level triggering re-notifies for the rest
+                }
+                match conn.stream.read(&mut tmp) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.rbuf.extend_from_slice(&tmp[..n]);
+                        taken += n;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        self.parse_frames(idx);
+        if dead {
+            self.close_conn(idx);
+        }
+    }
+
+    /// Decode and handle every complete frame buffered on `idx`. The
+    /// leftover is bounded: `take_frame` rejects declared lengths beyond
+    /// [`MAX_FRAME`], so at most `4 + MAX_FRAME` partial bytes linger.
+    fn parse_frames(&mut self, idx: usize) {
+        loop {
+            let step = {
+                let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                    return;
+                };
+                match protocol::take_frame(&conn.rbuf) {
+                    Err(_) => None,
+                    Ok(None) => return,
+                    Ok(Some((payload, used))) => {
+                        let tag = payload
+                            .get(..4)
+                            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+                            .unwrap_or(0);
+                        let req = protocol::decode_request(payload);
+                        conn.rbuf.drain(..used);
+                        Some((tag, req))
+                    }
+                }
+            };
+            match step {
+                None => {
+                    // Oversized frame: protocol violation, drop the link.
+                    self.report.errors += 1;
+                    self.shard.add(obs::names::SERVE_ERRORS, 1);
+                    self.close_conn(idx);
+                    return;
+                }
+                Some((tag, Err(msg))) => {
+                    self.report.errors += 1;
+                    self.shard.add(obs::names::SERVE_ERRORS, 1);
+                    self.respond(
+                        idx,
+                        Response {
+                            tag,
+                            body: ResponseBody::Error(msg),
+                        },
+                    );
+                }
+                Some((_, Ok(req))) => {
+                    self.report.requests += 1;
+                    self.shard.add(obs::names::SERVE_REQUESTS, 1);
+                    self.handle_request(idx, req);
+                    if self.config.max_requests > 0
+                        && self.report.requests >= self.config.max_requests
+                    {
+                        self.shutdown = true;
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_request(&mut self, idx: usize, req: Request) {
+        let tag = req.tag;
+        match req.body {
+            RequestBody::Query(g) => {
+                self.report.queries += 1;
+                self.shard.add(obs::names::SERVE_QUERIES, 1);
+                if g.edge_count() == 0 {
+                    self.report.errors += 1;
+                    self.shard.add(obs::names::SERVE_ERRORS, 1);
+                    self.respond(
+                        idx,
+                        Response {
+                            tag,
+                            body: ResponseBody::Error(
+                                "query must contain at least one edge".into(),
+                            ),
+                        },
+                    );
+                    return;
+                }
+                let key = (self.config.cache_cap > 0).then(|| canonical_code(&g));
+                if let Some(key) = &key {
+                    // Belt and braces: the cache is also synced at every
+                    // maintenance op, but admission re-checks so a future
+                    // out-of-loop mutation path can't serve stale answers.
+                    self.cache.sync_epoch(self.engine.epoch());
+                    if let Some(hit) = self.cache.get(key) {
+                        let ids = hit.to_vec();
+                        self.respond(
+                            idx,
+                            Response {
+                                tag,
+                                body: ResponseBody::Matches(ids),
+                            },
+                        );
+                        return;
+                    }
+                }
+                if self.pending.len() >= self.config.queue_cap {
+                    self.report.shed += 1;
+                    self.shard.add(obs::names::SERVE_SHED, 1);
+                    self.respond(
+                        idx,
+                        Response {
+                            tag,
+                            body: ResponseBody::Busy,
+                        },
+                    );
+                    return;
+                }
+                self.pending.push_back(PendingQuery {
+                    conn: idx,
+                    tag,
+                    key,
+                    graph: g,
+                    admitted: Instant::now(),
+                });
+                self.report.queue_peak = self.report.queue_peak.max(self.pending.len());
+            }
+            RequestBody::Insert(g) => {
+                let gid = self.engine.insert(g);
+                self.apply_maintenance();
+                self.respond(
+                    idx,
+                    Response {
+                        tag,
+                        body: ResponseBody::Inserted(gid),
+                    },
+                );
+            }
+            RequestBody::Remove(gid) => {
+                let was_active = self.engine.remove(gid);
+                self.apply_maintenance();
+                self.respond(
+                    idx,
+                    Response {
+                        tag,
+                        body: ResponseBody::Removed(was_active),
+                    },
+                );
+            }
+            RequestBody::Shutdown => {
+                self.shutdown = true;
+                self.respond(
+                    idx,
+                    Response {
+                        tag,
+                        body: ResponseBody::ShuttingDown,
+                    },
+                );
+            }
+        }
+    }
+
+    fn apply_maintenance(&mut self) {
+        self.report.maintenance += 1;
+        self.shard.add(obs::names::SERVE_MAINTENANCE, 1);
+        self.cache.sync_epoch(self.engine.epoch());
+    }
+
+    fn respond(&mut self, idx: usize, resp: Response) {
+        let frame = protocol::encode_response(&resp);
+        debug_assert!(frame.len() <= 4 + MAX_FRAME);
+        let overflow = {
+            let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                return; // client already gone
+            };
+            conn.wbuf.extend_from_slice(&frame);
+            conn.unsent() > WBUF_CAP
+        };
+        if overflow {
+            self.close_conn(idx); // slow consumer
+        } else {
+            self.flush_conn(idx);
+        }
+    }
+
+    fn flush_conn(&mut self, idx: usize) {
+        let mut dead = false;
+        {
+            let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                return;
+            };
+            loop {
+                if conn.wpos >= conn.wbuf.len() {
+                    conn.wbuf.clear();
+                    conn.wpos = 0;
+                    break;
+                }
+                match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => conn.wpos += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if dead {
+            self.close_conn(idx);
+        } else {
+            self.update_interest(idx);
+        }
+    }
+
+    fn update_interest(&mut self, idx: usize) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+            return;
+        };
+        let want_write = conn.wpos < conn.wbuf.len();
+        if want_write != conn.writable_interest {
+            conn.writable_interest = want_write;
+            let interest = if want_write {
+                Interest::READABLE | Interest::WRITABLE
+            } else {
+                Interest::READABLE
+            };
+            let _ = self.poll.reregister(&conn.stream, Token(idx + 1), interest);
+        }
+    }
+
+    /// Best-effort post-shutdown flush so drained-queue answers and the
+    /// shutdown ack reach their clients before the sockets drop.
+    fn drain_writes(&mut self) {
+        let deadline = Instant::now() + Duration::from_secs(1);
+        loop {
+            let unsent: Vec<usize> = (0..self.conns.len())
+                .filter(|&i| self.conns[i].as_ref().is_some_and(|c| c.unsent() > 0))
+                .collect();
+            if unsent.is_empty() || Instant::now() >= deadline {
+                break;
+            }
+            for idx in unsent {
+                self.flush_conn(idx);
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}

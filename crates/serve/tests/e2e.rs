@@ -1,0 +1,281 @@
+//! End-to-end serving tests: a real server thread, real sockets.
+
+use graph_core::{graph_from, Graph};
+use serve::protocol::{RequestBody, ResponseBody};
+use serve::{Client, LoadgenConfig, ServeConfig, ServeReport, Server};
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use treepi::{scan_support, Engine, TreePiIndex, TreePiParams};
+
+fn db() -> Vec<Graph> {
+    vec![
+        graph_from(&[0, 0, 1, 1], &[(0, 1, 0), (1, 2, 0), (2, 0, 1), (2, 3, 0)]),
+        graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]),
+        graph_from(&[0, 0, 1, 1], &[(0, 1, 0), (0, 2, 0), (0, 3, 1)]),
+        graph_from(&[0, 1, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 0, 0)]),
+        graph_from(&[0, 1], &[(0, 1, 1)]),
+    ]
+}
+
+fn queries() -> Vec<Graph> {
+    vec![
+        graph_from(&[0, 0], &[(0, 1, 0)]),
+        graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]),
+        graph_from(&[0, 1, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 0, 0)]),
+        graph_from(&[9, 9], &[(0, 1, 0)]),
+        graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 0, 1)]),
+    ]
+}
+
+fn build_index() -> TreePiIndex {
+    TreePiIndex::build(db(), TreePiParams::quick())
+}
+
+/// Bind on an ephemeral port and run the server on its own thread; the
+/// joined result carries the run report, the final metrics, and the
+/// engine (for oracle checks against the post-maintenance database).
+fn spawn_server(
+    config: ServeConfig,
+) -> (
+    SocketAddr,
+    JoinHandle<(ServeReport, obs::MetricSet, Engine)>,
+) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || {
+        let mut engine = Engine::new(build_index(), 2);
+        let registry = obs::Registry::new();
+        let report = server.run(&mut engine, &registry).expect("serve");
+        (report, registry.drain(), engine)
+    });
+    (addr, handle)
+}
+
+fn expect_matches(resp: serve::Response) -> Vec<u32> {
+    match resp.body {
+        ResponseBody::Matches(ids) => ids,
+        other => panic!("expected matches, got {other:?}"),
+    }
+}
+
+#[test]
+fn served_answers_match_the_scan_oracle() {
+    let (addr, handle) = spawn_server(ServeConfig {
+        batch_window: Duration::from_micros(200),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect_retry(&addr.to_string(), Duration::from_secs(5)).unwrap();
+    let oracle = build_index();
+    for q in queries() {
+        let ids = expect_matches(client.query(&q).unwrap());
+        assert_eq!(ids, scan_support(&oracle, &q), "query answered wrong");
+    }
+    // Edgeless queries are a protocol-level error, not a panic.
+    let lone = graph_from(&[3], &[]);
+    match client.query(&lone).unwrap().body {
+        ResponseBody::Error(msg) => assert!(msg.contains("edge"), "{msg}"),
+        other => panic!("expected error for edgeless query, got {other:?}"),
+    }
+    matches!(client.shutdown().unwrap().body, ResponseBody::ShuttingDown)
+        .then_some(())
+        .expect("shutdown ack");
+    let (report, _, _) = handle.join().unwrap();
+    assert_eq!(report.queries, queries().len() as u64 + 1);
+    assert_eq!(report.errors, 1);
+    assert_eq!(report.shed, 0);
+    assert!(report.batches >= 1);
+}
+
+#[test]
+fn cache_hits_repeats_and_maintenance_invalidates() {
+    let (addr, handle) = spawn_server(ServeConfig {
+        batch_window: Duration::from_micros(200),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect_retry(&addr.to_string(), Duration::from_secs(5)).unwrap();
+    let q = graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]);
+    let first = expect_matches(client.query(&q).unwrap());
+    for _ in 0..3 {
+        // Same canonical form — served from cache, same answer.
+        assert_eq!(expect_matches(client.query(&q).unwrap()), first);
+    }
+    // An isomorphic relabeling shares the cache key.
+    let iso = graph_from(&[1, 0, 0], &[(2, 1, 0), (1, 0, 0)]);
+    assert_eq!(expect_matches(client.query(&iso).unwrap()), first);
+
+    // Insert a graph that matches the cached query: the next request
+    // must see it — a stale cached answer here is the bug this guards.
+    let gid = match client
+        .insert(&graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]))
+        .unwrap()
+        .body
+    {
+        ResponseBody::Inserted(gid) => gid,
+        other => panic!("expected insert ack, got {other:?}"),
+    };
+    let after_insert = expect_matches(client.query(&q).unwrap());
+    assert!(
+        after_insert.contains(&gid),
+        "cached answer served after insert: {after_insert:?}"
+    );
+    assert_ne!(after_insert, first);
+
+    // Remove it again: the next answer reverts — no stale positive.
+    match client.remove(gid).unwrap().body {
+        ResponseBody::Removed(was_active) => assert!(was_active),
+        other => panic!("expected remove ack, got {other:?}"),
+    }
+    assert_eq!(expect_matches(client.query(&q).unwrap()), first);
+
+    client.shutdown().unwrap();
+    let (report, metrics, engine) = handle.join().unwrap();
+    assert!(report.cache_hits >= 4, "repeats must hit: {report}");
+    assert_eq!(report.maintenance, 2);
+    // The post-churn database agrees with the last answer.
+    assert_eq!(scan_support(engine.index(), &q), first);
+    if obs::COMPILED_IN {
+        assert!(metrics.counter(obs::names::CACHE_HIT) >= 4);
+        assert_eq!(metrics.counter(obs::names::CACHE_INVALIDATIONS), 2);
+        assert_eq!(metrics.counter(obs::names::SERVE_MAINTENANCE), 2);
+    }
+}
+
+#[test]
+fn novel_edge_insert_is_queryable_over_the_wire() {
+    // σ(1)=1 under serving-path maintenance: the inserted graph carries
+    // an edge (7-7 labeled 3) no database graph has; querying that edge
+    // afterwards must find the new graph instead of short-circuiting on
+    // a stale missing-feature proof.
+    let (addr, handle) = spawn_server(ServeConfig {
+        batch_window: Duration::from_micros(200),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect_retry(&addr.to_string(), Duration::from_secs(5)).unwrap();
+    let q = graph_from(&[7, 7], &[(0, 1, 3)]);
+    assert_eq!(expect_matches(client.query(&q).unwrap()), Vec::<u32>::new());
+    let gid = match client
+        .insert(&graph_from(&[7, 7, 0], &[(0, 1, 3), (1, 2, 0)]))
+        .unwrap()
+        .body
+    {
+        ResponseBody::Inserted(gid) => gid,
+        other => panic!("expected insert ack, got {other:?}"),
+    };
+    assert_eq!(expect_matches(client.query(&q).unwrap()), vec![gid]);
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn overload_sheds_with_busy_and_the_queue_stays_bounded() {
+    // A long batch window plus a tiny queue: pipelined queries can't be
+    // dispatched (window not expired) so all but `queue_cap` are shed
+    // immediately with Busy — and the queue provably never exceeds cap.
+    const FLOOD: usize = 20;
+    const CAP: usize = 2;
+    let (addr, handle) = spawn_server(ServeConfig {
+        batch_window: Duration::from_secs(5),
+        max_batch: 64,
+        queue_cap: CAP,
+        cache_cap: 0, // every query must take the admission path
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect_retry(&addr.to_string(), Duration::from_secs(5)).unwrap();
+    let q = queries()[0].clone();
+    for _ in 0..FLOOD {
+        client.send(RequestBody::Query(q.clone())).unwrap();
+    }
+    // Shutdown drains the queue, so the held queries answer immediately
+    // instead of waiting out the 5s window.
+    client.send(RequestBody::Shutdown).unwrap();
+    let (mut busy, mut matched, mut acked) = (0, 0, 0);
+    for _ in 0..FLOOD + 1 {
+        match client.recv().unwrap().body {
+            ResponseBody::Busy => busy += 1,
+            ResponseBody::Matches(ids) => {
+                assert_eq!(ids, scan_support(&build_index(), &q));
+                matched += 1;
+            }
+            ResponseBody::ShuttingDown => acked += 1,
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(acked, 1);
+    assert_eq!(matched, CAP, "exactly the queued queries are served");
+    assert_eq!(busy, FLOOD - CAP, "the rest are shed explicitly");
+    let (report, metrics, _) = handle.join().unwrap();
+    assert_eq!(report.shed as usize, FLOOD - CAP);
+    assert!(
+        report.queue_peak <= CAP,
+        "admission queue exceeded its bound: {report}"
+    );
+    if obs::COMPILED_IN {
+        assert_eq!(
+            metrics.counter(obs::names::SERVE_SHED) as usize,
+            FLOOD - CAP
+        );
+    }
+}
+
+#[test]
+fn loadgen_drives_the_server_and_reports_latency() {
+    let (addr, handle) = spawn_server(ServeConfig {
+        batch_window: Duration::from_micros(500),
+        ..ServeConfig::default()
+    });
+    let registry = obs::Registry::new();
+    let cfg = LoadgenConfig {
+        connections: 2,
+        requests: 60,
+        zipf: 1.2, // skewed: repeats should hit the result cache
+        shutdown: true,
+        ..LoadgenConfig::default()
+    };
+    let report = serve::loadgen::run(&addr.to_string(), &queries(), &cfg, &registry).unwrap();
+    assert_eq!(report.sent, 60);
+    assert_eq!(report.ok, 60);
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.latency.count, 60);
+    assert!(report.throughput() > 0.0);
+    assert!(report.latency.quantile_ns(0.99) >= report.latency.quantile_ns(0.50));
+    let rendered = report.to_string();
+    assert!(
+        rendered.contains("p50=") && rendered.contains("p99="),
+        "{rendered}"
+    );
+
+    let (server_report, _, _) = handle.join().unwrap();
+    assert_eq!(server_report.queries, 60);
+    assert!(
+        server_report.cache_hits > 0,
+        "zipf repeats never hit the cache: {server_report}"
+    );
+    if obs::COMPILED_IN {
+        let m = registry.drain();
+        assert_eq!(m.counter(obs::names::LOADGEN_OK), 60);
+        let span = m.span(obs::names::SPAN_LOADGEN_REQUEST).expect("span");
+        assert_eq!(span.count, 60);
+    }
+}
+
+#[test]
+fn open_loop_rate_paces_the_run() {
+    let (addr, handle) = spawn_server(ServeConfig::default());
+    let registry = obs::Registry::disabled();
+    let cfg = LoadgenConfig {
+        connections: 1,
+        requests: 10,
+        rate: Some(200.0), // 10 requests at 200/s ≈ 45ms min wall time
+        shutdown: true,
+        ..LoadgenConfig::default()
+    };
+    let report = serve::loadgen::run(&addr.to_string(), &queries(), &cfg, &registry).unwrap();
+    assert_eq!(report.ok, 10);
+    assert!(
+        report.elapsed >= Duration::from_millis(40),
+        "open loop finished too fast: {:?}",
+        report.elapsed
+    );
+    handle.join().unwrap();
+}

@@ -236,9 +236,33 @@ impl Engine {
     }
 
     /// Mutable access to the wrapped index (inserts/removes between
-    /// batches).
+    /// batches). Prefer [`Engine::insert`] / [`Engine::remove`] for §7.1
+    /// maintenance; any path that mutates the index bumps its
+    /// [`TreePiIndex::maintenance_epoch`], which is what epoch-keyed
+    /// result caches (the `serve` crate) watch to drop stale answers.
     pub fn index_mut(&mut self) -> &mut TreePiIndex {
         &mut self.index
+    }
+
+    /// Insert a graph through the running engine
+    /// ([`TreePiIndex::insert`], §7.1). Returns the new graph id; the
+    /// maintenance epoch is bumped so result caches keyed on
+    /// [`Engine::epoch`] invalidate before the next request.
+    pub fn insert(&mut self, g: Graph) -> u32 {
+        self.index.insert(g)
+    }
+
+    /// Remove graph `gid` through the running engine
+    /// ([`TreePiIndex::remove`], §7.1). Returns whether the graph was
+    /// active; on `true` the maintenance epoch is bumped.
+    pub fn remove(&mut self, gid: u32) -> bool {
+        self.index.remove(gid)
+    }
+
+    /// The index's current maintenance epoch — the cache-invalidation
+    /// version number (see [`TreePiIndex::maintenance_epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.index.maintenance_epoch()
     }
 
     /// Recover the index, dropping the pool.
@@ -506,6 +530,54 @@ mod tests {
         assert!(m.counter("pool.tasks") >= 1, "batch dispatch counted");
         // pool.* is outside the determinism contract.
         assert!(!m.deterministic_counters().contains_key("pool.tasks"));
+    }
+
+    #[test]
+    fn engine_maintenance_bumps_epoch_and_changes_answers() {
+        let mut engine = Engine::new(index(), 2);
+        let q = graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]);
+        let (before, _) = engine.query_batch(std::slice::from_ref(&q), QueryOptions::default(), 9);
+        let e0 = engine.epoch();
+
+        // A cache keyed on the epoch would hold `before`; the insert must
+        // bump the epoch AND the fresh answer must include the new graph.
+        let gid = engine.insert(graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]));
+        assert!(engine.epoch() > e0, "insert must bump the epoch");
+        let (after, _) = engine.query_batch(std::slice::from_ref(&q), QueryOptions::default(), 9);
+        assert!(after[0].matches.contains(&gid));
+        assert_ne!(before[0].matches, after[0].matches);
+        assert_eq!(after[0].matches, scan_support(engine.index(), &q));
+
+        // Remove through the engine: epoch bumps again, answer reverts.
+        let e1 = engine.epoch();
+        assert!(engine.remove(gid));
+        assert!(engine.epoch() > e1, "remove must bump the epoch");
+        let (reverted, _) =
+            engine.query_batch(std::slice::from_ref(&q), QueryOptions::default(), 9);
+        assert_eq!(reverted[0].matches, before[0].matches);
+    }
+
+    #[test]
+    fn serving_path_insert_registers_novel_edge_feature() {
+        // σ(1) = 1 under maintenance: a graph inserted through the running
+        // engine whose edge (labels 7-7, edge label 3) exists nowhere in
+        // the database must become queryable — the single-edge tree is
+        // registered as a fresh feature, so the query is answered by real
+        // support intersection, not a stale MissingFeature short-circuit.
+        let mut engine = Engine::new(index(), 2);
+        let q = graph_from(&[7, 7], &[(0, 1, 3)]);
+        let (miss, _) = engine.query_batch(std::slice::from_ref(&q), QueryOptions::default(), 3);
+        assert!(miss[0].matches.is_empty());
+        assert!(miss[0].stats.missing_feature, "edge unknown before insert");
+
+        let gid = engine.insert(graph_from(&[7, 7, 0], &[(0, 1, 3), (1, 2, 0)]));
+        let (hit, _) = engine.query_batch(std::slice::from_ref(&q), QueryOptions::default(), 3);
+        assert!(
+            !hit[0].stats.missing_feature,
+            "novel edge must be a feature after the insert"
+        );
+        assert_eq!(hit[0].matches, vec![gid]);
+        assert_eq!(hit[0].matches, scan_support(engine.index(), &q));
     }
 
     #[test]

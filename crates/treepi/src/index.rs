@@ -68,6 +68,10 @@ pub struct TreePiIndex {
     pub(crate) centers: Vec<FxHashMap<u32, Vec<CenterPos>>>,
     pub(crate) params: TreePiParams,
     pub(crate) stats: BuildStats,
+    /// Bumped by every successful [`Self::insert`] / [`Self::remove`]
+    /// (§7.1 maintenance). Epoch-keyed caches of query answers compare
+    /// this to decide whether their entries are still valid.
+    pub(crate) maintenance_epoch: u64,
 }
 
 /// Per-feature center store: graph id → positions.
@@ -250,6 +254,7 @@ impl TreePiIndex {
             centers,
             params,
             stats,
+            maintenance_epoch: 0,
         }
     }
 
@@ -288,6 +293,15 @@ impl TreePiIndex {
         &self.stats
     }
 
+    /// The maintenance epoch: starts at 0 and is bumped by every
+    /// successful [`Self::insert`] / [`Self::remove`] (and by
+    /// [`Self::rebuild`]). Any cache of query answers keyed on this value
+    /// must drop its entries when the epoch changes — that is the
+    /// invalidation contract the serving result cache relies on.
+    pub fn maintenance_epoch(&self) -> u64 {
+        self.maintenance_epoch
+    }
+
     /// Look up a canonical string in the feature trie.
     pub fn feature_by_canon(&self, canon: &CanonString) -> Option<FeatureId> {
         self.trie.get(canon)
@@ -317,9 +331,18 @@ impl TreePiIndex {
     /// invariant that *every* edge in the database is a feature.
     pub fn insert(&mut self, g: Graph) -> u32 {
         let gid = self.db.len() as u32;
-        // Update existing features, cheapest sizes first, with a label
-        // pre-check.
-        for (i, f) in self.features.iter_mut().enumerate() {
+        // Update existing features, cheapest (smallest) trees first, with a
+        // label pre-check. Storage order is NOT size-sorted once earlier
+        // inserts have appended novel single-edge features behind larger
+        // mined trees, so scan through an explicitly size-ordered view
+        // (stable: ties keep storage order). The result is order-
+        // independent — every matching feature gets the same support/center
+        // update — this only front-loads the cheap embeddings.
+        let mut order: Vec<u32> = (0..self.features.len() as u32).collect();
+        order.sort_by_key(|&i| self.features[i as usize].size());
+        for &i in &order {
+            let i = i as usize;
+            let f = &mut self.features[i];
             if !may_contain(&g, f.tree.graph()) {
                 continue;
             }
@@ -361,6 +384,7 @@ impl TreePiIndex {
         }
         self.db.push(g);
         self.active.push(true);
+        self.maintenance_epoch += 1;
         gid
     }
 
@@ -377,20 +401,26 @@ impl TreePiIndex {
                 self.centers[i].remove(&gid);
             }
         }
+        self.maintenance_epoch += 1;
         true
     }
 
     /// Rebuild the index from the current active graphs (the paper's advice
     /// when "too many insert/delete operations" have accumulated). Graph
-    /// ids are re-densified; returns the new index.
+    /// ids are re-densified; returns the new index. The maintenance epoch
+    /// advances past the old one (a rebuild changes answers for queries
+    /// holding stale graph ids), never resets.
     pub fn rebuild(self) -> Self {
+        let epoch = self.maintenance_epoch + 1;
         let graphs: Vec<Graph> = self
             .db
             .into_iter()
             .zip(self.active)
             .filter_map(|(g, a)| a.then_some(g))
             .collect();
-        Self::build(graphs, self.params)
+        let mut idx = Self::build(graphs, self.params);
+        idx.maintenance_epoch = epoch;
+        idx
     }
 
     /// Per-structure heap estimate of the whole index (database, feature
@@ -398,10 +428,22 @@ impl TreePiIndex {
     /// numbers are deterministic for a given index regardless of build
     /// history; recorded as `mem.index.*` gauges by
     /// [`Self::record_mem_gauges`].
+    ///
+    /// Removed (tombstoned) graphs are reported separately in
+    /// [`IndexMemory::tombstones_bytes`] and excluded from `db_bytes` and
+    /// [`IndexMemory::total`] — a churn-heavy serving host must see its
+    /// *active* footprint, not bytes a [`Self::rebuild`] would reclaim.
     pub fn memory_breakdown(&self) -> IndexMemory {
         use std::mem::size_of;
-        let db_bytes = self.db.iter().map(Graph::heap_bytes).sum::<usize>()
-            + self.active.len() * size_of::<bool>();
+        let mut db_bytes = self.active.len() * size_of::<bool>();
+        let mut tombstones_bytes = 0usize;
+        for (g, &alive) in self.db.iter().zip(&self.active) {
+            if alive {
+                db_bytes += g.heap_bytes();
+            } else {
+                tombstones_bytes += g.heap_bytes();
+            }
+        }
         let features_bytes = self
             .features
             .iter()
@@ -424,6 +466,7 @@ impl TreePiIndex {
             .sum();
         IndexMemory {
             db_bytes,
+            tombstones_bytes,
             features_bytes,
             supports_bytes,
             centers_bytes,
@@ -431,8 +474,8 @@ impl TreePiIndex {
         }
     }
 
-    /// Total estimated heap bytes of the index (all parts of
-    /// [`Self::memory_breakdown`]).
+    /// Total estimated heap bytes of the *active* index (all parts of
+    /// [`Self::memory_breakdown`]; tombstoned graphs excluded).
     pub fn heap_bytes(&self) -> usize {
         self.memory_breakdown().total()
     }
@@ -455,6 +498,10 @@ impl TreePiIndex {
         registry.set_gauge(obs::names::GAUGE_INDEX_SUPPORTS, m.supports_bytes as u64);
         registry.set_gauge(obs::names::GAUGE_INDEX_CENTERS, m.centers_bytes as u64);
         registry.set_gauge(obs::names::GAUGE_INDEX_TRIE, m.trie_bytes as u64);
+        registry.set_gauge(
+            obs::names::GAUGE_INDEX_TOMBSTONES,
+            m.tombstones_bytes as u64,
+        );
     }
 }
 
@@ -462,8 +509,12 @@ impl TreePiIndex {
 /// [`TreePiIndex::memory_breakdown`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct IndexMemory {
-    /// The graph database (labels, edges, adjacency) plus tombstone flags.
+    /// The *active* graph database (labels, edges, adjacency) plus the
+    /// tombstone flag vector.
     pub db_bytes: usize,
+    /// Heap bytes still held by removed (tombstoned) graphs — reclaimable
+    /// via [`TreePiIndex::rebuild`], excluded from [`Self::total`].
+    pub tombstones_bytes: usize,
     /// Feature pattern trees and their canonical strings.
     pub features_bytes: usize,
     /// Per-feature support sets.
@@ -475,7 +526,7 @@ pub struct IndexMemory {
 }
 
 impl IndexMemory {
-    /// Sum of all parts.
+    /// Sum of all *active* parts ([`Self::tombstones_bytes`] excluded).
     pub fn total(&self) -> usize {
         self.db_bytes
             + self.features_bytes
@@ -576,6 +627,95 @@ mod tests {
             let mut s = f.support.clone();
             s.sort_unstable();
             assert_eq!(s, f.support);
+        }
+    }
+
+    #[test]
+    fn insert_scans_features_size_ordered_and_pins_supports() {
+        // First insert appends a novel single-edge feature (size 1) AFTER
+        // the larger mined trees, so storage order is no longer
+        // size-sorted...
+        let mut idx = quick_index();
+        let novel = graph_from(&[5, 6], &[(0, 1, 2)]);
+        let g1 = idx.insert(novel.clone());
+        let sizes: Vec<usize> = idx.features().iter().map(Feature::size).collect();
+        assert!(
+            sizes.windows(2).any(|w| w[0] > w[1]),
+            "precondition: storage order must not be size-sorted ({sizes:?})"
+        );
+        // ...and a second insert must still update every matching feature
+        // identically: supports sorted and complete, centers present —
+        // including the tail-appended single-edge feature.
+        let g2 = idx.insert(novel);
+        for (i, f) in idx.features().iter().enumerate() {
+            let mut sorted = f.support.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, f.support, "feature {i} support unsorted");
+            assert_eq!(
+                f.support.contains(&g1),
+                f.support.contains(&g2),
+                "feature {i}: identical graphs must have identical support"
+            );
+            for &gid in &f.support {
+                assert!(
+                    !idx.center_positions_of(FeatureId(i as u32), gid).is_empty(),
+                    "feature {i} lost centers for {gid}"
+                );
+            }
+        }
+        let fid = idx
+            .feature_by_canon(&canonical_string(&tree_core::tree_from(
+                &[5, 6],
+                &[(0, 1, 2)],
+            )))
+            .expect("novel edge became a feature");
+        assert_eq!(idx.feature(fid).support, vec![g1, g2]);
+    }
+
+    #[test]
+    fn maintenance_epoch_tracks_inserts_and_removes() {
+        let mut idx = quick_index();
+        assert_eq!(idx.maintenance_epoch(), 0);
+        let gid = idx.insert(graph_from(&[0, 1], &[(0, 1, 0)]));
+        assert_eq!(idx.maintenance_epoch(), 1);
+        assert!(idx.remove(gid));
+        assert_eq!(idx.maintenance_epoch(), 2);
+        // No-op removes leave the epoch alone (nothing changed).
+        assert!(!idx.remove(gid));
+        assert_eq!(idx.maintenance_epoch(), 2);
+        // Rebuild advances past the old epoch instead of resetting.
+        let rebuilt = idx.rebuild();
+        assert_eq!(rebuilt.maintenance_epoch(), 3);
+    }
+
+    #[test]
+    fn remove_shrinks_reported_database_bytes() {
+        let mut idx = quick_index();
+        let before = idx.memory_breakdown();
+        assert_eq!(before.tombstones_bytes, 0);
+        let removed_bytes = idx.db()[1].heap_bytes();
+        assert!(idx.remove(1));
+        let after = idx.memory_breakdown();
+        assert_eq!(after.db_bytes, before.db_bytes - removed_bytes);
+        assert_eq!(after.tombstones_bytes, removed_bytes);
+        assert!(after.total() < before.total());
+        assert_eq!(idx.heap_bytes(), after.total());
+        if obs::COMPILED_IN {
+            let r = obs::Registry::new();
+            idx.record_mem_gauges(&r);
+            let snap = r.snapshot();
+            assert_eq!(
+                snap.gauge(obs::names::GAUGE_INDEX_DB),
+                Some(after.db_bytes as u64)
+            );
+            assert_eq!(
+                snap.gauge(obs::names::GAUGE_INDEX_TOMBSTONES),
+                Some(removed_bytes as u64)
+            );
+            assert_eq!(
+                snap.gauge(obs::names::GAUGE_INDEX_TOTAL),
+                Some(after.total() as u64)
+            );
         }
     }
 

@@ -301,6 +301,10 @@ impl TreePiIndex {
             centers,
             params,
             stats,
+            // The maintenance epoch is process-local (it versions in-memory
+            // result caches, which never outlive the loaded index), so a
+            // fresh load always starts at 0.
+            maintenance_epoch: 0,
         })
     }
 }

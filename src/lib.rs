@@ -11,5 +11,6 @@ pub use graph_core;
 pub use mining;
 pub use obs;
 pub use pathgrep;
+pub use serve;
 pub use tree_core;
 pub use treepi;

@@ -1,0 +1,564 @@
+//! Vendored subset of the `mio` readiness-polling surface: [`Poll`],
+//! [`Events`], [`Token`], [`Interest`] — exactly what a single-threaded
+//! level-triggered socket server needs. On Linux the backend is `epoll`
+//! via direct FFI (the build environment has no registry access, so no
+//! `libc` crate); other unix targets fall back to `poll(2)`.
+//!
+//! Semantics (matching mio closely enough to swap in the real crate):
+//!
+//! - **Level-triggered**: a readable/writable fd is reported on every
+//!   `poll` until drained, so missed wakeups cannot wedge a connection.
+//! - `register`/`reregister`/`deregister` take any `AsRawFd` source; the
+//!   caller keeps ownership and must deregister before closing.
+//! - `poll` blocks up to `timeout` (`None` = forever), fills `events`,
+//!   and returns the number of events. `EINTR` is surfaced as a normal
+//!   zero-event wakeup rather than an error — callers already have to
+//!   tolerate spurious wakeups under level triggering.
+
+#![warn(missing_docs)]
+#![cfg(unix)]
+
+use std::io;
+use std::os::fd::AsRawFd;
+#[cfg(not(target_os = "linux"))]
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// Caller-chosen identifier attached to a registration and echoed in
+/// every [`Event`] for that source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Readiness interest: readable, writable, or both (combine with `|`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Interest in read readiness.
+    pub const READABLE: Interest = Interest(0b01);
+    /// Interest in write readiness.
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Whether read readiness is requested.
+    pub fn is_readable(self) -> bool {
+        self.0 & Self::READABLE.0 != 0
+    }
+
+    /// Whether write readiness is requested.
+    pub fn is_writable(self) -> bool {
+        self.0 & Self::WRITABLE.0 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        Interest(self.0 | rhs.0)
+    }
+}
+
+/// One readiness notification.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    token: Token,
+    readable: bool,
+    writable: bool,
+    error: bool,
+}
+
+impl Event {
+    /// The token supplied at registration.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Whether the source is read-ready (includes peer hangup, so a
+    /// subsequent `read` observes EOF rather than blocking).
+    pub fn is_readable(&self) -> bool {
+        self.readable
+    }
+
+    /// Whether the source is write-ready.
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+
+    /// Whether the source reported an error or hangup condition.
+    pub fn is_error(&self) -> bool {
+        self.error
+    }
+}
+
+/// Reusable buffer of [`Event`]s filled by [`Poll::poll`].
+pub struct Events {
+    inner: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// A buffer receiving at most `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            inner: Vec::with_capacity(capacity),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Iterate the events from the last poll.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.inner.iter()
+    }
+
+    /// Whether the last poll produced no events.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Number of events from the last poll.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// The selector: registrations plus a blocking readiness wait.
+pub struct Poll {
+    sys: sys::Selector,
+}
+
+impl Poll {
+    /// A new empty selector.
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll {
+            sys: sys::Selector::new()?,
+        })
+    }
+
+    /// Start watching `source` for `interests`, tagging events with
+    /// `token`. The source must stay open while registered.
+    pub fn register(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        self.sys.register(source.as_raw_fd(), token, interests)
+    }
+
+    /// Replace the interests/token of an already-registered source.
+    pub fn reregister(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        self.sys.reregister(source.as_raw_fd(), token, interests)
+    }
+
+    /// Stop watching `source`. Call before closing the fd.
+    pub fn deregister(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.sys.deregister(source.as_raw_fd())
+    }
+
+    /// Block until at least one registered source is ready or `timeout`
+    /// elapses (`None` = wait forever), filling `events`. Returns the
+    /// number of events; `0` means timeout or a spurious (`EINTR`) wake.
+    pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        events.inner.clear();
+        let cap = events.capacity;
+        self.sys.select(&mut events.inner, cap, timeout)?;
+        Ok(events.inner.len())
+    }
+}
+
+/// Millisecond timeout for epoll/poll: round up so a 100µs budget waits
+/// 1ms instead of spinning at 0; `None` maps to -1 (infinite).
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_millis();
+            let ms = if ms == 0 && d.as_nanos() > 0 { 1 } else { ms };
+            ms.min(i32::MAX as u128) as i32
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! epoll backend over direct FFI declarations (no libc crate).
+
+    use super::{timeout_ms, Event, Interest, Token};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    // Kernel ABI: packed on x86-64, naturally aligned elsewhere.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    pub struct Selector {
+        epfd: RawFd,
+    }
+
+    impl Selector {
+        pub fn new() -> io::Result<Selector> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Selector { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+            let mut mask = EPOLLRDHUP;
+            if interests.is_readable() {
+                mask |= EPOLLIN;
+            }
+            if interests.is_writable() {
+                mask |= EPOLLOUT;
+            }
+            let mut ev = EpollEvent {
+                events: mask,
+                data: token.0 as u64,
+            };
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn register(&self, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interests)
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interests)
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            let rc = unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn select(
+            &self,
+            out: &mut Vec<Event>,
+            cap: usize,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let mut buf = vec![EpollEvent { events: 0, data: 0 }; cap];
+            let n =
+                unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), cap as i32, timeout_ms(timeout)) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(()); // spurious wake, caller re-polls
+                }
+                return Err(err);
+            }
+            for e in &buf[..n as usize] {
+                // Copy out of the (possibly packed) struct before use.
+                let (mask, data) = (e.events, e.data);
+                out.push(Event {
+                    token: Token(data as usize),
+                    readable: mask & (EPOLLIN | EPOLLHUP | EPOLLRDHUP) != 0,
+                    writable: mask & EPOLLOUT != 0,
+                    error: mask & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Selector {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    //! Portable poll(2) backend: a registration table scanned per call.
+
+    use super::{timeout_ms, Event, Interest, Token};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    pub struct Selector {
+        regs: Mutex<Vec<(RawFd, Token, Interest)>>,
+    }
+
+    impl Selector {
+        pub fn new() -> io::Result<Selector> {
+            Ok(Selector {
+                regs: Mutex::new(Vec::new()),
+            })
+        }
+
+        pub fn register(&self, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+            let mut regs = self.regs.lock().expect("minipoll regs");
+            if regs.iter().any(|(f, _, _)| *f == fd) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            regs.push((fd, token, interests));
+            Ok(())
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+            let mut regs = self.regs.lock().expect("minipoll regs");
+            match regs.iter_mut().find(|(f, _, _)| *f == fd) {
+                Some(slot) => {
+                    *slot = (fd, token, interests);
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let mut regs = self.regs.lock().expect("minipoll regs");
+            let before = regs.len();
+            regs.retain(|(f, _, _)| *f != fd);
+            if regs.len() == before {
+                return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+            }
+            Ok(())
+        }
+
+        pub fn select(
+            &self,
+            out: &mut Vec<Event>,
+            cap: usize,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let regs = self.regs.lock().expect("minipoll regs").clone();
+            let mut fds: Vec<PollFd> = regs
+                .iter()
+                .map(|(fd, _, int)| {
+                    let mut events = 0i16;
+                    if int.is_readable() {
+                        events |= POLLIN;
+                    }
+                    if int.is_writable() {
+                        events |= POLLOUT;
+                    }
+                    PollFd {
+                        fd: *fd,
+                        events,
+                        revents: 0,
+                    }
+                })
+                .collect();
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms(timeout)) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for (pfd, (_, token, _)) in fds.iter().zip(&regs) {
+                if pfd.revents == 0 || out.len() >= cap {
+                    continue;
+                }
+                out.push(Event {
+                    token: *token,
+                    readable: pfd.revents & (POLLIN | POLLHUP) != 0,
+                    writable: pfd.revents & POLLOUT != 0,
+                    error: pfd.revents & (POLLERR | POLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    const LISTENER: Token = Token(0);
+    const CLIENT: Token = Token(1);
+
+    #[test]
+    fn interest_combinators() {
+        let rw = Interest::READABLE | Interest::WRITABLE;
+        assert!(rw.is_readable() && rw.is_writable());
+        assert!(!Interest::READABLE.is_writable());
+        assert!(!Interest::WRITABLE.is_readable());
+    }
+
+    #[test]
+    fn timeout_rounding() {
+        assert_eq!(timeout_ms(None), -1);
+        assert_eq!(timeout_ms(Some(Duration::ZERO)), 0);
+        assert_eq!(timeout_ms(Some(Duration::from_micros(100))), 1);
+        assert_eq!(timeout_ms(Some(Duration::from_millis(25))), 25);
+    }
+
+    #[test]
+    fn accept_then_read_readiness() {
+        let poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        poll.register(&listener, LISTENER, Interest::READABLE)
+            .unwrap();
+
+        // Nothing pending: times out with zero events.
+        poll.poll(&mut events, Some(Duration::from_millis(5)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        // Wait for the listener to become acceptable.
+        let mut accepted = None;
+        for _ in 0..100 {
+            poll.poll(&mut events, Some(Duration::from_millis(50)))
+                .unwrap();
+            if events
+                .iter()
+                .any(|e| e.token() == LISTENER && e.is_readable())
+            {
+                let (s, _) = listener.accept().unwrap();
+                accepted = Some(s);
+                break;
+            }
+        }
+        let server_side = accepted.expect("listener never became readable");
+        server_side.set_nonblocking(true).unwrap();
+        poll.register(&server_side, CLIENT, Interest::READABLE)
+            .unwrap();
+
+        client.write_all(b"ping").unwrap();
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            poll.poll(&mut events, Some(Duration::from_millis(50)))
+                .unwrap();
+            if events
+                .iter()
+                .any(|e| e.token() == CLIENT && e.is_readable())
+            {
+                let mut buf = [0u8; 16];
+                let n = (&server_side).read(&mut buf).unwrap();
+                got.extend_from_slice(&buf[..n]);
+                break;
+            }
+        }
+        assert_eq!(got, b"ping");
+
+        // Level-triggered write readiness on an idle socket.
+        poll.reregister(
+            &server_side,
+            CLIENT,
+            Interest::READABLE | Interest::WRITABLE,
+        )
+        .unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(100)))
+            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.token() == CLIENT && e.is_writable()));
+
+        poll.deregister(&server_side).unwrap();
+        poll.deregister(&listener).unwrap();
+        // Deregistered sources produce no more events.
+        client.write_all(b"more").unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(5)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn eof_is_reported_as_readable() {
+        let poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(4);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        poll.register(&server_side, CLIENT, Interest::READABLE)
+            .unwrap();
+        drop(client); // peer hangs up
+        let mut saw = false;
+        for _ in 0..100 {
+            poll.poll(&mut events, Some(Duration::from_millis(50)))
+                .unwrap();
+            if events
+                .iter()
+                .any(|e| e.token() == CLIENT && e.is_readable())
+            {
+                let mut buf = [0u8; 8];
+                assert_eq!((&server_side).read(&mut buf).unwrap(), 0, "EOF expected");
+                saw = true;
+                break;
+            }
+        }
+        assert!(saw, "hangup never surfaced as readable");
+    }
+}
