@@ -2,15 +2,17 @@
 //!
 //! ```text
 //! treepi build  <db.gspan> <index.tpi> [--alpha A --beta B --eta E --gamma G] [--threads N] [--metrics out.json]
+//!               [--trace out.json] [--timeseries out.json] [--sample-interval-ms M]
 //! treepi query  <index.tpi> <queries.gspan> [--stats] [--seed N] [--threads N] [--metrics out.json] [--trace out.json]
 //! treepi gquery <db.gspan> <queries.gspan> [--threads N] [--metrics out.json]  (gIndex baseline)
 //! treepi metrics-diff <baseline.json> <current.json> [--max-regress-pct P] [--time] [--update-baseline]
-//! treepi stats  <index.tpi>
+//! treepi stats  <index.tpi> | --addr HOST:PORT     (live server snapshot)
 //! treepi dbstats <db.gspan>
 //! treepi gen    <out.gspan> --chem N | --synthetic N L
 //! treepi scan   <db.gspan> <queries.gspan> [--threads N]   (index-free baseline)
 //! treepi serve  <index.tpi> [--addr HOST:PORT] [--threads N] [--batch-window-us U] [--max-batch N]
 //!               [--queue-cap N] [--cache-cap N] [--max-requests N] [--seed N] [--metrics out.json]
+//!               [--timeseries out.json] [--sample-interval-ms M] [--slow-query-us U] [--slow-log out.json]
 //! treepi loadgen <addr> <queries.gspan> [--connections N] [--requests N] [--rate R] [--zipf S]
 //!               [--seed N] [--shutdown] [--metrics out.json]
 //! ```
@@ -18,11 +20,25 @@
 //! `--metrics out.json` enables the `obs` registry for the run and writes
 //! the drained counters, `mem.*` gauges, and stage-span histograms as
 //! stable JSON (schema `treepi.obs/v1`; see EXPERIMENTS.md). Without the
-//! flag the pipeline runs with a disabled registry and records nothing.
+//! flag the pipeline runs with a disabled registry and records nothing —
+//! except `serve`, whose registry is always on so the `STATS` admin op
+//! (`treepi stats --addr`) can snapshot live metrics mid-load.
 //!
-//! `--trace out.json` (query) additionally collects a per-query trace
-//! timeline and writes it as Chrome trace-event JSON, loadable in
+//! `--trace out.json` (query, build) additionally collects a trace
+//! timeline — per-query pipeline stages for `query`, build phases
+//! (`build.mine` / `mine.levelN` / `build.shrink` / `build.centers`) for
+//! `build` — and writes it as Chrome trace-event JSON, loadable in
 //! `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
+//! `--timeseries out.json` (serve, build) records a `treepi.series/v1`
+//! time series: periodic samples of queue depth, shed count, cache hits,
+//! and live heap bytes for `serve` (every `--sample-interval-ms`, default
+//! 100), and one labelled sample per phase boundary for `build`.
+//!
+//! `--slow-query-us U` (serve) captures every query whose verify stage
+//! takes at least `U` µs into a bounded forensics ring (counted under
+//! `serve.slow_queries`); `--slow-log out.json` writes the captures as
+//! Chrome trace events with the filter-funnel counters attached as args.
 //!
 //! `metrics-diff` compares two metrics files and exits non-zero when a
 //! gated value (counters, `mem.*` gauges, span counts; with `--time` also
@@ -50,15 +66,15 @@ static ALLOC: obs::alloc::TrackingAlloc<std::alloc::System> =
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  treepi build  <db.gspan> <index.tpi> [--alpha A] [--beta B] [--eta E] [--gamma G] [--threads N] [--metrics out.json]\n  \
+        "usage:\n  treepi build  <db.gspan> <index.tpi> [--alpha A] [--beta B] [--eta E] [--gamma G] [--threads N] [--metrics out.json] [--trace out.json] [--timeseries out.json] [--sample-interval-ms 100]\n  \
          treepi query  <index.tpi> <queries.gspan> [--stats] [--seed N] [--threads N] [--metrics out.json] [--trace out.json]\n  \
          treepi gquery <db.gspan> <queries.gspan> [--threads N] [--metrics out.json]\n  \
          treepi metrics-diff <baseline.json> <current.json> [--max-regress-pct P] [--time] [--update-baseline]\n  \
-         treepi stats  <index.tpi>\n  \
+         treepi stats  (<index.tpi> | --addr HOST:PORT)\n  \
          treepi dbstats <db.gspan>\n  \
          treepi gen    <out.gspan> (--chem N | --synthetic N L) [--seed N]\n  \
          treepi scan   <db.gspan> <queries.gspan> [--threads N]\n  \
-         treepi serve  <index.tpi> [--addr 127.0.0.1:7878] [--threads N] [--batch-window-us 1000] [--max-batch 64] [--queue-cap 1024] [--cache-cap 4096] [--max-requests 0] [--seed N] [--metrics out.json]\n  \
+         treepi serve  <index.tpi> [--addr 127.0.0.1:7878] [--threads N] [--batch-window-us 1000] [--max-batch 64] [--queue-cap 1024] [--cache-cap 4096] [--max-requests 0] [--seed N] [--metrics out.json] [--timeseries out.json] [--sample-interval-ms 100] [--slow-query-us 0] [--slow-log out.json]\n  \
          treepi loadgen <addr> <queries.gspan> [--connections 4] [--requests 1000] [--rate R] [--zipf 0.0] [--seed N] [--shutdown] [--metrics out.json]"
     );
     ExitCode::from(2)
@@ -115,6 +131,17 @@ fn write_trace(registry: &obs::Registry, path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Write a sampler's retained series to `path` as `treepi.series/v1` JSON.
+fn write_series(sampler: &obs::series::Sampler, path: &str) -> Result<(), String> {
+    std::fs::write(path, sampler.render_json()).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!(
+        "wrote {} time-series samples to {path} ({} dropped by the ring)",
+        sampler.len(),
+        sampler.dropped()
+    );
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().cloned().unwrap_or_default();
@@ -136,12 +163,22 @@ fn run() -> Result<(), String> {
             };
             let threads = treepi::resolve_threads(parse_flag(&args, "--threads", 0usize)?);
             let metrics_path = flag_value(&args, "--metrics");
-            let registry = metrics_registry(&metrics_path, &None);
+            let trace_path = flag_value(&args, "--trace");
+            let series_path = flag_value(&args, "--timeseries");
+            let interval_ms = parse_flag(&args, "--sample-interval-ms", 100u64)?;
+            let registry = metrics_registry(&metrics_path, &trace_path);
+            let sampler = if series_path.is_some() {
+                obs::series::Sampler::new(std::time::Duration::from_millis(interval_ms), 4096)
+            } else {
+                obs::series::Sampler::disabled()
+            };
             let t = std::time::Instant::now();
             let n = db.len();
             let index = {
+                let pool = graph_core::par::Pool::new(threads.max(1));
                 let shard = registry.shard();
-                let index = TreePiIndex::build_with_threads_obs(db, params, threads, &shard);
+                let index =
+                    TreePiIndex::build_with_pool_obs_sampled(db, params, &pool, &shard, &sampler);
                 registry.absorb(shard);
                 index
             };
@@ -154,6 +191,12 @@ fn run() -> Result<(), String> {
             let mut f = std::fs::File::create(out_path).map_err(|e| e.to_string())?;
             index.save(&mut f).map_err(|e| e.to_string())?;
             eprintln!("wrote {out_path}");
+            if let Some(path) = &trace_path {
+                write_trace(&registry, path)?;
+            }
+            if let Some(path) = &series_path {
+                write_series(&sampler, path)?;
+            }
             if let Some(path) = &metrics_path {
                 index.record_mem_gauges(&registry);
                 obs::alloc::record_gauges(&registry);
@@ -312,8 +355,23 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "stats" => {
+            // Live mode: fetch a `treepi.obs/v1` snapshot from a running
+            // server via the STATS admin op and print it verbatim.
+            if let Some(addr) = flag_value(&args, "--addr") {
+                let mut client =
+                    serve::Client::connect_retry(&addr, std::time::Duration::from_secs(2))
+                        .map_err(|e| format!("{addr}: {e}"))?;
+                let resp = client.stats().map_err(|e| e.to_string())?;
+                return match resp.body {
+                    serve::ResponseBody::Stats(json) => {
+                        print!("{json}");
+                        Ok(())
+                    }
+                    other => Err(format!("unexpected response to STATS: {other:?}")),
+                };
+            }
             let Some(idx_path) = args.get(1) else {
-                return Err("stats needs <index.tpi>".into());
+                return Err("stats needs <index.tpi> or --addr HOST:PORT".into());
             };
             let mut f = std::fs::File::open(idx_path).map_err(|e| e.to_string())?;
             let index = TreePiIndex::load(&mut f).map_err(|e| e.to_string())?;
@@ -401,7 +459,25 @@ fn run() -> Result<(), String> {
                 ..serve::ServeConfig::default()
             };
             let metrics_path = flag_value(&args, "--metrics");
-            let registry = metrics_registry(&metrics_path, &None);
+            let series_path = flag_value(&args, "--timeseries");
+            let interval_ms = parse_flag(&args, "--sample-interval-ms", 100u64)?;
+            let slow_us = parse_flag(&args, "--slow-query-us", 0u64)?;
+            let slow_log_path = flag_value(&args, "--slow-log");
+            // Serving telemetry is always on (the STATS admin op must see
+            // live counters even without --metrics); the flag only decides
+            // whether the final snapshot is written to a file.
+            let registry = obs::Registry::new();
+            let mut telemetry = serve::ServeTelemetry {
+                sampler: if series_path.is_some() {
+                    obs::series::Sampler::new(std::time::Duration::from_millis(interval_ms), 4096)
+                } else {
+                    obs::series::Sampler::disabled()
+                },
+                slow: serve::SlowQueryLog::new(
+                    (slow_us > 0).then(|| std::time::Duration::from_micros(slow_us)),
+                    serve::telemetry::SLOW_LOG_CAP,
+                ),
+            };
             let mut engine = treepi::Engine::new(index, threads);
             let server = serve::Server::bind(&addr, config).map_err(|e| format!("{addr}: {e}"))?;
             eprintln!(
@@ -411,9 +487,27 @@ fn run() -> Result<(), String> {
                 engine.parallelism()
             );
             let report = server
-                .run(&mut engine, &registry)
+                .run_with_telemetry(&mut engine, &registry, &mut telemetry)
                 .map_err(|e| e.to_string())?;
             eprintln!("serve done: {report}");
+            if telemetry.slow.seen() > 0 {
+                eprintln!(
+                    "slow queries (verify ≥ {slow_us}us): {} seen, {} captured",
+                    telemetry.slow.seen(),
+                    telemetry.slow.len()
+                );
+            }
+            if let Some(path) = &series_path {
+                write_series(&telemetry.sampler, path)?;
+            }
+            if let Some(path) = &slow_log_path {
+                std::fs::write(path, telemetry.slow.render_chrome_json())
+                    .map_err(|e| format!("{path}: {e}"))?;
+                eprintln!(
+                    "wrote {} slow-query captures to {path}",
+                    telemetry.slow.len()
+                );
+            }
             if let Some(path) = &metrics_path {
                 engine.index().record_mem_gauges(&registry);
                 obs::alloc::record_gauges(&registry);

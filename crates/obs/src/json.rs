@@ -476,18 +476,17 @@ pub fn parse_metric_set(input: &str) -> Result<crate::MetricSet, ParseError> {
                     )))
                 }
             };
-            let idx = if upper == 0 {
-                0
-            } else if upper.is_power_of_two() {
-                upper.trailing_zeros() as usize
-            } else {
+            // Invert the log-linear encoding: a canonical upper bound maps
+            // back to its bucket via `bucket_of` and round-trips through
+            // `bucket_upper`. Pure-log₂ uppers from pre-HDR documents
+            // (powers of two ≥ 32) fail this check, giving old baselines a
+            // clear versioned rejection instead of silent misbucketing.
+            let idx = crate::bucket_of(upper);
+            if crate::bucket_upper(idx) != upper {
                 return Err(sem(format!(
-                    "{ctx}: bucket upper bound {upper} is not a power of two"
-                )));
-            };
-            if idx >= crate::BUCKETS {
-                return Err(sem(format!(
-                    "{ctx}: bucket upper bound {upper} out of range"
+                    "{ctx}: bucket upper bound {upper} is not a canonical log-linear/16 \
+                     bound for schema treepi.obs/v1 — documents from the old pure-log2 \
+                     histogram layout must be regenerated"
                 )));
             }
             stat.buckets[idx] += count;

@@ -47,6 +47,7 @@
 pub mod alloc;
 pub mod diff;
 pub mod json;
+pub mod series;
 pub mod trace;
 
 use std::cell::RefCell;
@@ -61,33 +62,58 @@ pub const COMPILED_IN: bool = !cfg!(feature = "off");
 /// Version tag embedded in every JSON rendering of a [`MetricSet`].
 pub const JSON_SCHEMA: &str = "treepi.obs/v1";
 
-/// Number of logarithmic latency buckets. Bucket `i > 0` covers
-/// `(2^(i-1), 2^i]` nanoseconds; bucket 0 is exactly 0 ns. 48 buckets reach
-/// ~78 hours, far beyond any span this codebase times.
-pub const BUCKETS: usize = 48;
+/// Linear sub-buckets per power of two in the HDR-style log-linear
+/// histogram layout (see [`BUCKETS`]).
+pub const SUB_BUCKETS: usize = 16;
+/// `log2(SUB_BUCKETS)` — the number of mantissa bits each bucket resolves.
+const SUB_BITS: usize = 4;
+/// Largest fully resolved power of two: values up to `2^(K_MAX+1)` ns
+/// (~78 hours) are bucketed with full resolution; beyond that they clamp
+/// into the last bucket.
+const K_MAX: usize = 47;
+
+/// Number of latency buckets in the HDR-style **log-linear** layout:
+/// values below [`SUB_BUCKETS`] ns get one exact bucket each, and every
+/// power-of-two range `[2^k, 2^(k+1))` above that is split into
+/// [`SUB_BUCKETS`] equal-width linear sub-buckets. A bucket's width is
+/// therefore at most `1/16` of its lower bound, which caps the relative
+/// error of histogram quantile estimates at 6.25% (the old pure-log₂
+/// layout was up to 2× off). The range still reaches ~78 hours, far
+/// beyond any span this codebase times.
+pub const BUCKETS: usize = SUB_BUCKETS + (K_MAX - SUB_BITS + 1) * SUB_BUCKETS;
 
 /// Bucket index for a nanosecond value.
 #[inline]
-fn bucket_of(ns: u64) -> usize {
-    if ns == 0 {
-        0
-    } else {
-        (64 - ns.leading_zeros() as usize).min(BUCKETS - 1)
+pub(crate) fn bucket_of(ns: u64) -> usize {
+    if ns < SUB_BUCKETS as u64 {
+        return ns as usize;
     }
+    let k = 63 - ns.leading_zeros() as usize; // ≥ SUB_BITS here
+    if k > K_MAX {
+        return BUCKETS - 1;
+    }
+    let sub = ((ns >> (k - SUB_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    SUB_BUCKETS + (k - SUB_BITS) * SUB_BUCKETS + sub
 }
 
-/// Upper bound (ns) of bucket `i` — the value quantile estimates report.
+/// Upper bound (ns, inclusive) of bucket `i` — the value quantile
+/// estimates report, and the canonical bucket identifier in the JSON
+/// encoding. `bucket_of(bucket_upper(i)) == i` for every valid `i`, which
+/// is what lets [`json::parse_metric_set`] invert the encoding.
 #[inline]
 pub fn bucket_upper(i: usize) -> u64 {
-    if i == 0 {
-        0
-    } else {
-        1u64 << i
+    if i < SUB_BUCKETS {
+        return i as u64;
     }
+    let j = i - SUB_BUCKETS;
+    let k = SUB_BITS + j / SUB_BUCKETS;
+    let sub = (j % SUB_BUCKETS) as u64;
+    (1u64 << k) + (sub + 1) * (1u64 << (k - SUB_BITS)) - 1
 }
 
 /// Aggregated statistics of one named span: invocation count, total wall
-/// time, min/max, and a log-bucketed latency histogram.
+/// time, min/max, and a log-linear-bucketed latency histogram (see
+/// [`BUCKETS`] for the layout and its 6.25% quantile error bound).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SpanStat {
     /// Number of recorded invocations.
@@ -98,7 +124,7 @@ pub struct SpanStat {
     pub min_ns: u64,
     /// Longest recorded duration (ns).
     pub max_ns: u64,
-    /// Log-bucketed histogram; `buckets[i]` counts durations in bucket `i`.
+    /// Log-linear histogram; `buckets[i]` counts durations in bucket `i`.
     pub buckets: [u64; BUCKETS],
 }
 
@@ -142,7 +168,9 @@ impl SpanStat {
 
     /// Histogram quantile estimate: the upper bound of the smallest bucket
     /// holding at least a `p` fraction of samples (`0.0 ≤ p ≤ 1.0`). An
-    /// upper bound by construction — never under-reports the tail.
+    /// upper bound by construction — never under-reports the tail — and,
+    /// because each log-linear bucket is at most `1/16` of its lower bound
+    /// wide, never more than 6.25% above the exact sample quantile.
     pub fn quantile_ns(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -545,6 +573,13 @@ impl Shard {
         self.set.take()
     }
 
+    /// Clone the recorded metrics without draining the shard. Used by live
+    /// snapshots (the serve `STATS` op) that must observe mid-run state
+    /// while the owning loop keeps recording into the same shard.
+    pub fn peek(&self) -> MetricSet {
+        self.set.borrow().clone()
+    }
+
     /// Consume the shard, yielding its metrics.
     pub fn into_set(self) -> MetricSet {
         self.set.into_inner()
@@ -793,6 +828,14 @@ pub mod names {
     pub const SERVE_MAINTENANCE: &str = "serve.maintenance";
     /// Counter: malformed frames / protocol errors answered with `E`.
     pub const SERVE_ERRORS: &str = "serve.errors";
+    /// Counter: connections dropped because the peer stopped reading and
+    /// its write buffer hit the cap (slow-consumer protection).
+    pub const SERVE_SLOW_CONSUMER_DROP: &str = "serve.slow_consumer_drop";
+    /// Counter: queries whose verify stage exceeded the `--slow-query-us`
+    /// threshold and were captured into the slow-query log.
+    pub const SERVE_SLOW_QUERIES: &str = "serve.slow_queries";
+    /// Counter: `STATS` admin snapshots served.
+    pub const SERVE_STATS: &str = "serve.stats";
     /// Span: admission-to-response latency of one served query.
     pub const SPAN_SERVE_REQUEST: &str = "serve.request";
     /// Span: wall time of one engine micro-batch execution.
@@ -800,6 +843,9 @@ pub mod names {
     /// Gauge: peak depth the admission queue ever reached (≤ queue cap —
     /// the bounded-memory witness).
     pub const GAUGE_SERVE_QUEUE_PEAK: &str = "serve.queue_peak";
+    /// Gauge: admission-queue depth at the most recent snapshot/sample
+    /// (instantaneous, unlike the monotone peak above).
+    pub const GAUGE_SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
 
     /// Counter: result-cache hits (answered without touching the engine).
     pub const CACHE_HIT: &str = "cache.hit";
@@ -903,12 +949,19 @@ mod tests {
 
     #[test]
     fn histogram_buckets_and_quantiles() {
+        // Values below SUB_BUCKETS are their own bucket (exact).
         assert_eq!(bucket_of(0), 0);
         assert_eq!(bucket_of(1), 1);
         assert_eq!(bucket_of(2), 2);
-        assert_eq!(bucket_of(3), 2);
-        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(3), 3);
+        assert_eq!(bucket_of(15), 15);
+        // First log-linear bucket: [16, 17).
+        assert_eq!(bucket_of(16), SUB_BUCKETS);
         assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        // bucket_upper inverts bucket_of over the whole index range.
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_of(bucket_upper(i)), i, "bucket {i} not canonical");
+        }
         let mut s = SpanStat::default();
         for ns in [1u64, 2, 3, 4, 1000] {
             s.observe_ns(ns);
@@ -916,8 +969,8 @@ mod tests {
         assert_eq!(s.count, 5);
         assert_eq!(s.min_ns, 1);
         assert_eq!(s.max_ns, 1000);
-        // p50: rank 3 falls in bucket 2 (values 2,3) → upper bound 4.
-        assert_eq!(s.quantile_ns(0.50), 4);
+        // p50: rank 3 falls in the exact linear bucket for 3.
+        assert_eq!(s.quantile_ns(0.50), 3);
         // p95+ lands in the top occupied bucket, clamped to the max.
         assert_eq!(s.quantile_ns(0.95), 1000);
         assert_eq!(s.quantile_ns(1.0), 1000);
@@ -1018,9 +1071,8 @@ mod tests {
         for p in [0.0, 0.5, 0.95, 1.0] {
             assert_eq!(single.quantile_ns(p), 777);
         }
-        // Exact bucket boundaries: powers of two land in their own bucket
-        // (bucket i covers (2^(i-1), 2^i]), so the quantile reports them
-        // exactly rather than one bucket high.
+        // Exact bucket boundaries: powers of two start a fresh sub-bucket
+        // and the max_ns clamp snaps the estimate back to the exact value.
         for ns in [1u64, 2, 4, 1024, 1 << 20] {
             let mut s = SpanStat::default();
             s.observe_ns(ns);
@@ -1035,13 +1087,88 @@ mod tests {
         // stays in it; just above moves to the next.
         let mut split = SpanStat::default();
         for _ in 0..50 {
-            split.observe_ns(3); // bucket 2, upper 4
+            split.observe_ns(3); // exact linear bucket, upper 3
         }
         for _ in 0..50 {
-            split.observe_ns(1000); // bucket 10, upper 1024
+            split.observe_ns(1000); // log-linear bucket [992, 1024)
         }
-        assert_eq!(split.quantile_ns(0.50), 4);
+        assert_eq!(split.quantile_ns(0.50), 3);
         assert_eq!(split.quantile_ns(0.51), 1000);
+    }
+
+    /// Deterministic PRNG for the quantile property test (obs has no
+    /// dev-dependencies by design, so no proptest).
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Property: for adversarial sample sets, the log-linear histogram's
+    /// p50/p95/p99 estimates are (a) never below the exact sorted-sample
+    /// quantile and (b) at most 6.25% above it. This is the accuracy
+    /// contract the HDR-style layout exists to provide (the old pure-log₂
+    /// buckets were up to 2× off).
+    #[test]
+    fn quantile_error_bound_property() {
+        let mut state = 0x5eed_1234_u64;
+        let check = |samples: &mut Vec<u64>, what: &str| {
+            let mut s = SpanStat::default();
+            for &ns in samples.iter() {
+                s.observe_ns(ns);
+            }
+            samples.sort_unstable();
+            for p in [0.50, 0.95, 0.99] {
+                let rank = ((samples.len() as f64) * p).ceil().max(1.0) as usize;
+                let exact = samples[rank - 1];
+                let est = s.quantile_ns(p);
+                assert!(
+                    est >= exact,
+                    "{what}: p{p} estimate {est} under-reports exact {exact}"
+                );
+                // est ≤ exact * 1.0625, in integer arithmetic.
+                assert!(
+                    (est - exact).saturating_mul(10_000) <= exact.saturating_mul(625),
+                    "{what}: p{p} estimate {est} exceeds 6.25% error vs exact {exact}"
+                );
+            }
+        };
+        for round in 0..50 {
+            // Log-uniform: spread across many powers of two.
+            let mut log_uniform: Vec<u64> = (0..500)
+                .map(|_| {
+                    let shift = splitmix64(&mut state) % 40;
+                    splitmix64(&mut state) >> (24 + shift % 40)
+                })
+                .collect();
+            check(&mut log_uniform, "log-uniform");
+            // Adversarial: values clustered just above powers of two, where
+            // pure-log₂ buckets had their worst (~2×) error.
+            let mut boundary: Vec<u64> = (0..500)
+                .map(|_| {
+                    let k = 4 + splitmix64(&mut state) % 30;
+                    (1u64 << k) + splitmix64(&mut state) % 8
+                })
+                .collect();
+            check(&mut boundary, "boundary-cluster");
+            // Heavy tail: mostly microseconds, occasional seconds.
+            let mut heavy: Vec<u64> = (0..500)
+                .map(|_| {
+                    if splitmix64(&mut state) % 100 < 97 {
+                        1_000 + splitmix64(&mut state) % 9_000
+                    } else {
+                        1_000_000_000 + splitmix64(&mut state) % 1_000_000_000
+                    }
+                })
+                .collect();
+            check(&mut heavy, "heavy-tail");
+            // Tiny sample counts, including zeros and the linear region.
+            let n = 1 + (round % 7) as usize;
+            let mut small: Vec<u64> = (0..n).map(|_| splitmix64(&mut state) % 32).collect();
+            check(&mut small, "small-linear");
+        }
     }
 
     #[test]
@@ -1083,13 +1210,19 @@ mod tests {
              [[4, 1]]}}}}}}"
         );
         assert!(json::parse_metric_set(&bad).is_err());
-        // Non-power-of-two bucket bound.
+        // Non-canonical bucket bound: 32 was a valid pure-log₂ upper but is
+        // not a log-linear/16 bound (that bucket's upper is 33) — old-format
+        // documents must fail with a clear versioned error.
         let bad = format!(
             "{{\"schema\": \"{JSON_SCHEMA}\", \"counters\": {{}}, \"spans\": {{\"s\": \
-             {{\"count\": 1, \"total_ns\": 3, \"min_ns\": 3, \"max_ns\": 3, \"buckets\": \
-             [[3, 1]]}}}}}}"
+             {{\"count\": 1, \"total_ns\": 32, \"min_ns\": 32, \"max_ns\": 32, \"buckets\": \
+             [[32, 1]]}}}}}}"
         );
-        assert!(json::parse_metric_set(&bad).is_err());
+        let err = json::parse_metric_set(&bad).unwrap_err().to_string();
+        assert!(
+            err.contains("log-linear") && err.contains("treepi.obs/v1"),
+            "old-format rejection must name the schema and layout: {err}"
+        );
         // Documents without a "gauges" key (pre-gauge emitters) still parse.
         let old = format!(
             "{{\"schema\": \"{JSON_SCHEMA}\", \"counters\": {{\"c\": 1}}, \"spans\": {{}}}}"

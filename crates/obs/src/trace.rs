@@ -33,6 +33,10 @@ pub struct TraceEvent {
     pub start_ns: u64,
     /// Event duration in nanoseconds.
     pub dur_ns: u64,
+    /// Extra `(key, value)` pairs rendered into the Chrome `args` object —
+    /// e.g. the filter-funnel counters attached to a slow-query capture.
+    /// Empty for ordinary span events.
+    pub args: Vec<(String, u64)>,
 }
 
 /// The aggregation point for trace events: defines the epoch all offsets
@@ -123,6 +127,7 @@ impl TraceShard {
             lane: self.lane,
             start_ns,
             dur_ns: dur.as_nanos().min(u64::MAX as u128) as u64,
+            args: Vec::new(),
         });
     }
 }
@@ -158,10 +163,14 @@ pub fn render_chrome_json(events: &[TraceEvent]) -> String {
         );
     }
     for e in events {
-        let args = match e.query {
-            Some(q) => format!("{{\"query\": {q}}}"),
-            None => "{}".to_string(),
-        };
+        let mut fields: Vec<String> = Vec::with_capacity(1 + e.args.len());
+        if let Some(q) = e.query {
+            fields.push(format!("\"query\": {q}"));
+        }
+        for (k, v) in &e.args {
+            fields.push(format!("{}: {v}", crate::json::escape_string(k)));
+        }
+        let args = format!("{{{}}}", fields.join(", "));
         push_record(
             format!(
                 "{{\"ph\": \"X\", \"name\": {}, \"cat\": \"treepi\", \"pid\": 1, \"tid\": {}, \
@@ -260,6 +269,40 @@ mod tests {
             .find(|s| s.get("name").and_then(json::Value::as_str) == Some("query.verify"))
             .unwrap();
         assert_eq!(verify.get("dur").and_then(json::Value::as_f64), Some(1.5));
+    }
+
+    #[test]
+    fn event_args_render_into_chrome_args_object() {
+        let e = TraceEvent {
+            name: "serve.slow_query".to_string(),
+            query: Some(42),
+            lane: 0,
+            start_ns: 1_000,
+            dur_ns: 2_500,
+            args: vec![
+                ("funnel.filtered".to_string(), 17),
+                ("funnel.answers".to_string(), 3),
+            ],
+        };
+        let v = json::parse(&render_chrome_json(&[e])).expect("valid JSON");
+        let arr = v
+            .get("traceEvents")
+            .and_then(json::Value::as_array)
+            .unwrap();
+        let slice = arr
+            .iter()
+            .find(|r| r.get("ph").and_then(json::Value::as_str) == Some("X"))
+            .unwrap();
+        let args = slice.get("args").expect("args object");
+        assert_eq!(args.get("query").and_then(json::Value::as_u64), Some(42));
+        assert_eq!(
+            args.get("funnel.filtered").and_then(json::Value::as_u64),
+            Some(17)
+        );
+        assert_eq!(
+            args.get("funnel.answers").and_then(json::Value::as_u64),
+            Some(3)
+        );
     }
 
     #[test]

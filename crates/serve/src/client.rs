@@ -98,6 +98,11 @@ impl Client {
         self.request(RequestBody::Remove(gid))
     }
 
+    /// Fetch a live metrics snapshot (`treepi.obs/v1` JSON).
+    pub fn stats(&mut self) -> io::Result<Response> {
+        self.request(RequestBody::Stats)
+    }
+
     /// Ask the server to drain and exit.
     pub fn shutdown(&mut self) -> io::Result<Response> {
         self.request(RequestBody::Shutdown)

@@ -18,6 +18,13 @@
 //! - [`client`] / [`loadgen`] — a blocking client and an open/closed-loop
 //!   load generator with a Zipf skew knob, reporting p50/p95/p99 from the
 //!   obs histograms.
+//! - [`telemetry`] — live observability: the `STATS` admin op snapshots
+//!   the running server's metrics as `treepi.obs/v1` JSON without pausing
+//!   the event loop, a ring-buffer sampler records queue/cache/heap time
+//!   series, and a slow-query log captures per-stage forensics for
+//!   queries whose verify stage exceeds a threshold. Slow-consumer
+//!   disconnects (write buffer over cap) are counted under
+//!   `serve.slow_consumer_drop`.
 //!
 //! Metrics live in the `serve.*` / `cache.*` / `loadgen.*` namespaces,
 //! which are exempt from the determinism contract and the metrics-diff
@@ -31,9 +38,11 @@ pub mod client;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
+pub mod telemetry;
 
 pub use cache::QueryCache;
 pub use client::Client;
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use protocol::{Request, RequestBody, Response, ResponseBody};
 pub use server::{ServeConfig, ServeReport, Server};
+pub use telemetry::{ServeTelemetry, SlowQueryLog};

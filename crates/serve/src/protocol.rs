@@ -14,6 +14,7 @@
 //! | `Q` | one graph, gSpan text (utf8) | containment query           |
 //! | `I` | one graph, gSpan text (utf8) | §7.1 insert                 |
 //! | `R` | `u32 LE` graph id            | §7.1 remove                 |
+//! | `S` | empty                        | live metrics snapshot (admin) |
 //! | `X` | empty                        | drain queue and shut down   |
 //!
 //! Response payload: `tag u32 LE`, status `u8`, body.
@@ -24,6 +25,7 @@
 //! | `B`    | empty                           | shed: admission queue full |
 //! | `I`    | `u32 LE` new graph id           | insert applied         |
 //! | `R`    | `u8` (1 = was active)           | remove applied         |
+//! | `S`    | utf8 `treepi.obs/v1` JSON       | live metrics snapshot  |
 //! | `X`    | empty                           | shutdown acknowledged  |
 //! | `E`    | utf8 message                    | protocol/query error   |
 
@@ -53,6 +55,9 @@ pub enum RequestBody {
     Insert(Graph),
     /// Remove a graph by id (§7.1 maintenance).
     Remove(u32),
+    /// Admin: snapshot the server's live metrics as `treepi.obs/v1` JSON.
+    /// Answered inline from the event loop — never queued, never shed.
+    Stats,
     /// Drain pending queries, answer them, then shut the server down.
     Shutdown,
 }
@@ -77,6 +82,8 @@ pub enum ResponseBody {
     Inserted(u32),
     /// Remove applied; whether the graph was active.
     Removed(bool),
+    /// Live metrics snapshot: a `treepi.obs/v1` JSON document.
+    Stats(String),
     /// Shutdown acknowledged; the server exits after draining.
     ShuttingDown,
     /// The request was malformed or unanswerable.
@@ -117,6 +124,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             p.push(b'R');
             put_u32(&mut p, *gid);
         }
+        RequestBody::Stats => p.push(b'S'),
         RequestBody::Shutdown => p.push(b'X'),
     }
     encode_frame(p)
@@ -142,6 +150,12 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         ResponseBody::Removed(was_active) => {
             p.push(b'R');
             p.push(*was_active as u8);
+        }
+        ResponseBody::Stats(json) => {
+            p.push(b'S');
+            let cap = MAX_FRAME - 5;
+            let json = if json.len() > cap { &json[..cap] } else { json };
+            p.extend_from_slice(json.as_bytes());
         }
         ResponseBody::ShuttingDown => p.push(b'X'),
         ResponseBody::Error(msg) => {
@@ -172,6 +186,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
         b'Q' => RequestBody::Query(parse_one_graph(body)?),
         b'I' => RequestBody::Insert(parse_one_graph(body)?),
         b'R' => RequestBody::Remove(get_u32(body, 0).ok_or("remove body missing graph id")?),
+        b'S' => RequestBody::Stats,
         b'X' => RequestBody::Shutdown,
         other => return Err(format!("unknown request op 0x{other:02x}")),
     };
@@ -195,6 +210,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
         b'B' => ResponseBody::Busy,
         b'I' => ResponseBody::Inserted(get_u32(body, 0).ok_or("insert body missing id")?),
         b'R' => ResponseBody::Removed(*body.first().ok_or("remove body missing flag")? != 0),
+        b'S' => ResponseBody::Stats(String::from_utf8_lossy(body).into_owned()),
         b'X' => ResponseBody::ShuttingDown,
         b'E' => ResponseBody::Error(String::from_utf8_lossy(body).into_owned()),
         other => return Err(format!("unknown response status 0x{other:02x}")),
@@ -244,6 +260,10 @@ mod tests {
             Request {
                 tag: 0,
                 body: RequestBody::Remove(42),
+            },
+            Request {
+                tag: 8,
+                body: RequestBody::Stats,
             },
             Request {
                 tag: 9,
@@ -296,6 +316,10 @@ mod tests {
             Response {
                 tag: 7,
                 body: ResponseBody::Error("nope".into()),
+            },
+            Response {
+                tag: 8,
+                body: ResponseBody::Stats("{\"schema\": \"treepi.obs/v1\"}".into()),
             },
         ];
         for resp in &resps {

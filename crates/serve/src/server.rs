@@ -32,6 +32,7 @@
 
 use crate::cache::QueryCache;
 use crate::protocol::{self, Request, RequestBody, Response, ResponseBody, MAX_FRAME};
+use crate::telemetry::ServeTelemetry;
 use graph_core::{canonical_code, CanonCode, Graph};
 use minipoll::{Events, Interest, Poll, Token};
 use std::collections::VecDeque;
@@ -195,6 +196,22 @@ impl Server {
     /// `serve.batch_exec`) and the `serve.*` / `cache.*` counters are
     /// recorded into `registry`.
     pub fn run(self, engine: &mut Engine, registry: &obs::Registry) -> io::Result<ServeReport> {
+        let mut telemetry = ServeTelemetry::disabled();
+        self.run_with_telemetry(engine, registry, &mut telemetry)
+    }
+
+    /// [`Server::run`] with live telemetry attached: `telemetry.sampler`
+    /// is ticked once per poll iteration (recording queue depth, shed
+    /// count, cache hits, and live heap bytes), and queries whose verify
+    /// stage meets the slow-query threshold are captured into
+    /// `telemetry.slow`. Both outlive the run — the caller renders them
+    /// after the server exits.
+    pub fn run_with_telemetry(
+        self,
+        engine: &mut Engine,
+        registry: &obs::Registry,
+        telemetry: &mut ServeTelemetry,
+    ) -> io::Result<ServeReport> {
         let epoch = engine.epoch();
         let mut lp = EventLoop {
             listener: self.listener,
@@ -203,6 +220,7 @@ impl Server {
             config: self.config,
             engine,
             shard: registry.shard(),
+            telemetry,
             conns: Vec::new(),
             free: Vec::new(),
             pending: VecDeque::new(),
@@ -228,6 +246,7 @@ struct EventLoop<'e> {
     config: ServeConfig,
     engine: &'e mut Engine,
     shard: obs::Shard,
+    telemetry: &'e mut ServeTelemetry,
     conns: Vec<Option<Conn>>,
     free: Vec<usize>,
     pending: VecDeque<PendingQuery>,
@@ -241,6 +260,9 @@ impl EventLoop<'_> {
         loop {
             while self.batch_due() {
                 self.run_batch(registry);
+            }
+            if self.telemetry.sampler.due() {
+                self.sample_tick();
             }
             if self.shutdown && self.pending.is_empty() {
                 break;
@@ -258,7 +280,7 @@ impl EventLoop<'_> {
                             self.flush_conn(idx);
                         }
                         if ev.is_readable() {
-                            self.handle_readable(idx);
+                            self.handle_readable(idx, registry);
                         }
                     }
                 }
@@ -266,6 +288,59 @@ impl EventLoop<'_> {
         }
         self.drain_writes();
         Ok(())
+    }
+
+    /// Record one periodic time-series sample: instantaneous queue and
+    /// cache occupancy plus the run's counters so far (and live heap
+    /// bytes when the tracking allocator is installed).
+    fn sample_tick(&mut self) {
+        let mut values: Vec<(&str, u64)> = vec![
+            (
+                obs::names::GAUGE_SERVE_QUEUE_DEPTH,
+                self.pending.len() as u64,
+            ),
+            (
+                obs::names::GAUGE_SERVE_QUEUE_PEAK,
+                self.report.queue_peak as u64,
+            ),
+            (obs::names::SERVE_REQUESTS, self.report.requests),
+            (obs::names::SERVE_SHED, self.report.shed),
+            (obs::names::CACHE_HIT, self.cache.hits()),
+            (obs::names::GAUGE_CACHE_ENTRIES, self.cache.len() as u64),
+        ];
+        if obs::alloc::installed() {
+            values.push((obs::names::GAUGE_ALLOC_LIVE, obs::alloc::live_bytes()));
+        }
+        self.telemetry.sampler.sample(None, &values);
+    }
+
+    /// Assemble the live metrics snapshot served by the `STATS` op: the
+    /// registry's absorbed totals, this loop's not-yet-absorbed shard
+    /// (peeked, not drained — shutdown accounting is untouched), the live
+    /// cache counters, and on-demand occupancy gauges.
+    fn live_snapshot(&self, registry: &obs::Registry) -> obs::MetricSet {
+        let mut set = registry.snapshot();
+        set.merge(&self.shard.peek());
+        let mut live = obs::MetricSet::new();
+        live.add(obs::names::CACHE_HIT, self.cache.hits());
+        live.add(obs::names::CACHE_MISS, self.cache.misses());
+        live.add(obs::names::CACHE_EVICTIONS, self.cache.evictions());
+        live.add(obs::names::CACHE_INVALIDATIONS, self.cache.invalidations());
+        live.set_gauge(obs::names::GAUGE_CACHE_ENTRIES, self.cache.len() as u64);
+        live.set_gauge(
+            obs::names::GAUGE_SERVE_QUEUE_PEAK,
+            self.report.queue_peak as u64,
+        );
+        live.set_gauge(
+            obs::names::GAUGE_SERVE_QUEUE_DEPTH,
+            self.pending.len() as u64,
+        );
+        if obs::alloc::installed() {
+            live.set_gauge(obs::names::GAUGE_ALLOC_LIVE, obs::alloc::live_bytes());
+            live.set_gauge(obs::names::GAUGE_ALLOC_PEAK, obs::alloc::peak_bytes());
+        }
+        set.merge(&live);
+        set
     }
 
     /// Dispatch when the batch is full, the oldest query's latency budget
@@ -294,11 +369,21 @@ impl EventLoop<'_> {
                     .query_batch_obs(&graphs, self.config.opts, seed, registry);
             results
         };
+        let batch_end = Instant::now();
+        let seq_base = self.report.served;
         self.report.batches += 1;
         self.report.served += n as u64;
         self.shard.add(obs::names::SERVE_BATCHES, 1);
         self.shard.add(obs::names::SERVE_BATCHED, n as u64);
-        for ((conn, tag, key, admitted), r) in metas.into_iter().zip(results) {
+        for (i, ((conn, tag, key, admitted), r)) in metas.into_iter().zip(results).enumerate() {
+            if self.telemetry.slow.is_enabled()
+                && self
+                    .telemetry
+                    .slow
+                    .record(seq_base + i as u64, &r.stats, batch_end)
+            {
+                self.shard.add(obs::names::SERVE_SLOW_QUERIES, 1);
+            }
             if let Some(key) = key {
                 self.cache.insert(key, r.matches.clone());
             }
@@ -351,7 +436,7 @@ impl EventLoop<'_> {
         // responses are silently dropped by `respond`.
     }
 
-    fn handle_readable(&mut self, idx: usize) {
+    fn handle_readable(&mut self, idx: usize, registry: &obs::Registry) {
         let mut dead = false;
         {
             let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
@@ -381,7 +466,7 @@ impl EventLoop<'_> {
                 }
             }
         }
-        self.parse_frames(idx);
+        self.parse_frames(idx, registry);
         if dead {
             self.close_conn(idx);
         }
@@ -390,7 +475,7 @@ impl EventLoop<'_> {
     /// Decode and handle every complete frame buffered on `idx`. The
     /// leftover is bounded: `take_frame` rejects declared lengths beyond
     /// [`MAX_FRAME`], so at most `4 + MAX_FRAME` partial bytes linger.
-    fn parse_frames(&mut self, idx: usize) {
+    fn parse_frames(&mut self, idx: usize, registry: &obs::Registry) {
         loop {
             let step = {
                 let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
@@ -432,7 +517,7 @@ impl EventLoop<'_> {
                 Some((_, Ok(req))) => {
                     self.report.requests += 1;
                     self.shard.add(obs::names::SERVE_REQUESTS, 1);
-                    self.handle_request(idx, req);
+                    self.handle_request(idx, req, registry);
                     if self.config.max_requests > 0
                         && self.report.requests >= self.config.max_requests
                     {
@@ -443,7 +528,7 @@ impl EventLoop<'_> {
         }
     }
 
-    fn handle_request(&mut self, idx: usize, req: Request) {
+    fn handle_request(&mut self, idx: usize, req: Request, registry: &obs::Registry) {
         let tag = req.tag;
         match req.body {
             RequestBody::Query(g) => {
@@ -524,6 +609,21 @@ impl EventLoop<'_> {
                     },
                 );
             }
+            RequestBody::Stats => {
+                // Answered inline — no queueing, no engine, no pause. The
+                // snapshot layers the loop's live state over the registry's
+                // absorbed totals, so mid-load counters are visible.
+                self.shard.add(obs::names::SERVE_STATS, 1);
+                let json = self.live_snapshot(registry).render_json();
+                let body = if json.len() <= MAX_FRAME - 5 {
+                    ResponseBody::Stats(json)
+                } else {
+                    // Practically unreachable (a snapshot is a few KB), but
+                    // a truncated JSON document would be worse than an error.
+                    ResponseBody::Error("stats snapshot exceeds MAX_FRAME".into())
+                };
+                self.respond(idx, Response { tag, body });
+            }
             RequestBody::Shutdown => {
                 self.shutdown = true;
                 self.respond(
@@ -554,7 +654,11 @@ impl EventLoop<'_> {
             conn.unsent() > WBUF_CAP
         };
         if overflow {
-            self.close_conn(idx); // slow consumer
+            // Slow consumer: the peer stopped reading and its unsent
+            // responses hit the cap. Count the drop — a silent disconnect
+            // here looks like a network failure to the operator.
+            self.shard.add(obs::names::SERVE_SLOW_CONSUMER_DROP, 1);
+            self.close_conn(idx);
         } else {
             self.flush_conn(idx);
         }

@@ -1,0 +1,280 @@
+//! Live serving telemetry: the time-series sampler tick and the
+//! slow-query forensics log.
+//!
+//! Both pieces ride inside the event loop thread (no synchronization):
+//! the [`obs::series::Sampler`] is ticked once per poll iteration and
+//! records queue/cache/heap gauges when its interval elapses, and the
+//! [`SlowQueryLog`] captures the filter-funnel counters plus a
+//! reconstructed per-stage timeline for every query whose verify stage
+//! exceeded the configured threshold. The log is a bounded ring — under a
+//! pathological query mix it keeps the most recent captures and counts
+//! the rest — and dumps as Chrome trace-event JSON
+//! ([`SlowQueryLog::render_chrome_json`]) loadable in Perfetto, with the
+//! funnel counters attached as per-slice `args`.
+
+use obs::series::Sampler;
+use obs::trace::TraceEvent;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+use treepi::QueryStats;
+
+/// Default capacity of the slow-query ring.
+pub const SLOW_LOG_CAP: usize = 256;
+
+/// Telemetry state owned by one server run: the periodic sampler plus the
+/// slow-query log. Construct with real settings for live observability or
+/// [`ServeTelemetry::disabled`] for the zero-overhead default.
+#[derive(Debug)]
+pub struct ServeTelemetry {
+    /// Periodic sampler, ticked by the event loop.
+    pub sampler: Sampler,
+    /// Slow-query captures.
+    pub slow: SlowQueryLog,
+}
+
+impl ServeTelemetry {
+    /// Telemetry that records nothing: the sampler never fires and no
+    /// query is slow enough to capture.
+    pub fn disabled() -> Self {
+        Self {
+            sampler: Sampler::disabled(),
+            slow: SlowQueryLog::new(None, SLOW_LOG_CAP),
+        }
+    }
+}
+
+/// Bounded ring of slow-query captures.
+///
+/// A query is captured when its verify-stage time meets `threshold`
+/// (`None` disables capture entirely). Each capture stores five trace
+/// events: an umbrella `serve.slow_query` slice spanning the whole
+/// pipeline with the funnel counters as `args`, plus the four stage
+/// slices, reconstructed backwards from the completion instant exactly
+/// like [`treepi::QueryStats::trace_into`].
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    threshold: Option<Duration>,
+    cap: usize,
+    epoch: Instant,
+    ring: VecDeque<Vec<TraceEvent>>,
+    seen: u64,
+}
+
+impl SlowQueryLog {
+    /// A log capturing queries with verify time ≥ `threshold`, keeping
+    /// the most recent `cap` captures.
+    pub fn new(threshold: Option<Duration>, cap: usize) -> Self {
+        Self {
+            threshold,
+            cap: cap.max(1),
+            epoch: Instant::now(),
+            ring: VecDeque::new(),
+            seen: 0,
+        }
+    }
+
+    /// Whether captures can ever happen (used to skip per-query work).
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.threshold.is_some()
+    }
+
+    /// Total slow queries observed, including ones evicted from the ring.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Captures currently retained (≤ cap).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no capture has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Consider one finished query: capture it if its verify stage met
+    /// the threshold. `seq` is the running query number (rendered as the
+    /// Chrome `query` arg), `end` the instant the query finished.
+    /// Returns whether a capture happened.
+    pub fn record(&mut self, seq: u64, stats: &QueryStats, end: Instant) -> bool {
+        let Some(threshold) = self.threshold else {
+            return false;
+        };
+        if stats.t_verify < threshold {
+            return false;
+        }
+        self.seen += 1;
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+        }
+        // Stage starts reconstructed backwards from `end`, as in
+        // `QueryStats::trace_into` — the stages run back-to-back.
+        let verify_start = end - stats.t_verify;
+        let prune_start = verify_start - stats.t_prune;
+        let filter_start = prune_start - stats.t_filter;
+        let partition_start = filter_start - stats.t_partition;
+        let off = |at: Instant| {
+            at.checked_duration_since(self.epoch)
+                .unwrap_or_default()
+                .as_nanos()
+                .min(u64::MAX as u128) as u64
+        };
+        let slice =
+            |name: &str, start: Instant, dur: Duration, args: Vec<(String, u64)>| TraceEvent {
+                name: name.to_string(),
+                query: Some(seq),
+                lane: 0,
+                start_ns: off(start),
+                dur_ns: dur.as_nanos().min(u64::MAX as u128) as u64,
+                args,
+            };
+        self.ring.push_back(vec![
+            slice(
+                "serve.slow_query",
+                partition_start,
+                stats.total(),
+                vec![
+                    ("funnel.filtered".to_string(), stats.filtered as u64),
+                    ("funnel.pruned".to_string(), stats.pruned as u64),
+                    ("funnel.answers".to_string(), stats.answers as u64),
+                    (
+                        "funnel.missing_feature".to_string(),
+                        stats.missing_feature as u64,
+                    ),
+                ],
+            ),
+            slice(
+                obs::names::SPAN_PARTITION,
+                partition_start,
+                stats.t_partition,
+                Vec::new(),
+            ),
+            slice(
+                obs::names::SPAN_FILTER,
+                filter_start,
+                stats.t_filter,
+                Vec::new(),
+            ),
+            slice(
+                obs::names::SPAN_PRUNE,
+                prune_start,
+                stats.t_prune,
+                Vec::new(),
+            ),
+            slice(
+                obs::names::SPAN_VERIFY,
+                verify_start,
+                stats.t_verify,
+                Vec::new(),
+            ),
+        ]);
+        true
+    }
+
+    /// Render every retained capture as one Chrome trace-event JSON
+    /// document (timeline order within each capture is preserved).
+    pub fn render_chrome_json(&self) -> String {
+        let events: Vec<TraceEvent> = self.ring.iter().flatten().cloned().collect();
+        obs::trace::render_chrome_json(&events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slow_stats() -> QueryStats {
+        QueryStats {
+            partition_size: 2,
+            sf_size: 3,
+            filtered: 17,
+            pruned: 9,
+            answers: 4,
+            missing_feature: false,
+            t_partition: Duration::from_micros(10),
+            t_filter: Duration::from_micros(20),
+            t_prune: Duration::from_micros(5),
+            t_verify: Duration::from_micros(500),
+        }
+    }
+
+    #[test]
+    fn threshold_gates_capture() {
+        let mut log = SlowQueryLog::new(Some(Duration::from_millis(1)), 8);
+        assert!(!log.record(0, &slow_stats(), Instant::now()));
+        assert!(log.is_empty());
+        let mut log = SlowQueryLog::new(Some(Duration::from_micros(100)), 8);
+        assert!(log.record(0, &slow_stats(), Instant::now()));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.seen(), 1);
+        let mut off = SlowQueryLog::new(None, 8);
+        assert!(!off.is_enabled());
+        assert!(!off.record(0, &slow_stats(), Instant::now()));
+    }
+
+    #[test]
+    fn ring_is_bounded_but_seen_counts_all() {
+        let mut log = SlowQueryLog::new(Some(Duration::ZERO), 3);
+        for seq in 0..10 {
+            assert!(log.record(seq, &slow_stats(), Instant::now()));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.seen(), 10);
+        // The retained captures are the most recent ones.
+        let doc = log.render_chrome_json();
+        assert!(doc.contains("\"query\": 9"));
+        assert!(!doc.contains("\"query\": 0,"));
+    }
+
+    #[test]
+    fn capture_renders_funnel_args_and_stages() {
+        let mut log = SlowQueryLog::new(Some(Duration::ZERO), 8);
+        log.record(7, &slow_stats(), Instant::now());
+        let doc = log.render_chrome_json();
+        let v = obs::json::parse(&doc).expect("valid Chrome JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(obs::json::Value::as_array)
+            .expect("traceEvents");
+        let slices: Vec<&obs::json::Value> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(obs::json::Value::as_str) == Some("X"))
+            .collect();
+        // Umbrella + 4 stages.
+        assert_eq!(slices.len(), 5);
+        let umbrella = slices
+            .iter()
+            .find(|s| s.get("name").and_then(obs::json::Value::as_str) == Some("serve.slow_query"))
+            .expect("umbrella slice");
+        let args = umbrella.get("args").expect("args");
+        assert_eq!(
+            args.get("funnel.filtered")
+                .and_then(obs::json::Value::as_u64),
+            Some(17)
+        );
+        assert_eq!(
+            args.get("query").and_then(obs::json::Value::as_u64),
+            Some(7)
+        );
+        // Stage slices tile the umbrella: verify ends where it ends.
+        for name in obs::names::PIPELINE_SPANS {
+            assert!(
+                slices
+                    .iter()
+                    .any(|s| s.get("name").and_then(obs::json::Value::as_str) == Some(name)),
+                "missing stage slice {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_telemetry_is_inert() {
+        let t = ServeTelemetry::disabled();
+        assert!(!t.sampler.is_enabled());
+        assert!(!t.slow.is_enabled());
+        // Renders a valid empty document either way.
+        assert!(obs::json::parse(&t.slow.render_chrome_json()).is_ok());
+    }
+}

@@ -260,6 +260,122 @@ fn loadgen_drives_the_server_and_reports_latency() {
 }
 
 #[test]
+fn stats_op_returns_live_parseable_snapshot() {
+    let (addr, handle) = spawn_server(ServeConfig {
+        batch_window: Duration::from_micros(200),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect_retry(&addr.to_string(), Duration::from_secs(5)).unwrap();
+    // Work first, so the live snapshot has counters to show.
+    for q in queries() {
+        expect_matches(client.query(&q).unwrap());
+    }
+    let repeat = queries()[0].clone();
+    expect_matches(client.query(&repeat).unwrap()); // cache hit
+    let json = match client.stats().unwrap().body {
+        ResponseBody::Stats(json) => json,
+        other => panic!("expected stats, got {other:?}"),
+    };
+    let snap = obs::json::parse_metric_set(&json).expect("snapshot is valid treepi.obs/v1");
+    if obs::COMPILED_IN {
+        // Live serve counters — recorded in the loop's shard, which is only
+        // absorbed at shutdown: a snapshot built from the registry alone
+        // would show zeros here.
+        assert_eq!(snap.counter(obs::names::SERVE_QUERIES), 6);
+        assert!(snap.counter(obs::names::CACHE_HIT) >= 1);
+        assert_eq!(snap.counter(obs::names::SERVE_STATS), 1);
+        assert!(
+            snap.gauge(obs::names::GAUGE_SERVE_QUEUE_PEAK).is_some(),
+            "queue peak gauge missing"
+        );
+        assert!(
+            snap.gauge(obs::names::GAUGE_SERVE_QUEUE_DEPTH).is_some(),
+            "queue depth gauge missing"
+        );
+        // Pipeline spans from executed batches are visible mid-run too.
+        assert!(snap.span(obs::names::SPAN_VERIFY).is_some());
+    }
+    // The server keeps serving after a snapshot.
+    let again = expect_matches(client.query(&repeat).unwrap());
+    assert_eq!(again, scan_support(&build_index(), &repeat));
+    client.shutdown().unwrap();
+    let (report, metrics, _) = handle.join().unwrap();
+    assert_eq!(report.requests, 9); // 7 queries + stats + shutdown
+    if obs::COMPILED_IN {
+        // The final drained metrics also carry the stats-op counter.
+        assert_eq!(metrics.counter(obs::names::SERVE_STATS), 1);
+    }
+}
+
+#[test]
+fn telemetry_captures_slow_queries_and_samples_series() {
+    use serve::telemetry::ServeTelemetry;
+
+    if !obs::COMPILED_IN {
+        return; // sampler and slow-log capture are compiled out
+    }
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            batch_window: Duration::from_micros(200),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || {
+        let mut engine = Engine::new(build_index(), 2);
+        let registry = obs::Registry::new();
+        let mut telemetry = ServeTelemetry {
+            // Zero interval: every poll iteration samples.
+            sampler: obs::series::Sampler::new(Duration::ZERO, 8),
+            // Zero threshold: every executed query is "slow". Cap 3 keeps
+            // the ring bounded below the query count.
+            slow: serve::SlowQueryLog::new(Some(Duration::ZERO), 3),
+        };
+        let report = server
+            .run_with_telemetry(&mut engine, &registry, &mut telemetry)
+            .expect("serve");
+        (report, registry.drain(), telemetry)
+    });
+    let mut client = Client::connect_retry(&addr.to_string(), Duration::from_secs(5)).unwrap();
+    for q in queries() {
+        expect_matches(client.query(&q).unwrap());
+    }
+    client.shutdown().unwrap();
+    let (report, metrics, telemetry) = handle.join().unwrap();
+    assert_eq!(report.served, 5);
+    // Every executed query tripped the zero threshold; the ring kept 3.
+    assert_eq!(telemetry.slow.seen(), 5);
+    assert_eq!(telemetry.slow.len(), 3);
+    assert_eq!(metrics.counter(obs::names::SERVE_SLOW_QUERIES), 5);
+    let doc = telemetry.slow.render_chrome_json();
+    let v = obs::json::parse(&doc).expect("slow log renders valid Chrome JSON");
+    let slices = v
+        .get("traceEvents")
+        .and_then(obs::json::Value::as_array)
+        .unwrap()
+        .iter()
+        .filter(|e| e.get("ph").and_then(obs::json::Value::as_str) == Some("X"))
+        .count();
+    assert_eq!(slices, 3 * 5, "3 captures × (umbrella + 4 stages)");
+    // The sampler ticked (poll iterations happen even while idle) and its
+    // timestamps are monotone.
+    assert!(!telemetry.sampler.is_empty(), "sampler never fired");
+    let series = obs::json::parse(&telemetry.sampler.render_json()).expect("valid series JSON");
+    let samples = series
+        .get("samples")
+        .and_then(obs::json::Value::as_array)
+        .unwrap();
+    let mut prev = 0u64;
+    for s in samples {
+        let t = s.get("t_ns").and_then(obs::json::Value::as_u64).unwrap();
+        assert!(t >= prev, "series timestamps must be monotone");
+        prev = t;
+    }
+}
+
+#[test]
 fn open_loop_rate_paces_the_run() {
     let (addr, handle) = spawn_server(ServeConfig::default());
     let registry = obs::Registry::disabled();

@@ -166,15 +166,47 @@ impl TreePiIndex {
         pool: &graph_core::par::Pool,
         shard: &obs::Shard,
     ) -> Self {
+        Self::build_with_pool_obs_sampled(
+            db,
+            params,
+            pool,
+            shard,
+            &obs::series::Sampler::disabled(),
+        )
+    }
+
+    /// [`Self::build_with_pool_obs`] additionally recording one labelled
+    /// time-series sample at every phase boundary (mine → shrink →
+    /// centers) into `sampler` — heap occupancy plus the phase's output
+    /// size, so `treepi build --timeseries` shows where memory and
+    /// features accrue during construction. Short builds still yield a
+    /// useful series because boundary samples bypass the interval gate.
+    pub fn build_with_pool_obs_sampled(
+        db: Vec<Graph>,
+        params: TreePiParams,
+        pool: &graph_core::par::Pool,
+        shard: &obs::Shard,
+        sampler: &obs::series::Sampler,
+    ) -> Self {
+        let sample_phase = |label: &str, output_size: usize| {
+            let mut values: Vec<(&str, u64)> = vec![("build.phase_output", output_size as u64)];
+            if obs::alloc::installed() {
+                values.push((obs::names::GAUGE_ALLOC_LIVE, obs::alloc::live_bytes()));
+            }
+            sampler.sample(Some(label), &values);
+        };
+        sample_phase("build.start", db.len());
         let t0 = std::time::Instant::now();
         let mine_span = shard.span("build.mine");
         let (mined, mstats) =
             mining::mine_frequent_trees_pool_obs(&db, &params.sigma, &params.limits, pool, shard);
         drop(mine_span);
         let mined_count = mined.len();
+        sample_phase("build.mine", mined_count);
         let shrink_span = shard.span("build.shrink");
         let kept = shrink_features_pool(mined, params.gamma, pool);
         drop(shrink_span);
+        sample_phase("build.shrink", kept.len());
         shard.add("build.mined", mined_count as u64);
         shard.add("build.features_kept", kept.len() as u64);
         let t_mine = t0.elapsed().as_millis();
@@ -233,6 +265,7 @@ impl TreePiIndex {
             centers.push(per_graph);
             features.push(feature);
         }
+        sample_phase("build.centers", features.len());
         shard.add("build.features", features.len() as u64);
         shard.add("build.center_entries", center_entries as u64);
         shard.add("build.center_positions", n_positions as u64);
