@@ -13,8 +13,10 @@
 //! treepi serve  <index.tpi> [--addr HOST:PORT] [--threads N] [--batch-window-us U] [--max-batch N]
 //!               [--queue-cap N] [--cache-cap N] [--max-requests N] [--seed N] [--metrics out.json]
 //!               [--timeseries out.json] [--sample-interval-ms M] [--slow-query-us U] [--slow-log out.json]
+//!               [--http-addr HOST:PORT] [--stall-threshold-us U] [--access-log out.jsonl]
 //! treepi loadgen <addr> <queries.gspan> [--connections N] [--requests N] [--rate R] [--zipf S]
 //!               [--seed N] [--shutdown] [--metrics out.json]
+//! treepi prom   <metrics.json>          (convert a saved snapshot to Prometheus text)
 //! ```
 //!
 //! `--metrics out.json` enables the `obs` registry for the run and writes
@@ -39,6 +41,18 @@
 //! takes at least `U` µs into a bounded forensics ring (counted under
 //! `serve.slow_queries`); `--slow-log out.json` writes the captures as
 //! Chrome trace events with the filter-funnel counters attached as args.
+//!
+//! `--http-addr HOST:PORT` (serve) opens the HTTP monitoring listener on
+//! the same event loop: `GET /metrics` (live snapshot as Prometheus
+//! text), `GET /healthz` (`ok` / `degraded` / `draining`), `GET /slowz`
+//! (the current slow-query ring as Chrome trace JSON).
+//! `--stall-threshold-us U` tunes the event-loop stall watchdog (default
+//! 100000 µs; 0 disables it) and `--access-log out.jsonl` streams one
+//! structured JSON record per request.
+//!
+//! `prom` converts a saved `treepi.obs/v1` metrics file to the same
+//! Prometheus text `/metrics` serves — useful for pushing one-shot build
+//! or loadgen metrics through a pushgateway.
 //!
 //! `metrics-diff` compares two metrics files and exits non-zero when a
 //! gated value (counters, `mem.*` gauges, span counts; with `--time` also
@@ -74,8 +88,9 @@ fn usage() -> ExitCode {
          treepi dbstats <db.gspan>\n  \
          treepi gen    <out.gspan> (--chem N | --synthetic N L) [--seed N]\n  \
          treepi scan   <db.gspan> <queries.gspan> [--threads N]\n  \
-         treepi serve  <index.tpi> [--addr 127.0.0.1:7878] [--threads N] [--batch-window-us 1000] [--max-batch 64] [--queue-cap 1024] [--cache-cap 4096] [--max-requests 0] [--seed N] [--metrics out.json] [--timeseries out.json] [--sample-interval-ms 100] [--slow-query-us 0] [--slow-log out.json]\n  \
-         treepi loadgen <addr> <queries.gspan> [--connections 4] [--requests 1000] [--rate R] [--zipf 0.0] [--seed N] [--shutdown] [--metrics out.json]"
+         treepi serve  <index.tpi> [--addr 127.0.0.1:7878] [--threads N] [--batch-window-us 1000] [--max-batch 64] [--queue-cap 1024] [--cache-cap 4096] [--max-requests 0] [--seed N] [--metrics out.json] [--timeseries out.json] [--sample-interval-ms 100] [--slow-query-us 0] [--slow-log out.json] [--http-addr HOST:PORT] [--stall-threshold-us 100000] [--access-log out.jsonl]\n  \
+         treepi loadgen <addr> <queries.gspan> [--connections 4] [--requests 1000] [--rate R] [--zipf 0.0] [--seed N] [--shutdown] [--metrics out.json]\n  \
+         treepi prom   <metrics.json>"
     );
     ExitCode::from(2)
 }
@@ -407,6 +422,19 @@ fn run() -> Result<(), String> {
             }
             Ok(())
         }
+        "prom" => {
+            // Offline conversion: re-render a saved `treepi.obs/v1` snapshot
+            // (e.g. the file written by `serve --metrics`, or the STATS JSON
+            // captured via `stats --addr`) in Prometheus text exposition
+            // format, for backfilling dashboards from archived runs.
+            let Some(path) = args.get(1) else {
+                return Err("prom needs <metrics.json>".into());
+            };
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let set = obs::json::parse_metric_set(&text).map_err(|e| format!("{path}: {e}"))?;
+            print!("{}", obs::prom::render(&set));
+            Ok(())
+        }
         "gen" => {
             let Some(out_path) = args.get(1) else {
                 return Err("gen needs <out.gspan>".into());
@@ -445,6 +473,7 @@ fn run() -> Result<(), String> {
             let index = TreePiIndex::load(&mut f).map_err(|e| e.to_string())?;
             let addr = flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
             let threads = parse_flag(&args, "--threads", 0usize)?;
+            let stall_us = parse_flag(&args, "--stall-threshold-us", 100_000u64)?;
             let config = serve::ServeConfig {
                 batch_window: std::time::Duration::from_micros(parse_flag(
                     &args,
@@ -456,6 +485,8 @@ fn run() -> Result<(), String> {
                 cache_cap: parse_flag(&args, "--cache-cap", 4096usize)?,
                 max_requests: parse_flag(&args, "--max-requests", 0u64)?,
                 seed: parse_flag(&args, "--seed", 2007u64)?,
+                http_addr: flag_value(&args, "--http-addr"),
+                stall_threshold: (stall_us > 0).then(|| std::time::Duration::from_micros(stall_us)),
                 ..serve::ServeConfig::default()
             };
             let metrics_path = flag_value(&args, "--metrics");
@@ -463,6 +494,7 @@ fn run() -> Result<(), String> {
             let interval_ms = parse_flag(&args, "--sample-interval-ms", 100u64)?;
             let slow_us = parse_flag(&args, "--slow-query-us", 0u64)?;
             let slow_log_path = flag_value(&args, "--slow-log");
+            let access_log_path = flag_value(&args, "--access-log");
             // Serving telemetry is always on (the STATS admin op must see
             // live counters even without --metrics); the flag only decides
             // whether the final snapshot is written to a file.
@@ -477,6 +509,11 @@ fn run() -> Result<(), String> {
                     (slow_us > 0).then(|| std::time::Duration::from_micros(slow_us)),
                     serve::telemetry::SLOW_LOG_CAP,
                 ),
+                access: access_log_path
+                    .as_deref()
+                    .map(serve::AccessLog::create)
+                    .transpose()
+                    .map_err(|e| format!("--access-log: {e}"))?,
             };
             let mut engine = treepi::Engine::new(index, threads);
             let server = serve::Server::bind(&addr, config).map_err(|e| format!("{addr}: {e}"))?;
@@ -486,10 +523,21 @@ fn run() -> Result<(), String> {
                 server.local_addr().map_err(|e| e.to_string())?,
                 engine.parallelism()
             );
+            if let Some(http) = server.http_local_addr() {
+                eprintln!("monitoring on http://{http} (/metrics /healthz /slowz)");
+            }
             let report = server
                 .run_with_telemetry(&mut engine, &registry, &mut telemetry)
                 .map_err(|e| e.to_string())?;
             eprintln!("serve done: {report}");
+            if let Some(access) = &telemetry.access {
+                eprintln!(
+                    "wrote {} access-log records to {} ({} write errors)",
+                    access.lines(),
+                    access_log_path.as_deref().unwrap_or("?"),
+                    access.write_errors()
+                );
+            }
             if telemetry.slow.seen() > 0 {
                 eprintln!(
                     "slow queries (verify ≥ {slow_us}us): {} seen, {} captured",

@@ -196,8 +196,10 @@ impl DiffReport {
 fn gated(name: &str, kind: Kind, opts: &DiffOptions) -> bool {
     // Exempt the timing-dependent namespaces, matching
     // MetricSet::deterministic_counters: execution shape (engine/pool)
-    // and arrival timing (serve/cache/loadgen).
-    const EXEMPT: [&str; 5] = ["engine.", "pool.", "serve.", "cache.", "loadgen."];
+    // and arrival timing (serve/cache/loadgen/series).
+    const EXEMPT: [&str; 6] = [
+        "engine.", "pool.", "serve.", "cache.", "loadgen.", "series.",
+    ];
     if EXEMPT.iter().any(|p| name.starts_with(p)) {
         return false;
     }

@@ -80,6 +80,14 @@ impl Value {
         }
     }
 
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The exact integer payload, if this is a non-negative integer.
     pub fn as_u64(&self) -> Option<u64> {
         match self {

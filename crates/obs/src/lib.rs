@@ -47,6 +47,7 @@
 pub mod alloc;
 pub mod diff;
 pub mod json;
+pub mod prom;
 pub mod series;
 pub mod trace;
 
@@ -314,12 +315,14 @@ impl MetricSet {
     /// the `engine.` and `pool.` namespaces, whose values describe
     /// execution shape (worker counts, scheduling, pool busy/park time)
     /// and legitimately vary with `--threads` — and the `serve.`,
-    /// `cache.`, and `loadgen.` namespaces, whose values depend on
-    /// arrival timing (batch boundaries, cache hits vs. in-flight misses,
-    /// shed decisions). Totals here must be bit-identical at any thread
-    /// count.
+    /// `cache.`, `loadgen.`, and `series.` namespaces, whose values
+    /// depend on arrival timing (batch boundaries, cache hits vs.
+    /// in-flight misses, shed decisions, sampler ring evictions). Totals
+    /// here must be bit-identical at any thread count.
     pub fn deterministic_counters(&self) -> BTreeMap<String, u64> {
-        const EXEMPT: [&str; 5] = ["engine.", "pool.", "serve.", "cache.", "loadgen."];
+        const EXEMPT: [&str; 6] = [
+            "engine.", "pool.", "serve.", "cache.", "loadgen.", "series.",
+        ];
         self.counters
             .iter()
             .filter(|(k, _)| !EXEMPT.iter().any(|p| k.starts_with(p)))
@@ -836,10 +839,39 @@ pub mod names {
     pub const SERVE_SLOW_QUERIES: &str = "serve.slow_queries";
     /// Counter: `STATS` admin snapshots served.
     pub const SERVE_STATS: &str = "serve.stats";
+    /// Counter: connections dropped for a wire-protocol violation (an
+    /// oversized declared frame length).
+    pub const SERVE_PROTO_ERROR: &str = "serve.proto_error";
+    /// Counter: HTTP monitoring requests served (`/metrics`, `/healthz`,
+    /// `/slowz`, and error responses alike).
+    pub const SERVE_HTTP_REQUESTS: &str = "serve.http_requests";
+    /// Counter: event-loop iterations whose non-poll work exceeded the
+    /// stall threshold (watchdog trips).
+    pub const SERVE_LOOP_STALLS: &str = "serve.loop.stall_count";
+    /// Gauge: longest observed event-loop stall, in microseconds.
+    pub const GAUGE_SERVE_LOOP_MAX_STALL: &str = "serve.loop.max_stall_us";
     /// Span: admission-to-response latency of one served query.
     pub const SPAN_SERVE_REQUEST: &str = "serve.request";
     /// Span: wall time of one engine micro-batch execution.
     pub const SPAN_SERVE_BATCH: &str = "serve.batch_exec";
+    /// Span: admission-to-dispatch wait in the bounded queue.
+    pub const SPAN_SERVE_QUEUE_WAIT: &str = "serve.queue_wait";
+    /// Span: batch residence time minus the query's own execution time —
+    /// the cost of waiting on co-batched siblings.
+    pub const SPAN_SERVE_BATCH_WAIT: &str = "serve.batch_wait";
+    /// Span: the query's own pipeline execution time inside its batch
+    /// (sum of the four stage durations).
+    pub const SPAN_SERVE_EXEC_SHARE: &str = "serve.exec_share";
+    /// Span: response-enqueued-to-socket-flushed latency.
+    pub const SPAN_SERVE_WRITE_WAIT: &str = "serve.write_wait";
+    /// The four per-request latency-decomposition histograms, in
+    /// pipeline order (queue → batch → execute → write).
+    pub const DECOMPOSITION_SPANS: [&str; 4] = [
+        SPAN_SERVE_QUEUE_WAIT,
+        SPAN_SERVE_BATCH_WAIT,
+        SPAN_SERVE_EXEC_SHARE,
+        SPAN_SERVE_WRITE_WAIT,
+    ];
     /// Gauge: peak depth the admission queue ever reached (≤ queue cap —
     /// the bounded-memory witness).
     pub const GAUGE_SERVE_QUEUE_PEAK: &str = "serve.queue_peak";
@@ -868,6 +900,11 @@ pub mod names {
     pub const LOADGEN_BUSY: &str = "loadgen.busy";
     /// Counter: loadgen transport/protocol errors.
     pub const LOADGEN_ERRORS: &str = "loadgen.errors";
+
+    /// Gauge: time-series samples evicted from the sampler ring
+    /// ([`crate::series::Sampler::dropped`]), surfaced live so a scrape
+    /// can see ring pressure before the series file is written.
+    pub const GAUGE_SERIES_DROPPED: &str = "series.dropped";
 }
 
 #[cfg(test)]
@@ -992,6 +1029,7 @@ mod tests {
         m.add("serve.shed", 3);
         m.add("cache.hit", 8);
         m.add("loadgen.ok", 5);
+        m.add("series.dropped", 1);
         m.add("graph.bfs", 2);
         let det = m.deterministic_counters();
         assert_eq!(det.len(), 2);
@@ -1002,6 +1040,7 @@ mod tests {
         assert!(!det.contains_key("serve.shed"));
         assert!(!det.contains_key("cache.hit"));
         assert!(!det.contains_key("loadgen.ok"));
+        assert!(!det.contains_key("series.dropped"));
     }
 
     #[test]

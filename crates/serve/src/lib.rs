@@ -21,10 +21,19 @@
 //! - [`telemetry`] — live observability: the `STATS` admin op snapshots
 //!   the running server's metrics as `treepi.obs/v1` JSON without pausing
 //!   the event loop, a ring-buffer sampler records queue/cache/heap time
-//!   series, and a slow-query log captures per-stage forensics for
-//!   queries whose verify stage exceeds a threshold. Slow-consumer
-//!   disconnects (write buffer over cap) are counted under
-//!   `serve.slow_consumer_drop`.
+//!   series, a slow-query log captures per-stage forensics for queries
+//!   whose verify stage exceeds a threshold, a [`LoopWatchdog`] trips on
+//!   event-loop iterations that hold the thread past a threshold, and an
+//!   optional [`AccessLog`] writes one JSONL record per request.
+//!   Slow-consumer disconnects (write buffer over cap) are counted under
+//!   `serve.slow_consumer_drop`; oversized-frame protocol violations
+//!   under `serve.proto_error`.
+//! - [`http`] — a dependency-free HTTP/1.0 GET responder riding the same
+//!   event loop as a second listener (DESIGN.md, "Monitoring surface"):
+//!   `/metrics` renders the live snapshot as Prometheus text
+//!   (`obs::prom`), `/healthz` reports `ok` / `degraded` / `draining`,
+//!   and `/slowz` serves the current slow-query ring as Chrome trace
+//!   JSON without waiting for shutdown.
 //!
 //! Metrics live in the `serve.*` / `cache.*` / `loadgen.*` namespaces,
 //! which are exempt from the determinism contract and the metrics-diff
@@ -35,6 +44,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod http;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
@@ -45,4 +55,4 @@ pub use client::Client;
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use protocol::{Request, RequestBody, Response, ResponseBody};
 pub use server::{ServeConfig, ServeReport, Server};
-pub use telemetry::{ServeTelemetry, SlowQueryLog};
+pub use telemetry::{AccessLog, AccessRecord, LoopWatchdog, ServeTelemetry, SlowQueryLog};

@@ -29,10 +29,23 @@
 //! timing-dependent — exempted namespaces. The *answers* are not:
 //! every query is answered against the current database regardless of
 //! batch shape.
+//!
+//! **Monitoring surface.** An optional second listener
+//! ([`ServeConfig::http_addr`]) rides the same poll loop and answers
+//! plain HTTP/1.0 GETs: `/metrics` (the live snapshot as Prometheus
+//! text), `/healthz` (`ok` / `degraded` / `draining`), `/slowz` (the
+//! slow-query ring as Chrome trace JSON). Every query is stamped at
+//! decode, admission, dispatch, and response-enqueue, decomposing its
+//! latency into the `serve.queue_wait` / `serve.batch_wait` /
+//! `serve.exec_share` histograms (with `serve.write_wait` covering
+//! enqueue-to-socket-flush), and a [`crate::telemetry::LoopWatchdog`]
+//! trips when one loop iteration holds the thread past
+//! [`ServeConfig::stall_threshold`].
 
 use crate::cache::QueryCache;
+use crate::http;
 use crate::protocol::{self, Request, RequestBody, Response, ResponseBody, MAX_FRAME};
-use crate::telemetry::ServeTelemetry;
+use crate::telemetry::{AccessRecord, AccessStages, LoopWatchdog, ServeTelemetry};
 use graph_core::{canonical_code, CanonCode, Graph};
 use minipoll::{Events, Interest, Poll, Token};
 use std::collections::VecDeque;
@@ -42,6 +55,22 @@ use std::time::{Duration, Instant};
 use treepi::{Engine, QueryOptions};
 
 const LISTENER: Token = Token(0);
+/// Token of the optional HTTP monitoring listener.
+const HTTP_LISTENER: Token = Token(1);
+/// Connection slot `idx` registers as `Token(idx + CONN_BASE)`.
+const CONN_BASE: usize = 2;
+/// Per-connection cap on retained write-flush markers; responses beyond
+/// it (an already-pathological backlog) simply skip the
+/// `serve.write_wait` observation.
+const WMARK_CAP: usize = 1024;
+
+fn dur_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
+}
+
+fn dur_us(d: Duration) -> u64 {
+    d.as_micros().min(u64::MAX as u128) as u64
+}
 /// Stop draining a connection after this many bytes per readable event;
 /// level triggering re-notifies, and the cap keeps one firehose client
 /// from growing `rbuf` without bound inside a single event.
@@ -69,6 +98,13 @@ pub struct ServeConfig {
     /// Stop after decoding this many request frames (0 = run until a
     /// shutdown request). A safety valve for scripted runs.
     pub max_requests: u64,
+    /// Address for the HTTP monitoring listener (`/metrics`, `/healthz`,
+    /// `/slowz`); `None` disables it.
+    pub http_addr: Option<String>,
+    /// Event-loop stall threshold: one poll-to-poll work period at or
+    /// beyond it counts a `serve.loop.stall_count` trip and flips
+    /// `/healthz` to degraded. `None` disables the watchdog.
+    pub stall_threshold: Option<Duration>,
     /// Query pipeline options used for every batch.
     pub opts: QueryOptions,
 }
@@ -83,6 +119,8 @@ impl Default for ServeConfig {
             max_conns: 1024,
             seed: 2007,
             max_requests: 0,
+            http_addr: None,
+            stall_threshold: Some(Duration::from_millis(100)),
             opts: QueryOptions::default(),
         }
     }
@@ -107,6 +145,13 @@ pub struct ServeReport {
     pub maintenance: u64,
     /// Malformed frames answered with an error.
     pub errors: u64,
+    /// Connections dropped for a wire-protocol violation (oversized
+    /// declared frame length). A subset of `errors`.
+    pub proto_errors: u64,
+    /// HTTP monitoring requests served.
+    pub http_requests: u64,
+    /// Event-loop stall-watchdog trips.
+    pub stalls: u64,
     /// Peak admission-queue depth (≤ `queue_cap` by construction).
     pub queue_peak: usize,
 }
@@ -116,7 +161,8 @@ impl std::fmt::Display for ServeReport {
         write!(
             f,
             "requests={} queries={} cache_hits={} served={} shed={} \
-             batches={} maintenance={} errors={} queue_peak={}",
+             batches={} maintenance={} errors={} proto_errors={} \
+             http_requests={} stalls={} queue_peak={}",
             self.requests,
             self.queries,
             self.cache_hits,
@@ -125,32 +171,70 @@ impl std::fmt::Display for ServeReport {
             self.batches,
             self.maintenance,
             self.errors,
+            self.proto_errors,
+            self.http_requests,
+            self.stalls,
             self.queue_peak
         )
     }
 }
 
+/// Which protocol a connection speaks, decided by the listener that
+/// accepted it.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ConnKind {
+    /// The length-prefixed wire protocol ([`crate::protocol`]).
+    Wire,
+    /// One-shot HTTP monitoring requests ([`crate::http`]).
+    Http,
+}
+
 struct Conn {
     stream: TcpStream,
+    kind: ConnKind,
     rbuf: Vec<u8>,
     wbuf: Vec<u8>,
     wpos: usize,
     writable_interest: bool,
+    /// Close once the write buffer drains (HTTP responses are one-shot).
+    close_after_flush: bool,
+    /// Bytes ever enqueued on `wbuf` (monotone — survives the buffer's
+    /// clear-on-drain reset, unlike `wbuf.len()`).
+    wtotal: u64,
+    /// Bytes ever flushed to the socket (monotone, ≤ `wtotal`).
+    wflushed: u64,
+    /// `(wtotal watermark, enqueue instant)` per response still in
+    /// flight; popped into `serve.write_wait` as flushes pass them.
+    wmarks: VecDeque<(u64, Instant)>,
 }
 
 impl Conn {
-    fn new(stream: TcpStream) -> Conn {
+    fn new(stream: TcpStream, kind: ConnKind) -> Conn {
         Conn {
             stream,
+            kind,
             rbuf: Vec::new(),
             wbuf: Vec::new(),
             wpos: 0,
             writable_interest: false,
+            close_after_flush: false,
+            wtotal: 0,
+            wflushed: 0,
+            wmarks: VecDeque::new(),
         }
     }
 
     fn unsent(&self) -> usize {
         self.wbuf.len() - self.wpos
+    }
+
+    /// Append `data` to the write buffer and drop a flush marker on it.
+    fn enqueue(&mut self, data: &[u8]) {
+        self.wbuf.extend_from_slice(data);
+        self.wtotal += data.len() as u64;
+        if self.wmarks.len() < WMARK_CAP {
+            self.wmarks.push_back((self.wtotal, Instant::now()));
+        }
     }
 }
 
@@ -159,27 +243,45 @@ struct PendingQuery {
     tag: u32,
     key: Option<CanonCode>,
     graph: Graph,
+    /// When the request frame was decoded off the socket.
+    recv: Instant,
+    /// When the query entered the admission queue.
     admitted: Instant,
+    /// Request frame size (length prefix included), for the access log.
+    bytes_in: u64,
 }
 
 /// A bound-but-not-yet-running server. [`Server::bind`] then
 /// [`Server::run`].
 pub struct Server {
     listener: TcpListener,
+    http_listener: Option<TcpListener>,
     poll: Poll,
     config: ServeConfig,
 }
 
 impl Server {
     /// Bind `addr` (e.g. `127.0.0.1:7878`; port 0 picks an ephemeral
-    /// port — read it back with [`Server::local_addr`]).
+    /// port — read it back with [`Server::local_addr`]). When
+    /// [`ServeConfig::http_addr`] is set, the HTTP monitoring listener is
+    /// bound here too ([`Server::http_local_addr`]).
     pub fn bind(addr: &str, config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let poll = Poll::new()?;
         poll.register(&listener, LISTENER, Interest::READABLE)?;
+        let http_listener = match &config.http_addr {
+            None => None,
+            Some(http_addr) => {
+                let l = TcpListener::bind(http_addr.as_str())?;
+                l.set_nonblocking(true)?;
+                poll.register(&l, HTTP_LISTENER, Interest::READABLE)?;
+                Some(l)
+            }
+        };
         Ok(Server {
             listener,
+            http_listener,
             poll,
             config,
         })
@@ -188,6 +290,13 @@ impl Server {
     /// The bound address.
     pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The bound HTTP monitoring address, when one was configured.
+    pub fn http_local_addr(&self) -> Option<std::net::SocketAddr> {
+        self.http_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok())
     }
 
     /// Run the event loop until a shutdown request (or `max_requests`)
@@ -213,14 +322,17 @@ impl Server {
         telemetry: &mut ServeTelemetry,
     ) -> io::Result<ServeReport> {
         let epoch = engine.epoch();
+        let watchdog = LoopWatchdog::new(self.config.stall_threshold);
         let mut lp = EventLoop {
             listener: self.listener,
+            http_listener: self.http_listener,
             poll: self.poll,
             cache: QueryCache::new(self.config.cache_cap, epoch),
             config: self.config,
             engine,
             shard: registry.shard(),
             telemetry,
+            watchdog,
             conns: Vec::new(),
             free: Vec::new(),
             pending: VecDeque::new(),
@@ -233,7 +345,15 @@ impl Server {
             obs::names::GAUGE_SERVE_QUEUE_PEAK,
             lp.report.queue_peak as u64,
         );
+        registry.set_gauge(
+            obs::names::GAUGE_SERIES_DROPPED,
+            lp.telemetry.sampler.dropped(),
+        );
         lp.report.cache_hits = lp.cache.hits();
+        lp.report.stalls = lp.watchdog.stalls();
+        if let Some(access) = lp.telemetry.access.as_mut() {
+            access.flush();
+        }
         registry.absorb(lp.shard);
         result.map(|()| lp.report)
     }
@@ -241,12 +361,14 @@ impl Server {
 
 struct EventLoop<'e> {
     listener: TcpListener,
+    http_listener: Option<TcpListener>,
     poll: Poll,
     cache: QueryCache,
     config: ServeConfig,
     engine: &'e mut Engine,
     shard: obs::Shard,
     telemetry: &'e mut ServeTelemetry,
+    watchdog: LoopWatchdog,
     conns: Vec<Option<Conn>>,
     free: Vec<usize>,
     pending: VecDeque<PendingQuery>,
@@ -257,6 +379,7 @@ struct EventLoop<'e> {
 impl EventLoop<'_> {
     fn serve(&mut self, registry: &obs::Registry) -> io::Result<()> {
         let mut events = Events::with_capacity(256);
+        self.watchdog.begin_work();
         loop {
             while self.batch_due() {
                 self.run_batch(registry);
@@ -270,12 +393,15 @@ impl EventLoop<'_> {
             let timeout = self.pending.front().map(|p| {
                 (p.admitted + self.config.batch_window).saturating_duration_since(Instant::now())
             });
+            self.note_loop_stall();
             self.poll.poll(&mut events, timeout)?;
+            self.watchdog.begin_work();
             for ev in &events {
                 match ev.token() {
-                    LISTENER => self.accept_ready(),
+                    LISTENER => self.accept_ready(ConnKind::Wire),
+                    HTTP_LISTENER => self.accept_ready(ConnKind::Http),
                     Token(t) => {
-                        let idx = t - 1;
+                        let idx = t - CONN_BASE;
                         if ev.is_writable() {
                             self.flush_conn(idx);
                         }
@@ -286,8 +412,21 @@ impl EventLoop<'_> {
                 }
             }
         }
+        self.note_loop_stall();
         self.drain_writes();
         Ok(())
+    }
+
+    /// Close out the current watchdog work period (called right before
+    /// blocking in `poll`), recording a trip when it stalled.
+    fn note_loop_stall(&mut self) {
+        if self.watchdog.end_work().is_some() {
+            self.shard.add(obs::names::SERVE_LOOP_STALLS, 1);
+            self.shard.set_gauge(
+                obs::names::GAUGE_SERVE_LOOP_MAX_STALL,
+                self.watchdog.max_stall().as_micros().min(u64::MAX as u128) as u64,
+            );
+        }
     }
 
     /// Record one periodic time-series sample: instantaneous queue and
@@ -305,6 +444,7 @@ impl EventLoop<'_> {
             ),
             (obs::names::SERVE_REQUESTS, self.report.requests),
             (obs::names::SERVE_SHED, self.report.shed),
+            (obs::names::SERVE_LOOP_STALLS, self.watchdog.stalls()),
             (obs::names::CACHE_HIT, self.cache.hits()),
             (obs::names::GAUGE_CACHE_ENTRIES, self.cache.len() as u64),
         ];
@@ -335,6 +475,10 @@ impl EventLoop<'_> {
             obs::names::GAUGE_SERVE_QUEUE_DEPTH,
             self.pending.len() as u64,
         );
+        live.set_gauge(
+            obs::names::GAUGE_SERIES_DROPPED,
+            self.telemetry.sampler.dropped(),
+        );
         if obs::alloc::installed() {
             live.set_gauge(obs::names::GAUGE_ALLOC_LIVE, obs::alloc::live_bytes());
             live.set_gauge(obs::names::GAUGE_ALLOC_PEAK, obs::alloc::peak_bytes());
@@ -359,8 +503,14 @@ impl EventLoop<'_> {
         let (metas, graphs): (Vec<_>, Vec<Graph>) = self
             .pending
             .drain(..n)
-            .map(|p| ((p.conn, p.tag, p.key, p.admitted), p.graph))
+            .map(|p| {
+                (
+                    (p.conn, p.tag, p.key, p.recv, p.admitted, p.bytes_in),
+                    p.graph,
+                )
+            })
             .unzip();
+        let dispatched = Instant::now();
         let seed = self.config.seed.wrapping_add(self.report.batches);
         let results = {
             let _span = self.shard.span(obs::names::SPAN_SERVE_BATCH);
@@ -370,17 +520,41 @@ impl EventLoop<'_> {
             results
         };
         let batch_end = Instant::now();
+        let residence = batch_end.saturating_duration_since(dispatched);
         let seq_base = self.report.served;
         self.report.batches += 1;
         self.report.served += n as u64;
         self.shard.add(obs::names::SERVE_BATCHES, 1);
         self.shard.add(obs::names::SERVE_BATCHED, n as u64);
-        for (i, ((conn, tag, key, admitted), r)) in metas.into_iter().zip(results).enumerate() {
+        let epoch = self.engine.epoch();
+        for (i, ((conn, tag, key, recv, admitted, bytes_in), r)) in
+            metas.into_iter().zip(results).enumerate()
+        {
+            // Latency decomposition. Admission→dispatch is queue wait, the
+            // query's own stage total is its execution share, and the rest
+            // of its batch residence is time spent waiting on co-batched
+            // siblings. By construction `queue_wait + batch_wait +
+            // exec_share ≤ serve.request`, whose clock keeps running
+            // through respond-side bookkeeping below.
+            let queue_wait = dispatched.saturating_duration_since(admitted);
+            let exec_share = r.stats.total();
+            let batch_wait = residence.saturating_sub(exec_share);
+            self.shard
+                .observe(obs::names::SPAN_SERVE_QUEUE_WAIT, queue_wait);
+            self.shard
+                .observe(obs::names::SPAN_SERVE_BATCH_WAIT, batch_wait);
+            self.shard
+                .observe(obs::names::SPAN_SERVE_EXEC_SHARE, exec_share);
             if self.telemetry.slow.is_enabled()
-                && self
-                    .telemetry
-                    .slow
-                    .record(seq_base + i as u64, &r.stats, batch_end)
+                && self.telemetry.slow.record(
+                    seq_base + i as u64,
+                    &r.stats,
+                    batch_end,
+                    &[
+                        ("serve.queue_wait_ns", dur_ns(queue_wait)),
+                        ("serve.batch_wait_ns", dur_ns(batch_wait)),
+                    ],
+                )
             {
                 self.shard.add(obs::names::SERVE_SLOW_QUERIES, 1);
             }
@@ -389,19 +563,48 @@ impl EventLoop<'_> {
             }
             self.shard
                 .observe(obs::names::SPAN_SERVE_REQUEST, admitted.elapsed());
-            self.respond(
+            let bytes_out = self.respond(
                 conn,
                 Response {
                     tag,
                     body: ResponseBody::Matches(r.matches),
                 },
             );
+            self.log_access(AccessRecord {
+                conn,
+                tag,
+                op: "query",
+                outcome: "ok",
+                bytes_in,
+                bytes_out,
+                cache_hit: Some(false),
+                epoch,
+                stages: Some(AccessStages {
+                    admit_us: dur_us(admitted.saturating_duration_since(recv)),
+                    queue_wait_us: dur_us(queue_wait),
+                    batch_wait_us: dur_us(batch_wait),
+                    exec_us: dur_us(exec_share),
+                }),
+            });
         }
     }
 
-    fn accept_ready(&mut self) {
+    fn log_access(&mut self, rec: AccessRecord<'_>) {
+        if let Some(access) = self.telemetry.access.as_mut() {
+            access.log(&rec);
+        }
+    }
+
+    fn accept_ready(&mut self, kind: ConnKind) {
         loop {
-            match self.listener.accept() {
+            let accepted = match kind {
+                ConnKind::Wire => self.listener.accept(),
+                ConnKind::Http => match &self.http_listener {
+                    Some(l) => l.accept(),
+                    None => return,
+                },
+            };
+            match accepted {
                 Ok((stream, _)) => {
                     let open = self.conns.iter().filter(|c| c.is_some()).count();
                     if open >= self.config.max_conns || stream.set_nonblocking(true).is_err() {
@@ -414,9 +617,9 @@ impl EventLoop<'_> {
                     });
                     match self
                         .poll
-                        .register(&stream, Token(idx + 1), Interest::READABLE)
+                        .register(&stream, Token(idx + CONN_BASE), Interest::READABLE)
                     {
-                        Ok(()) => self.conns[idx] = Some(Conn::new(stream)),
+                        Ok(()) => self.conns[idx] = Some(Conn::new(stream, kind)),
                         Err(_) => self.free.push(idx),
                     }
                 }
@@ -466,9 +669,124 @@ impl EventLoop<'_> {
                 }
             }
         }
-        self.parse_frames(idx, registry);
+        let kind = self.conns.get(idx).and_then(Option::as_ref).map(|c| c.kind);
+        match kind {
+            Some(ConnKind::Wire) => self.parse_frames(idx, registry),
+            Some(ConnKind::Http) => self.parse_http(idx, registry),
+            None => {}
+        }
         if dead {
             self.close_conn(idx);
+        }
+    }
+
+    /// Parse and answer one HTTP monitoring request buffered on `idx`.
+    /// One-shot semantics: the response closes the connection once its
+    /// bytes drain.
+    fn parse_http(&mut self, idx: usize, registry: &obs::Registry) {
+        let parsed = {
+            let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                return;
+            };
+            if conn.close_after_flush {
+                return; // response already queued; ignore trailing bytes
+            }
+            match http::parse_request(&conn.rbuf) {
+                http::Parse::Incomplete => return,
+                done => {
+                    conn.rbuf.clear();
+                    done
+                }
+            }
+        };
+        self.report.http_requests += 1;
+        self.shard.add(obs::names::SERVE_HTTP_REQUESTS, 1);
+        let data = match parsed {
+            http::Parse::Incomplete => unreachable!("handled above"),
+            http::Parse::Bad(why) => http::response(
+                400,
+                "Bad Request",
+                "text/plain; charset=utf-8",
+                format!("{why}\n").as_bytes(),
+            ),
+            http::Parse::Ok(req, _) if req.method != "GET" && req.method != "HEAD" => {
+                http::response(
+                    405,
+                    "Method Not Allowed",
+                    "text/plain; charset=utf-8",
+                    b"only GET is supported\n",
+                )
+            }
+            http::Parse::Ok(req, _) => match req.path.as_str() {
+                "/metrics" => http::response(
+                    200,
+                    "OK",
+                    obs::prom::CONTENT_TYPE,
+                    obs::prom::render(&self.live_snapshot(registry)).as_bytes(),
+                ),
+                "/healthz" => {
+                    let (status, reason, body) = self.health();
+                    http::response(status, reason, "application/json", body.as_bytes())
+                }
+                "/slowz" => http::response(
+                    200,
+                    "OK",
+                    "application/json",
+                    self.telemetry.slow.render_chrome_json().as_bytes(),
+                ),
+                _ => http::response(
+                    404,
+                    "Not Found",
+                    "text/plain; charset=utf-8",
+                    b"not found (try /metrics, /healthz, /slowz)\n",
+                ),
+            },
+        };
+        self.send_http(idx, &data);
+    }
+
+    /// The `/healthz` verdict: `draining` once shutdown has begun,
+    /// `degraded` while the watchdog's most recent stall is fresh, `ok`
+    /// otherwise. Non-`ok` states use 503 so load-balancer checks fail
+    /// without parsing the body.
+    fn health(&self) -> (u16, &'static str, String) {
+        let (status, reason, state) = if self.shutdown {
+            (503, "Service Unavailable", "draining")
+        } else if self.watchdog.degraded(Instant::now()) {
+            (503, "Service Unavailable", "degraded")
+        } else {
+            (200, "OK", "ok")
+        };
+        let open = self.conns.iter().filter(|c| c.is_some()).count();
+        let body = format!(
+            "{{\"status\": \"{state}\", \"epoch\": {}, \"queue_depth\": {}, \
+             \"queue_cap\": {}, \"conns\": {open}, \"stall_count\": {}, \
+             \"max_stall_us\": {}}}\n",
+            self.engine.epoch(),
+            self.pending.len(),
+            self.config.queue_cap,
+            self.watchdog.stalls(),
+            dur_us(self.watchdog.max_stall()),
+        );
+        (status, reason, body)
+    }
+
+    /// Queue one HTTP response on `idx` and arrange for the connection
+    /// to close once it drains.
+    fn send_http(&mut self, idx: usize, data: &[u8]) {
+        let overflow = {
+            let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                return;
+            };
+            conn.enqueue(data);
+            conn.close_after_flush = true;
+            conn.unsent() > WBUF_CAP
+        };
+        if overflow {
+            self.shard.add(obs::names::SERVE_SLOW_CONSUMER_DROP, 1);
+            self.close_conn(idx);
+        } else {
+            self.flush_conn(idx);
         }
     }
 
@@ -485,39 +803,68 @@ impl EventLoop<'_> {
                     Err(_) => None,
                     Ok(None) => return,
                     Ok(Some((payload, used))) => {
+                        let recv = Instant::now(); // read-complete stamp
                         let tag = payload
                             .get(..4)
                             .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
                             .unwrap_or(0);
                         let req = protocol::decode_request(payload);
                         conn.rbuf.drain(..used);
-                        Some((tag, req))
+                        Some((tag, req, used as u64, recv))
                     }
                 }
             };
+            let epoch = self.engine.epoch();
             match step {
                 None => {
-                    // Oversized frame: protocol violation, drop the link.
+                    // Oversized frame: protocol violation, drop the link —
+                    // counted under its own name so the operator can tell
+                    // a misbehaving client from a malformed-but-framed
+                    // request.
                     self.report.errors += 1;
+                    self.report.proto_errors += 1;
                     self.shard.add(obs::names::SERVE_ERRORS, 1);
+                    self.shard.add(obs::names::SERVE_PROTO_ERROR, 1);
+                    self.log_access(AccessRecord {
+                        conn: idx,
+                        tag: 0,
+                        op: "frame",
+                        outcome: "proto_error",
+                        bytes_in: 0,
+                        bytes_out: 0,
+                        cache_hit: None,
+                        epoch,
+                        stages: None,
+                    });
                     self.close_conn(idx);
                     return;
                 }
-                Some((tag, Err(msg))) => {
+                Some((tag, Err(msg), bytes_in, _)) => {
                     self.report.errors += 1;
                     self.shard.add(obs::names::SERVE_ERRORS, 1);
-                    self.respond(
+                    let bytes_out = self.respond(
                         idx,
                         Response {
                             tag,
                             body: ResponseBody::Error(msg),
                         },
                     );
+                    self.log_access(AccessRecord {
+                        conn: idx,
+                        tag,
+                        op: "invalid",
+                        outcome: "error",
+                        bytes_in,
+                        bytes_out,
+                        cache_hit: None,
+                        epoch,
+                        stages: None,
+                    });
                 }
-                Some((_, Ok(req))) => {
+                Some((_, Ok(req), bytes_in, recv)) => {
                     self.report.requests += 1;
                     self.shard.add(obs::names::SERVE_REQUESTS, 1);
-                    self.handle_request(idx, req, registry);
+                    self.handle_request(idx, req, recv, bytes_in, registry);
                     if self.config.max_requests > 0
                         && self.report.requests >= self.config.max_requests
                     {
@@ -528,8 +875,19 @@ impl EventLoop<'_> {
         }
     }
 
-    fn handle_request(&mut self, idx: usize, req: Request, registry: &obs::Registry) {
+    fn handle_request(
+        &mut self,
+        idx: usize,
+        req: Request,
+        recv: Instant,
+        bytes_in: u64,
+        registry: &obs::Registry,
+    ) {
         let tag = req.tag;
+        let epoch = self.engine.epoch();
+        // Immediate (non-queued) outcomes share one access-record shape.
+        let mut immediate: Option<(&'static str, &'static str, Option<bool>)> = None;
+        let mut bytes_out = 0u64;
         match req.body {
             RequestBody::Query(g) => {
                 self.report.queries += 1;
@@ -537,7 +895,7 @@ impl EventLoop<'_> {
                 if g.edge_count() == 0 {
                     self.report.errors += 1;
                     self.shard.add(obs::names::SERVE_ERRORS, 1);
-                    self.respond(
+                    bytes_out = self.respond(
                         idx,
                         Response {
                             tag,
@@ -546,68 +904,75 @@ impl EventLoop<'_> {
                             ),
                         },
                     );
-                    return;
-                }
-                let key = (self.config.cache_cap > 0).then(|| canonical_code(&g));
-                if let Some(key) = &key {
-                    // Belt and braces: the cache is also synced at every
-                    // maintenance op, but admission re-checks so a future
-                    // out-of-loop mutation path can't serve stale answers.
-                    self.cache.sync_epoch(self.engine.epoch());
-                    if let Some(hit) = self.cache.get(key) {
-                        let ids = hit.to_vec();
-                        self.respond(
+                    immediate = Some(("query", "error", None));
+                } else {
+                    let key = (self.config.cache_cap > 0).then(|| canonical_code(&g));
+                    let mut hit_ids = None;
+                    if let Some(key) = &key {
+                        // Belt and braces: the cache is also synced at every
+                        // maintenance op, but admission re-checks so a future
+                        // out-of-loop mutation path can't serve stale answers.
+                        self.cache.sync_epoch(epoch);
+                        hit_ids = self.cache.get(key).map(|hit| hit.to_vec());
+                    }
+                    if let Some(ids) = hit_ids {
+                        bytes_out = self.respond(
                             idx,
                             Response {
                                 tag,
                                 body: ResponseBody::Matches(ids),
                             },
                         );
-                        return;
+                        immediate = Some(("query", "ok", Some(true)));
+                    } else if self.pending.len() >= self.config.queue_cap {
+                        self.report.shed += 1;
+                        self.shard.add(obs::names::SERVE_SHED, 1);
+                        bytes_out = self.respond(
+                            idx,
+                            Response {
+                                tag,
+                                body: ResponseBody::Busy,
+                            },
+                        );
+                        immediate = Some(("query", "busy", None));
+                    } else {
+                        self.pending.push_back(PendingQuery {
+                            conn: idx,
+                            tag,
+                            key,
+                            graph: g,
+                            recv,
+                            admitted: Instant::now(),
+                            bytes_in,
+                        });
+                        self.report.queue_peak = self.report.queue_peak.max(self.pending.len());
+                        // Logged from run_batch, stage timings included.
                     }
                 }
-                if self.pending.len() >= self.config.queue_cap {
-                    self.report.shed += 1;
-                    self.shard.add(obs::names::SERVE_SHED, 1);
-                    self.respond(
-                        idx,
-                        Response {
-                            tag,
-                            body: ResponseBody::Busy,
-                        },
-                    );
-                    return;
-                }
-                self.pending.push_back(PendingQuery {
-                    conn: idx,
-                    tag,
-                    key,
-                    graph: g,
-                    admitted: Instant::now(),
-                });
-                self.report.queue_peak = self.report.queue_peak.max(self.pending.len());
             }
             RequestBody::Insert(g) => {
                 let gid = self.engine.insert(g);
                 self.apply_maintenance();
-                self.respond(
+                bytes_out = self.respond(
                     idx,
                     Response {
                         tag,
                         body: ResponseBody::Inserted(gid),
                     },
                 );
+                immediate = Some(("insert", "ok", None));
             }
             RequestBody::Remove(gid) => {
                 let was_active = self.engine.remove(gid);
                 self.apply_maintenance();
-                self.respond(
+                bytes_out = self.respond(
                     idx,
                     Response {
                         tag,
                         body: ResponseBody::Removed(was_active),
                     },
                 );
+                immediate = Some(("remove", "ok", None));
             }
             RequestBody::Stats => {
                 // Answered inline — no queueing, no engine, no pause. The
@@ -615,25 +980,48 @@ impl EventLoop<'_> {
                 // absorbed totals, so mid-load counters are visible.
                 self.shard.add(obs::names::SERVE_STATS, 1);
                 let json = self.live_snapshot(registry).render_json();
-                let body = if json.len() <= MAX_FRAME - 5 {
-                    ResponseBody::Stats(json)
+                let (body, outcome) = if json.len() <= MAX_FRAME - 5 {
+                    (ResponseBody::Stats(json), "ok")
                 } else {
                     // Practically unreachable (a snapshot is a few KB), but
                     // a truncated JSON document would be worse than an error.
-                    ResponseBody::Error("stats snapshot exceeds MAX_FRAME".into())
+                    (
+                        ResponseBody::Error("stats snapshot exceeds MAX_FRAME".into()),
+                        "error",
+                    )
                 };
-                self.respond(idx, Response { tag, body });
+                bytes_out = self.respond(idx, Response { tag, body });
+                immediate = Some(("stats", outcome, None));
             }
             RequestBody::Shutdown => {
                 self.shutdown = true;
-                self.respond(
+                bytes_out = self.respond(
                     idx,
                     Response {
                         tag,
                         body: ResponseBody::ShuttingDown,
                     },
                 );
+                immediate = Some(("shutdown", "ok", None));
             }
+        }
+        if let Some((op, outcome, cache_hit)) = immediate {
+            // Re-read: insert/remove bump the epoch they are served under.
+            let epoch = self.engine.epoch();
+            self.log_access(AccessRecord {
+                conn: idx,
+                tag,
+                op,
+                outcome,
+                bytes_in,
+                bytes_out,
+                cache_hit,
+                epoch,
+                stages: Some(AccessStages {
+                    admit_us: dur_us(recv.elapsed()),
+                    ..AccessStages::default()
+                }),
+            });
         }
     }
 
@@ -643,14 +1031,16 @@ impl EventLoop<'_> {
         self.cache.sync_epoch(self.engine.epoch());
     }
 
-    fn respond(&mut self, idx: usize, resp: Response) {
+    /// Queue `resp` on connection `idx` and try to flush. Returns the
+    /// encoded frame size in bytes (0 when the client is already gone).
+    fn respond(&mut self, idx: usize, resp: Response) -> u64 {
         let frame = protocol::encode_response(&resp);
         debug_assert!(frame.len() <= 4 + MAX_FRAME);
         let overflow = {
             let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
-                return; // client already gone
+                return 0; // client already gone
             };
-            conn.wbuf.extend_from_slice(&frame);
+            conn.enqueue(&frame);
             conn.unsent() > WBUF_CAP
         };
         if overflow {
@@ -662,10 +1052,12 @@ impl EventLoop<'_> {
         } else {
             self.flush_conn(idx);
         }
+        frame.len() as u64
     }
 
     fn flush_conn(&mut self, idx: usize) {
         let mut dead = false;
+        let mut done = false;
         {
             let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
                 return;
@@ -674,6 +1066,7 @@ impl EventLoop<'_> {
                 if conn.wpos >= conn.wbuf.len() {
                     conn.wbuf.clear();
                     conn.wpos = 0;
+                    done = conn.close_after_flush;
                     break;
                 }
                 match conn.stream.write(&conn.wbuf[conn.wpos..]) {
@@ -681,7 +1074,10 @@ impl EventLoop<'_> {
                         dead = true;
                         break;
                     }
-                    Ok(n) => conn.wpos += n,
+                    Ok(n) => {
+                        conn.wpos += n;
+                        conn.wflushed += n as u64;
+                    }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                     Err(_) => {
@@ -690,8 +1086,19 @@ impl EventLoop<'_> {
                     }
                 }
             }
+            // Responses fully on the wire: their enqueue→flush latency is
+            // the write-wait component of the decomposition. The shard and
+            // conns are disjoint fields, so observing here is fine.
+            while let Some(&(mark, at)) = conn.wmarks.front() {
+                if mark > conn.wflushed {
+                    break;
+                }
+                conn.wmarks.pop_front();
+                self.shard
+                    .observe(obs::names::SPAN_SERVE_WRITE_WAIT, at.elapsed());
+            }
         }
-        if dead {
+        if dead || done {
             self.close_conn(idx);
         } else {
             self.update_interest(idx);
@@ -710,7 +1117,9 @@ impl EventLoop<'_> {
             } else {
                 Interest::READABLE
             };
-            let _ = self.poll.reregister(&conn.stream, Token(idx + 1), interest);
+            let _ = self
+                .poll
+                .reregister(&conn.stream, Token(idx + CONN_BASE), interest);
         }
     }
 

@@ -332,6 +332,7 @@ fn telemetry_captures_slow_queries_and_samples_series() {
             // Zero threshold: every executed query is "slow". Cap 3 keeps
             // the ring bounded below the query count.
             slow: serve::SlowQueryLog::new(Some(Duration::ZERO), 3),
+            access: None,
         };
         let report = server
             .run_with_telemetry(&mut engine, &registry, &mut telemetry)
@@ -373,6 +374,272 @@ fn telemetry_captures_slow_queries_and_samples_series() {
         assert!(t >= prev, "series timestamps must be monotone");
         prev = t;
     }
+}
+
+/// Like [`spawn_server`], but with the HTTP monitoring listener bound on
+/// an ephemeral port and a zero-threshold slow-query log (so `/slowz`
+/// has content to serve).
+fn spawn_http_server(
+    config: ServeConfig,
+) -> (
+    SocketAddr,
+    SocketAddr,
+    JoinHandle<(ServeReport, obs::MetricSet)>,
+) {
+    let config = ServeConfig {
+        http_addr: Some("127.0.0.1:0".to_string()),
+        ..config
+    };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let http = server.http_local_addr().expect("http addr");
+    let handle = std::thread::spawn(move || {
+        let mut engine = Engine::new(build_index(), 2);
+        let registry = obs::Registry::new();
+        let mut telemetry = serve::ServeTelemetry {
+            sampler: obs::series::Sampler::disabled(),
+            slow: serve::SlowQueryLog::new(Some(Duration::ZERO), 4),
+            access: None,
+        };
+        let report = server
+            .run_with_telemetry(&mut engine, &registry, &mut telemetry)
+            .expect("serve");
+        (report, registry.drain())
+    });
+    (addr, http, handle)
+}
+
+/// One-shot HTTP GET against the monitoring listener: (status, body).
+fn http_get(addr: &SocketAddr, path: &str) -> (u16, String) {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).expect("connect http");
+    write!(s, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").expect("send request");
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("response has a head");
+    let status = head
+        .split(' ')
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .expect("status code");
+    (status, body.to_string())
+}
+
+/// Value of a single-sample line (`name 42`) in Prometheus text.
+fn prom_value(text: &str, name: &str) -> Option<f64> {
+    text.lines()
+        .find(|l| l.split(' ').next() == Some(name))
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// The `+Inf` bucket count of a histogram family in Prometheus text.
+fn prom_inf_bucket(text: &str, family: &str) -> Option<f64> {
+    let prefix = format!("{family}_bucket{{le=\"+Inf\"}}");
+    text.lines()
+        .find(|l| l.starts_with(prefix.as_str()))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+#[test]
+fn http_metrics_agree_with_the_stats_snapshot() {
+    if !obs::COMPILED_IN {
+        return; // nothing to scrape
+    }
+    let (addr, http, handle) = spawn_http_server(ServeConfig {
+        batch_window: Duration::from_micros(200),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect_retry(&addr.to_string(), Duration::from_secs(5)).unwrap();
+    for q in queries() {
+        expect_matches(client.query(&q).unwrap());
+    }
+    // Quiescent now: every query is answered, so the STATS snapshot and
+    // the /metrics scrape that follows must agree on request counters.
+    let json = match client.stats().unwrap().body {
+        ResponseBody::Stats(json) => json,
+        other => panic!("expected stats, got {other:?}"),
+    };
+    let snap = obs::json::parse_metric_set(&json).expect("valid snapshot");
+
+    let (status, metrics) = http_get(&http, "/metrics");
+    assert_eq!(status, 200, "{metrics}");
+    assert_eq!(
+        prom_value(&metrics, "serve_queries_total"),
+        Some(snap.counter(obs::names::SERVE_QUERIES) as f64),
+        "/metrics and STATS disagree on serve.queries"
+    );
+    // series.dropped is surfaced as a live gauge on both paths.
+    assert!(snap.gauge(obs::names::GAUGE_SERIES_DROPPED).is_some());
+    assert!(
+        prom_value(&metrics, "series_dropped").is_some(),
+        "series_dropped gauge missing from /metrics"
+    );
+
+    // All four decomposition histograms are exported and internally
+    // consistent: the +Inf bucket equals _count. The batch-side three are
+    // quiescent between the snapshot and the scrape, so they also agree
+    // with STATS exactly; write_wait keeps moving (the STATS response
+    // itself is flushed in between), so it only gets the ≥ bound.
+    for name in obs::names::DECOMPOSITION_SPANS {
+        let fam = format!("{}_seconds", obs::prom::sanitize(name));
+        let inf = prom_inf_bucket(&metrics, &fam)
+            .unwrap_or_else(|| panic!("{fam} has no +Inf bucket:\n{metrics}"));
+        let count = prom_value(&metrics, &format!("{fam}_count")).expect("count sample");
+        assert_eq!(inf, count, "{fam}: +Inf bucket must equal _count");
+        let span = snap
+            .span(name)
+            .unwrap_or_else(|| panic!("{name} missing from STATS snapshot"));
+        if name == obs::names::SPAN_SERVE_WRITE_WAIT {
+            assert!(inf >= span.count as f64, "{fam} went backwards");
+        } else {
+            assert_eq!(inf, span.count as f64, "{fam} disagrees with STATS");
+        }
+    }
+    // The decomposition must fit inside the umbrella: time attributed to
+    // queue wait and execution cannot exceed total request time.
+    let qw = prom_value(&metrics, "serve_queue_wait_seconds_sum").unwrap();
+    let ex = prom_value(&metrics, "serve_exec_share_seconds_sum").unwrap();
+    let rq = prom_value(&metrics, "serve_request_seconds_sum").unwrap();
+    assert!(
+        qw + ex <= rq * (1.0 + 1e-9) + 1e-12,
+        "queue_wait ({qw}) + exec ({ex}) exceeds serve.request ({rq})"
+    );
+
+    let (status, health) = http_get(&http, "/healthz");
+    assert_eq!(status, 200, "{health}");
+    assert!(health.contains("\"status\": \"ok\""), "{health}");
+    let (status, slowz) = http_get(&http, "/slowz");
+    assert_eq!(status, 200);
+    let v = obs::json::parse(&slowz).expect("/slowz is valid JSON");
+    assert!(v.get("traceEvents").is_some(), "{slowz}");
+    let (status, _) = http_get(&http, "/nope");
+    assert_eq!(status, 404);
+
+    client.shutdown().unwrap();
+    let (report, _) = handle.join().unwrap();
+    assert!(report.http_requests >= 4, "{report}");
+}
+
+#[test]
+fn healthz_degrades_under_injected_stall() {
+    // A 1 ns threshold makes every event-loop work period a "stall": the
+    // watchdog trips on real measurements, no special test hooks.
+    let (addr, http, handle) = spawn_http_server(ServeConfig {
+        batch_window: Duration::from_micros(200),
+        stall_threshold: Some(Duration::from_nanos(1)),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect_retry(&addr.to_string(), Duration::from_secs(5)).unwrap();
+    expect_matches(client.query(&queries()[0]).unwrap());
+    let (status, body) = http_get(&http, "/healthz");
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("\"status\": \"degraded\""), "{body}");
+    if obs::COMPILED_IN {
+        let (_, metrics) = http_get(&http, "/metrics");
+        let stalls = prom_value(&metrics, "serve_loop_stall_count_total").unwrap_or(0.0);
+        assert!(stalls >= 1.0, "no stalls exported:\n{metrics}");
+        assert!(
+            prom_value(&metrics, "serve_loop_max_stall_us").unwrap_or(0.0) >= 0.0,
+            "max-stall gauge missing"
+        );
+    }
+    client.shutdown().unwrap();
+    let (report, _) = handle.join().unwrap();
+    assert!(report.stalls >= 1, "watchdog never tripped: {report}");
+}
+
+#[test]
+fn access_log_writes_one_record_per_request() {
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let buf = SharedBuf::default();
+    let sink = buf.clone();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            batch_window: Duration::from_micros(200),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || {
+        let mut engine = Engine::new(build_index(), 2);
+        let registry = obs::Registry::new();
+        let mut telemetry = serve::ServeTelemetry {
+            sampler: obs::series::Sampler::disabled(),
+            slow: serve::SlowQueryLog::new(None, 0),
+            access: Some(serve::AccessLog::to_writer(Box::new(sink))),
+        };
+        let report = server
+            .run_with_telemetry(&mut engine, &registry, &mut telemetry)
+            .expect("serve");
+        (report, telemetry)
+    });
+    let mut client = Client::connect_retry(&addr.to_string(), Duration::from_secs(5)).unwrap();
+    let q = queries()[1].clone();
+    expect_matches(client.query(&queries()[0]).unwrap());
+    expect_matches(client.query(&q).unwrap());
+    expect_matches(client.query(&q.clone()).unwrap()); // cache hit
+    client.shutdown().unwrap();
+    let (_, telemetry) = handle.join().unwrap();
+    let access = telemetry.access.expect("access log survives the run");
+    assert_eq!(access.lines(), 4, "3 queries + shutdown");
+    assert_eq!(access.write_errors(), 0);
+
+    let raw = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    let records: Vec<obs::json::Value> = raw
+        .lines()
+        .map(|l| obs::json::parse(l).expect("each access line is valid JSON"))
+        .collect();
+    assert_eq!(records.len(), 4);
+    let op = |r: &obs::json::Value| {
+        r.get("op")
+            .and_then(obs::json::Value::as_str)
+            .map(String::from)
+    };
+    assert_eq!(
+        records
+            .iter()
+            .filter(|r| op(r).as_deref() == Some("query"))
+            .count(),
+        3
+    );
+    assert_eq!(
+        records
+            .iter()
+            .filter(|r| op(r).as_deref() == Some("shutdown"))
+            .count(),
+        1
+    );
+    // Exactly one of the three queries hit the cache; the executed two
+    // carry the stage decomposition.
+    let hits = records
+        .iter()
+        .filter(|r| r.get("cache_hit").and_then(obs::json::Value::as_bool) == Some(true))
+        .count();
+    assert_eq!(hits, 1, "{raw}");
+    let staged = records
+        .iter()
+        .filter(|r| r.get("cache_hit").and_then(obs::json::Value::as_bool) == Some(false))
+        .filter(|r| r.get("queue_wait_us").is_some() && r.get("exec_us").is_some())
+        .count();
+    assert_eq!(
+        staged, 2,
+        "executed queries must carry stage timings: {raw}"
+    );
 }
 
 #[test]
