@@ -5,7 +5,7 @@
 //!               [--trace out.json] [--timeseries out.json] [--sample-interval-ms M]
 //! treepi query  <index.tpi> <queries.gspan> [--stats] [--seed N] [--threads N] [--metrics out.json] [--trace out.json]
 //! treepi gquery <db.gspan> <queries.gspan> [--threads N] [--metrics out.json]  (gIndex baseline)
-//! treepi metrics-diff <baseline.json> <current.json> [--max-regress-pct P] [--time] [--update-baseline]
+//! treepi metrics-diff <baseline.json> <current.json> [--max-regress-pct P] [--time] [--include-exempt] [--update-baseline]
 //! treepi stats  <index.tpi> | --addr HOST:PORT     (live server snapshot)
 //! treepi dbstats <db.gspan>
 //! treepi gen    <out.gspan> --chem N | --synthetic N L
@@ -14,6 +14,7 @@
 //!               [--queue-cap N] [--cache-cap N] [--max-requests N] [--seed N] [--metrics out.json]
 //!               [--timeseries out.json] [--sample-interval-ms M] [--slow-query-us U] [--slow-log out.json]
 //!               [--http-addr HOST:PORT] [--stall-threshold-us U] [--access-log out.jsonl]
+//!               [--remine-threshold N]
 //! treepi loadgen <addr> <queries.gspan> [--connections N] [--requests N] [--rate R] [--zipf S]
 //!               [--seed N] [--shutdown] [--metrics out.json]
 //! treepi prom   <metrics.json>          (convert a saved snapshot to Prometheus text)
@@ -50,6 +51,12 @@
 //! 100000 µs; 0 disables it) and `--access-log out.jsonl` streams one
 //! structured JSON record per request.
 //!
+//! `--remine-threshold N` (serve) re-mines the feature set on a
+//! background thread after every N applied §7.1 insert/remove ops
+//! (default 0 = never), swapping the rebuilt index in under a fresh
+//! epoch while queries keep serving from pinned snapshots; progress is
+//! visible as `maint.*` counters in STATS and `/metrics`.
+//!
 //! `prom` converts a saved `treepi.obs/v1` metrics file to the same
 //! Prometheus text `/metrics` serves — useful for pushing one-shot build
 //! or loadgen metrics through a pushgateway.
@@ -83,12 +90,12 @@ fn usage() -> ExitCode {
         "usage:\n  treepi build  <db.gspan> <index.tpi> [--alpha A] [--beta B] [--eta E] [--gamma G] [--threads N] [--metrics out.json] [--trace out.json] [--timeseries out.json] [--sample-interval-ms 100]\n  \
          treepi query  <index.tpi> <queries.gspan> [--stats] [--seed N] [--threads N] [--metrics out.json] [--trace out.json]\n  \
          treepi gquery <db.gspan> <queries.gspan> [--threads N] [--metrics out.json]\n  \
-         treepi metrics-diff <baseline.json> <current.json> [--max-regress-pct P] [--time] [--update-baseline]\n  \
+         treepi metrics-diff <baseline.json> <current.json> [--max-regress-pct P] [--time] [--include-exempt] [--update-baseline]\n  \
          treepi stats  (<index.tpi> | --addr HOST:PORT)\n  \
          treepi dbstats <db.gspan>\n  \
          treepi gen    <out.gspan> (--chem N | --synthetic N L) [--seed N]\n  \
          treepi scan   <db.gspan> <queries.gspan> [--threads N]\n  \
-         treepi serve  <index.tpi> [--addr 127.0.0.1:7878] [--threads N] [--batch-window-us 1000] [--max-batch 64] [--queue-cap 1024] [--cache-cap 4096] [--max-requests 0] [--seed N] [--metrics out.json] [--timeseries out.json] [--sample-interval-ms 100] [--slow-query-us 0] [--slow-log out.json] [--http-addr HOST:PORT] [--stall-threshold-us 100000] [--access-log out.jsonl]\n  \
+         treepi serve  <index.tpi> [--addr 127.0.0.1:7878] [--threads N] [--batch-window-us 1000] [--max-batch 64] [--queue-cap 1024] [--cache-cap 4096] [--max-requests 0] [--seed N] [--metrics out.json] [--timeseries out.json] [--sample-interval-ms 100] [--slow-query-us 0] [--slow-log out.json] [--http-addr HOST:PORT] [--stall-threshold-us 100000] [--access-log out.jsonl] [--remine-threshold 0]\n  \
          treepi loadgen <addr> <queries.gspan> [--connections 4] [--requests 1000] [--rate R] [--zipf 0.0] [--seed N] [--shutdown] [--metrics out.json]\n  \
          treepi prom   <metrics.json>"
     );
@@ -321,6 +328,7 @@ fn run() -> Result<(), String> {
             let opts = obs::diff::DiffOptions {
                 max_regress_pct: parse_flag(&args, "--max-regress-pct", 10.0f64)?,
                 include_timings: args.iter().any(|a| a == "--time"),
+                include_exempt: args.iter().any(|a| a == "--include-exempt"),
             };
             let report = obs::diff::diff(&base, &current, &opts);
             print!("{}", report.render_text());
@@ -515,7 +523,8 @@ fn run() -> Result<(), String> {
                     .transpose()
                     .map_err(|e| format!("--access-log: {e}"))?,
             };
-            let mut engine = treepi::Engine::new(index, threads);
+            let remine_threshold = parse_flag(&args, "--remine-threshold", 0u64)?;
+            let engine = treepi::Engine::with_remine(index, threads, remine_threshold);
             let server = serve::Server::bind(&addr, config).map_err(|e| format!("{addr}: {e}"))?;
             eprintln!(
                 "serving {} graphs on {} ({} worker threads)",
@@ -527,7 +536,7 @@ fn run() -> Result<(), String> {
                 eprintln!("monitoring on http://{http} (/metrics /healthz /slowz)");
             }
             let report = server
-                .run_with_telemetry(&mut engine, &registry, &mut telemetry)
+                .run_with_telemetry(&engine, &registry, &mut telemetry)
                 .map_err(|e| e.to_string())?;
             eprintln!("serve done: {report}");
             if let Some(access) = &telemetry.access {

@@ -102,6 +102,12 @@ pub struct DiffOptions {
     /// Also gate span p50/p95 wall-clock estimates (off by default —
     /// machine-dependent).
     pub include_timings: bool,
+    /// Also gate the timing-dependent namespaces (`engine.`, `pool.`,
+    /// `serve.`, `cache.`, `loadgen.`, `series.`, `maint.`) that are
+    /// exempt by default. Meant for baselines produced by a
+    /// *deterministic* driver (e.g. the churn bench), or committed as
+    /// provable upper bounds — not for live serving runs.
+    pub include_exempt: bool,
 }
 
 impl Default for DiffOptions {
@@ -109,6 +115,7 @@ impl Default for DiffOptions {
         Self {
             max_regress_pct: 10.0,
             include_timings: false,
+            include_exempt: false,
         }
     }
 }
@@ -196,11 +203,12 @@ impl DiffReport {
 fn gated(name: &str, kind: Kind, opts: &DiffOptions) -> bool {
     // Exempt the timing-dependent namespaces, matching
     // MetricSet::deterministic_counters: execution shape (engine/pool)
-    // and arrival timing (serve/cache/loadgen/series).
-    const EXEMPT: [&str; 6] = [
-        "engine.", "pool.", "serve.", "cache.", "loadgen.", "series.",
+    // and arrival timing (serve/cache/loadgen/series/maint). The
+    // `include_exempt` opt-in gates them anyway — see its docs.
+    const EXEMPT: [&str; 7] = [
+        "engine.", "pool.", "serve.", "cache.", "loadgen.", "series.", "maint.",
     ];
-    if EXEMPT.iter().any(|p| name.starts_with(p)) {
+    if !opts.include_exempt && EXEMPT.iter().any(|p| name.starts_with(p)) {
         return false;
     }
     match kind {
@@ -344,6 +352,7 @@ mod tests {
             &DiffOptions {
                 max_regress_pct: 0.0,
                 include_timings: true,
+                include_exempt: false,
             },
         );
         assert!(!report.regressed(), "{}", report.render_text());
@@ -357,6 +366,7 @@ mod tests {
         let opts = DiffOptions {
             max_regress_pct: 10.0,
             include_timings: false,
+            include_exempt: false,
         };
         let report = diff(&base, &worse, &opts);
         assert!(report.regressed());
@@ -369,6 +379,7 @@ mod tests {
         let strict = DiffOptions {
             max_regress_pct: 0.0,
             include_timings: false,
+            include_exempt: false,
         };
         assert!(!diff(&base, &better, &strict).regressed());
     }
@@ -379,6 +390,7 @@ mod tests {
         let opts = DiffOptions {
             max_regress_pct: 10.0,
             include_timings: false,
+            include_exempt: false,
         };
         assert!(diff(&base, &set(&[], &[("mem.index.bytes", 1200)], &[]), &opts).regressed());
         assert!(!diff(&base, &set(&[], &[("mem.index.bytes", 500)], &[]), &opts).regressed());
@@ -399,6 +411,7 @@ mod tests {
         let opts = DiffOptions {
             max_regress_pct: 0.0,
             include_timings: true,
+            include_exempt: false,
         };
         assert!(!diff(&base, &worse, &opts).regressed());
         // Even disappearing engine metrics don't fail.
@@ -421,6 +434,7 @@ mod tests {
         let opts = DiffOptions {
             max_regress_pct: 0.0,
             include_timings: true,
+            include_exempt: false,
         };
         assert!(!diff(&base, &worse, &opts).regressed());
         assert!(!diff(&base, &MetricSet::new(), &opts).regressed());
@@ -440,6 +454,7 @@ mod tests {
         let opts = DiffOptions {
             max_regress_pct: 0.0,
             include_timings: true,
+            include_exempt: false,
         };
         assert!(!diff(&base, &worse, &opts).regressed());
         assert!(!diff(&base, &MetricSet::new(), &opts).regressed());
@@ -453,11 +468,13 @@ mod tests {
         let lenient = DiffOptions {
             max_regress_pct: 10.0,
             include_timings: false,
+            include_exempt: false,
         };
         assert!(!diff(&base, &slower, &lenient).regressed());
         let timed = DiffOptions {
             max_regress_pct: 10.0,
             include_timings: true,
+            include_exempt: false,
         };
         let report = diff(&base, &slower, &timed);
         assert!(report.regressed());

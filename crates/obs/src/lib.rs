@@ -315,13 +315,14 @@ impl MetricSet {
     /// the `engine.` and `pool.` namespaces, whose values describe
     /// execution shape (worker counts, scheduling, pool busy/park time)
     /// and legitimately vary with `--threads` — and the `serve.`,
-    /// `cache.`, `loadgen.`, and `series.` namespaces, whose values
-    /// depend on arrival timing (batch boundaries, cache hits vs.
-    /// in-flight misses, shed decisions, sampler ring evictions). Totals
+    /// `cache.`, `loadgen.`, `series.`, and `maint.` namespaces, whose
+    /// values depend on arrival timing (batch boundaries, cache hits vs.
+    /// in-flight misses, shed decisions, sampler ring evictions, how many
+    /// queued ops each apply batch happens to fold together). Totals
     /// here must be bit-identical at any thread count.
     pub fn deterministic_counters(&self) -> BTreeMap<String, u64> {
-        const EXEMPT: [&str; 6] = [
-            "engine.", "pool.", "serve.", "cache.", "loadgen.", "series.",
+        const EXEMPT: [&str; 7] = [
+            "engine.", "pool.", "serve.", "cache.", "loadgen.", "series.", "maint.",
         ];
         self.counters
             .iter()
@@ -905,6 +906,30 @@ pub mod names {
     /// ([`crate::series::Sampler::dropped`]), surfaced live so a scrape
     /// can see ring pressure before the series file is written.
     pub const GAUGE_SERIES_DROPPED: &str = "series.dropped";
+
+    /// Counter: §7.1 maintenance ops accepted into the engine's pending
+    /// queue (insert + remove; see `treepi::Engine::queue_insert`).
+    pub const MAINT_QUEUED: &str = "maint.queued";
+    /// Counter: queued ops folded into published snapshots.
+    pub const MAINT_APPLIED: &str = "maint.applied";
+    /// Counter: apply batches — copy-on-write snapshots built by
+    /// `apply_pending` (N queued ops cost one of these, not N).
+    pub const MAINT_APPLY_BATCHES: &str = "maint.apply_batches";
+    /// Counter: total snapshot publications (apply batches plus background
+    /// re-mine swaps).
+    pub const MAINT_SNAPSHOT_SWAPS: &str = "maint.snapshot_swaps";
+    /// Counter: background re-mines triggered by accumulated repairs.
+    pub const MAINT_REMINE_TRIGGERS: &str = "maint.remine_triggers";
+    /// Counter: background re-mines that completed and were swapped in.
+    pub const MAINT_REMINES: &str = "maint.remines_completed";
+    /// Span: latency of one apply batch (clone + §7.1 ops + swap).
+    pub const SPAN_MAINT_APPLY: &str = "maint.apply";
+    /// Span: wall time of one background re-mine build.
+    pub const SPAN_MAINT_REMINE: &str = "maint.remine";
+    /// Gauge: ops queued but not yet applied.
+    pub const GAUGE_MAINT_PENDING: &str = "maint.pending_depth";
+    /// Gauge: §7.1 ops applied since the last re-mine trigger.
+    pub const GAUGE_MAINT_REPAIRS: &str = "maint.repairs_since_mine";
 }
 
 #[cfg(test)]

@@ -18,11 +18,18 @@
 //!    held in exchange for batching efficiency. The poll timeout is the
 //!    oldest entry's remaining budget, so a sleepy server still honors
 //!    the window.
-//! 3. **Maintenance.** Insert/remove requests apply immediately via the
-//!    engine's epoch-bumping API; the cache compares epochs and drops
-//!    its entries, so no answer computed against the old database can
-//!    be served afterwards. Queued queries always observe the database
-//!    state at *execution* time.
+//! 3. **Maintenance.** Insert/remove requests are *queued* on the engine
+//!    ([`treepi::Engine::queue_insert`] / `queue_remove`) and acked
+//!    immediately from its shadow view — no index copy, no epoch bump,
+//!    no stall of in-flight batches. Queued ops are folded into one
+//!    copy-on-write snapshot ([`treepi::Engine::apply_pending`], the
+//!    `maint.apply` span) at the next query admission and at batch
+//!    dispatch, so a run of N registration ops costs one snapshot, and
+//!    read-your-writes holds: a query admitted after an op's ack always
+//!    sees it. The cache compares epochs on every publication (applies
+//!    and background re-mine swaps alike) and drops its entries, so no
+//!    answer computed against an old snapshot can be served afterwards.
+//!    Queued queries observe the snapshot current at *execution* time.
 //!
 //! Determinism caveat: which queries share a batch depends on arrival
 //! timing, so `serve.*` / `cache.*` metrics (and batch seeds) are
@@ -141,7 +148,9 @@ pub struct ServeReport {
     pub shed: u64,
     /// Micro-batches dispatched.
     pub batches: u64,
-    /// Maintenance operations (insert/remove) applied.
+    /// Maintenance operations (insert/remove) accepted into the engine's
+    /// pending queue (no-op removes of inactive gids excluded). Every
+    /// accepted op is applied by the time [`Server::run`] returns.
     pub maintenance: u64,
     /// Malformed frames answered with an error.
     pub errors: u64,
@@ -304,7 +313,7 @@ impl Server {
     /// run's totals. Latency histograms (`serve.request`,
     /// `serve.batch_exec`) and the `serve.*` / `cache.*` counters are
     /// recorded into `registry`.
-    pub fn run(self, engine: &mut Engine, registry: &obs::Registry) -> io::Result<ServeReport> {
+    pub fn run(self, engine: &Engine, registry: &obs::Registry) -> io::Result<ServeReport> {
         let mut telemetry = ServeTelemetry::disabled();
         self.run_with_telemetry(engine, registry, &mut telemetry)
     }
@@ -317,7 +326,7 @@ impl Server {
     /// after the server exits.
     pub fn run_with_telemetry(
         self,
-        engine: &mut Engine,
+        engine: &Engine,
         registry: &obs::Registry,
         telemetry: &mut ServeTelemetry,
     ) -> io::Result<ServeReport> {
@@ -340,6 +349,11 @@ impl Server {
             shutdown: false,
         };
         let result = lp.serve(registry);
+        // Fold any ops still queued at shutdown so the engine's final
+        // state reflects every acked maintenance request, then surface the
+        // run's maint.* totals alongside the cache's.
+        lp.apply_ready();
+        lp.record_maint_metrics(registry);
         lp.cache.record_metrics(registry);
         registry.set_gauge(
             obs::names::GAUGE_SERVE_QUEUE_PEAK,
@@ -365,7 +379,7 @@ struct EventLoop<'e> {
     poll: Poll,
     cache: QueryCache,
     config: ServeConfig,
-    engine: &'e mut Engine,
+    engine: &'e Engine,
     shard: obs::Shard,
     telemetry: &'e mut ServeTelemetry,
     watchdog: LoopWatchdog,
@@ -447,6 +461,10 @@ impl EventLoop<'_> {
             (obs::names::SERVE_LOOP_STALLS, self.watchdog.stalls()),
             (obs::names::CACHE_HIT, self.cache.hits()),
             (obs::names::GAUGE_CACHE_ENTRIES, self.cache.len() as u64),
+            (
+                obs::names::GAUGE_MAINT_PENDING,
+                self.engine.maint_stats().pending,
+            ),
         ];
         if obs::alloc::installed() {
             values.push((obs::names::GAUGE_ALLOC_LIVE, obs::alloc::live_bytes()));
@@ -483,6 +501,15 @@ impl EventLoop<'_> {
             live.set_gauge(obs::names::GAUGE_ALLOC_LIVE, obs::alloc::live_bytes());
             live.set_gauge(obs::names::GAUGE_ALLOC_PEAK, obs::alloc::peak_bytes());
         }
+        let maint = self.engine.maint_stats();
+        live.add(obs::names::MAINT_QUEUED, maint.queued);
+        live.add(obs::names::MAINT_APPLIED, maint.applied);
+        live.add(obs::names::MAINT_APPLY_BATCHES, maint.apply_batches);
+        live.add(obs::names::MAINT_SNAPSHOT_SWAPS, maint.snapshot_swaps);
+        live.add(obs::names::MAINT_REMINE_TRIGGERS, maint.remine_triggers);
+        live.add(obs::names::MAINT_REMINES, maint.remines_completed);
+        live.set_gauge(obs::names::GAUGE_MAINT_PENDING, maint.pending);
+        live.set_gauge(obs::names::GAUGE_MAINT_REPAIRS, maint.repairs_since_mine);
         set.merge(&live);
         set
     }
@@ -499,6 +526,10 @@ impl EventLoop<'_> {
     }
 
     fn run_batch(&mut self, registry: &obs::Registry) {
+        // Fold queued maintenance first: one snapshot for however many ops
+        // accumulated since the last publication, then the whole batch
+        // runs against that pinned version.
+        self.apply_ready();
         let n = self.pending.len().min(self.config.max_batch.max(1));
         let (metas, graphs): (Vec<_>, Vec<Graph>) = self
             .pending
@@ -512,12 +543,12 @@ impl EventLoop<'_> {
             .unzip();
         let dispatched = Instant::now();
         let seed = self.config.seed.wrapping_add(self.report.batches);
-        let results = {
+        let (results, epoch) = {
             let _span = self.shard.span(obs::names::SPAN_SERVE_BATCH);
-            let (results, _) =
+            let (results, _, epoch) =
                 self.engine
-                    .query_batch_obs(&graphs, self.config.opts, seed, registry);
-            results
+                    .query_batch_pinned(&graphs, self.config.opts, seed, registry);
+            (results, epoch)
         };
         let batch_end = Instant::now();
         let residence = batch_end.saturating_duration_since(dispatched);
@@ -526,7 +557,11 @@ impl EventLoop<'_> {
         self.report.served += n as u64;
         self.shard.add(obs::names::SERVE_BATCHES, 1);
         self.shard.add(obs::names::SERVE_BATCHED, n as u64);
-        let epoch = self.engine.epoch();
+        // Cache admission: results belong to the batch's pinned epoch. A
+        // background re-mine may have published a newer snapshot while the
+        // batch ran — then these answers are already stale and must not be
+        // cached (the sync below has moved the cache past their epoch).
+        let cacheable = !self.cache.sync_epoch(self.engine.epoch()) && epoch == self.engine.epoch();
         for (i, ((conn, tag, key, recv, admitted, bytes_in), r)) in
             metas.into_iter().zip(results).enumerate()
         {
@@ -558,8 +593,10 @@ impl EventLoop<'_> {
             {
                 self.shard.add(obs::names::SERVE_SLOW_QUERIES, 1);
             }
-            if let Some(key) = key {
-                self.cache.insert(key, r.matches.clone());
+            if cacheable {
+                if let Some(key) = key {
+                    self.cache.insert(key, r.matches.clone());
+                }
             }
             self.shard
                 .observe(obs::names::SPAN_SERVE_REQUEST, admitted.elapsed());
@@ -884,7 +921,6 @@ impl EventLoop<'_> {
         registry: &obs::Registry,
     ) {
         let tag = req.tag;
-        let epoch = self.engine.epoch();
         // Immediate (non-queued) outcomes share one access-record shape.
         let mut immediate: Option<(&'static str, &'static str, Option<bool>)> = None;
         let mut bytes_out = 0u64;
@@ -906,13 +942,19 @@ impl EventLoop<'_> {
                     );
                     immediate = Some(("query", "error", None));
                 } else {
+                    // Read-your-writes: fold any acked-but-unapplied
+                    // maintenance before consulting the cache or queueing,
+                    // so this query observes every op acked before it.
+                    self.apply_ready();
                     let key = (self.config.cache_cap > 0).then(|| canonical_code(&g));
                     let mut hit_ids = None;
                     if let Some(key) = &key {
-                        // Belt and braces: the cache is also synced at every
-                        // maintenance op, but admission re-checks so a future
-                        // out-of-loop mutation path can't serve stale answers.
-                        self.cache.sync_epoch(epoch);
+                        // Belt and braces: the cache is synced on every
+                        // publication (apply_ready above), but admission
+                        // re-checks so a background re-mine landing between
+                        // that sync and this lookup can't serve stale
+                        // answers.
+                        self.cache.sync_epoch(self.engine.epoch());
                         hit_ids = self.cache.get(key).map(|hit| hit.to_vec());
                     }
                     if let Some(ids) = hit_ids {
@@ -951,8 +993,13 @@ impl EventLoop<'_> {
                 }
             }
             RequestBody::Insert(g) => {
-                let gid = self.engine.insert(g);
-                self.apply_maintenance();
+                // Queued, not applied: the gid comes from the engine's
+                // shadow view, the snapshot is untouched, and in-flight
+                // batches keep their pinned version. The op is folded in
+                // (with any siblings) at the next query admission or batch
+                // dispatch — see `apply_ready`.
+                let gid = self.engine.queue_insert(g);
+                self.note_maintenance();
                 bytes_out = self.respond(
                     idx,
                     Response {
@@ -963,8 +1010,10 @@ impl EventLoop<'_> {
                 immediate = Some(("insert", "ok", None));
             }
             RequestBody::Remove(gid) => {
-                let was_active = self.engine.remove(gid);
-                self.apply_maintenance();
+                let was_active = self.engine.queue_remove(gid);
+                if was_active {
+                    self.note_maintenance();
+                }
                 bytes_out = self.respond(
                     idx,
                     Response {
@@ -1025,10 +1074,44 @@ impl EventLoop<'_> {
         }
     }
 
-    fn apply_maintenance(&mut self) {
+    fn note_maintenance(&mut self) {
         self.report.maintenance += 1;
         self.shard.add(obs::names::SERVE_MAINTENANCE, 1);
-        self.cache.sync_epoch(self.engine.epoch());
+    }
+
+    /// Fold every queued maintenance op into one published snapshot (the
+    /// batching point: N acked ops cost one copy) and absorb background
+    /// re-mine completions. Both publication kinds re-sync the cache, so
+    /// an entry computed against a retired snapshot can never be served
+    /// after this returns.
+    fn apply_ready(&mut self) {
+        if let Some(out) = self.engine.apply_pending() {
+            self.shard
+                .observe(obs::names::SPAN_MAINT_APPLY, out.duration);
+            self.cache.sync_epoch(out.epoch);
+        }
+        for rep in self.engine.drain_remine_reports() {
+            self.shard
+                .observe(obs::names::SPAN_MAINT_REMINE, rep.duration);
+            self.cache.sync_epoch(rep.epoch);
+        }
+    }
+
+    /// Record the engine's cumulative `maint.*` counters and gauges into
+    /// `registry` (end-of-run counterpart of the live values merged by
+    /// `live_snapshot`).
+    fn record_maint_metrics(&self, registry: &obs::Registry) {
+        let s = self.engine.maint_stats();
+        let shard = registry.shard();
+        shard.add(obs::names::MAINT_QUEUED, s.queued);
+        shard.add(obs::names::MAINT_APPLIED, s.applied);
+        shard.add(obs::names::MAINT_APPLY_BATCHES, s.apply_batches);
+        shard.add(obs::names::MAINT_SNAPSHOT_SWAPS, s.snapshot_swaps);
+        shard.add(obs::names::MAINT_REMINE_TRIGGERS, s.remine_triggers);
+        shard.add(obs::names::MAINT_REMINES, s.remines_completed);
+        registry.absorb(shard);
+        registry.set_gauge(obs::names::GAUGE_MAINT_PENDING, s.pending);
+        registry.set_gauge(obs::names::GAUGE_MAINT_REPAIRS, s.repairs_since_mine);
     }
 
     /// Queue `resp` on connection `idx` and try to flush. Returns the

@@ -44,9 +44,9 @@ fn spawn_server(
     let server = Server::bind("127.0.0.1:0", config).expect("bind");
     let addr = server.local_addr().expect("local addr");
     let handle = std::thread::spawn(move || {
-        let mut engine = Engine::new(build_index(), 2);
+        let engine = Engine::new(build_index(), 2);
         let registry = obs::Registry::new();
-        let report = server.run(&mut engine, &registry).expect("serve");
+        let report = server.run(&engine, &registry).expect("serve");
         (report, registry.drain(), engine)
     });
     (addr, handle)
@@ -133,7 +133,7 @@ fn cache_hits_repeats_and_maintenance_invalidates() {
     assert!(report.cache_hits >= 4, "repeats must hit: {report}");
     assert_eq!(report.maintenance, 2);
     // The post-churn database agrees with the last answer.
-    assert_eq!(scan_support(engine.index(), &q), first);
+    assert_eq!(scan_support(&engine.index(), &q), first);
     if obs::COMPILED_IN {
         assert!(metrics.counter(obs::names::CACHE_HIT) >= 4);
         assert_eq!(metrics.counter(obs::names::CACHE_INVALIDATIONS), 2);
@@ -324,7 +324,7 @@ fn telemetry_captures_slow_queries_and_samples_series() {
     .expect("bind");
     let addr = server.local_addr().expect("local addr");
     let handle = std::thread::spawn(move || {
-        let mut engine = Engine::new(build_index(), 2);
+        let engine = Engine::new(build_index(), 2);
         let registry = obs::Registry::new();
         let mut telemetry = ServeTelemetry {
             // Zero interval: every poll iteration samples.
@@ -335,7 +335,7 @@ fn telemetry_captures_slow_queries_and_samples_series() {
             access: None,
         };
         let report = server
-            .run_with_telemetry(&mut engine, &registry, &mut telemetry)
+            .run_with_telemetry(&engine, &registry, &mut telemetry)
             .expect("serve");
         (report, registry.drain(), telemetry)
     });
@@ -394,7 +394,7 @@ fn spawn_http_server(
     let addr = server.local_addr().expect("local addr");
     let http = server.http_local_addr().expect("http addr");
     let handle = std::thread::spawn(move || {
-        let mut engine = Engine::new(build_index(), 2);
+        let engine = Engine::new(build_index(), 2);
         let registry = obs::Registry::new();
         let mut telemetry = serve::ServeTelemetry {
             sampler: obs::series::Sampler::disabled(),
@@ -402,7 +402,7 @@ fn spawn_http_server(
             access: None,
         };
         let report = server
-            .run_with_telemetry(&mut engine, &registry, &mut telemetry)
+            .run_with_telemetry(&engine, &registry, &mut telemetry)
             .expect("serve");
         (report, registry.drain())
     });
@@ -576,7 +576,7 @@ fn access_log_writes_one_record_per_request() {
     .expect("bind");
     let addr = server.local_addr().expect("local addr");
     let handle = std::thread::spawn(move || {
-        let mut engine = Engine::new(build_index(), 2);
+        let engine = Engine::new(build_index(), 2);
         let registry = obs::Registry::new();
         let mut telemetry = serve::ServeTelemetry {
             sampler: obs::series::Sampler::disabled(),
@@ -584,7 +584,7 @@ fn access_log_writes_one_record_per_request() {
             access: Some(serve::AccessLog::to_writer(Box::new(sink))),
         };
         let report = server
-            .run_with_telemetry(&mut engine, &registry, &mut telemetry)
+            .run_with_telemetry(&engine, &registry, &mut telemetry)
             .expect("serve");
         (report, telemetry)
     });
@@ -661,4 +661,207 @@ fn open_loop_rate_paces_the_run() {
         report.elapsed
     );
     handle.join().unwrap();
+}
+
+/// Like [`spawn_server`], but the engine re-mines in the background after
+/// `threshold` applied §7.1 ops — the concurrency tests drive swaps from
+/// both the apply path and the re-mine thread.
+fn spawn_remine_server(
+    threshold: u64,
+    config: ServeConfig,
+) -> (
+    SocketAddr,
+    JoinHandle<(ServeReport, obs::MetricSet, Engine)>,
+) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || {
+        let engine = Engine::with_remine(build_index(), 2, threshold);
+        let registry = obs::Registry::new();
+        let report = server.run(&engine, &registry).expect("serve");
+        (report, registry.drain(), engine)
+    });
+    (addr, handle)
+}
+
+/// Tentpole acceptance: pipelined queries racing concurrent insert/remove
+/// traffic are never blocked and never torn. Every answer must equal the
+/// scan oracle of SOME §7.1 prefix state (pre- or post-epoch) — an answer
+/// mixing two epochs (e.g. a half-applied batch) matches no prefix and
+/// fails. Background re-mining runs throughout (threshold 3 over 12 ops),
+/// so swaps come from both the apply path and the re-mine thread.
+#[test]
+fn concurrent_maintenance_never_tears_or_blocks_queries() {
+    const OPS: usize = 12;
+    let (addr, handle) = spawn_remine_server(
+        3,
+        ServeConfig {
+            batch_window: Duration::from_micros(200),
+            ..ServeConfig::default()
+        },
+    );
+    let q = graph_from(&[0, 0], &[(0, 1, 0)]);
+    let extra = graph_from(&[0, 0, 0], &[(0, 1, 0), (1, 2, 0)]);
+
+    // Enumerate every §7.1 prefix state's oracle answer up front: the op
+    // schedule is deterministic (alternating insert/remove of the
+    // mutator's own gids, assigned densely from 5), so each prefix k has
+    // one well-defined answer.
+    let base = scan_support(&build_index(), &q);
+    let mut allowed: std::collections::HashSet<Vec<u32>> = std::collections::HashSet::new();
+    let mut inserted_live: Vec<u32> = Vec::new();
+    let mut next_gid = db().len() as u32;
+    allowed.insert(base.clone());
+    for k in 0..OPS {
+        if k % 3 == 2 {
+            inserted_live.remove(0);
+        } else {
+            inserted_live.push(next_gid);
+            next_gid += 1;
+        }
+        let mut ans = base.clone();
+        ans.extend(&inserted_live);
+        ans.sort_unstable();
+        allowed.insert(ans);
+    }
+
+    let mutator_addr = addr;
+    let mutator_q = q.clone();
+    let mutator = std::thread::spawn(move || {
+        let q = mutator_q;
+        let mut client =
+            Client::connect_retry(&mutator_addr.to_string(), Duration::from_secs(5)).unwrap();
+        let mut live: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+        for k in 0..OPS {
+            if k % 3 == 2 {
+                let gid = live.pop_front().unwrap();
+                match client.remove(gid).unwrap().body {
+                    ResponseBody::Removed(was) => assert!(was, "gid {gid} should be live"),
+                    other => panic!("expected remove ack, got {other:?}"),
+                }
+                // Read-your-writes across the swap: a stale cache hit
+                // would still cite the removed gid.
+                let seen = expect_matches(client.query(&q).unwrap());
+                assert!(!seen.contains(&gid), "stale answer cites removed {gid}");
+            } else {
+                let gid = match client.insert(&extra).unwrap().body {
+                    ResponseBody::Inserted(gid) => gid,
+                    other => panic!("expected insert ack, got {other:?}"),
+                };
+                live.push_back(gid);
+                // Read-your-writes: the very next query must already see
+                // the insert, even if a re-mine published in between.
+                let seen = expect_matches(client.query(&q).unwrap());
+                assert!(seen.contains(&gid), "stale answer misses inserted {gid}");
+            }
+            std::thread::sleep(Duration::from_micros(300));
+        }
+    });
+
+    let mut client = Client::connect_retry(&addr.to_string(), Duration::from_secs(5)).unwrap();
+    let mut served = 0u32;
+    for _ in 0..60 {
+        let ans = expect_matches(client.query(&q).unwrap());
+        assert!(
+            allowed.contains(&ans),
+            "torn answer (matches no §7.1 prefix): {ans:?}"
+        );
+        served += 1;
+    }
+    mutator.join().expect("mutator");
+    assert_eq!(served, 60, "every concurrent query must be answered");
+
+    client.shutdown().unwrap();
+    let (report, metrics, engine) = handle.join().unwrap();
+    engine.wait_remine_idle();
+
+    // maint.* counters reconcile with the ops actually sent.
+    let stats = engine.maint_stats();
+    assert_eq!(stats.queued, OPS as u64, "{stats:?}");
+    assert_eq!(stats.applied, OPS as u64, "{stats:?}");
+    assert_eq!(stats.pending, 0, "{stats:?}");
+    assert!(stats.apply_batches >= 1 && stats.apply_batches <= OPS as u64);
+    assert!(
+        stats.remine_triggers >= 1,
+        "threshold 3 over {OPS} ops never triggered: {stats:?}"
+    );
+    assert_eq!(stats.remines_completed, stats.remine_triggers);
+    assert!(
+        stats.snapshot_swaps >= stats.apply_batches + stats.remines_completed - 1,
+        "{stats:?}"
+    );
+    assert_eq!(report.maintenance, OPS as u64);
+    if obs::COMPILED_IN {
+        assert_eq!(metrics.counter(obs::names::MAINT_QUEUED), OPS as u64);
+        assert_eq!(metrics.counter(obs::names::MAINT_APPLIED), OPS as u64);
+        assert_eq!(
+            metrics.counter(obs::names::MAINT_APPLY_BATCHES),
+            stats.apply_batches
+        );
+        let span = metrics
+            .span(obs::names::SPAN_MAINT_APPLY)
+            .expect("apply span");
+        assert_eq!(span.count, stats.apply_batches);
+    }
+
+    // The final database agrees with the last prefix oracle.
+    let expect_final: Vec<u32> = {
+        let mut inserted_live: Vec<u32> = Vec::new();
+        let mut next_gid = db().len() as u32;
+        for k in 0..OPS {
+            if k % 3 == 2 {
+                inserted_live.remove(0);
+            } else {
+                inserted_live.push(next_gid);
+                next_gid += 1;
+            }
+        }
+        let mut ans = base;
+        ans.extend(&inserted_live);
+        ans.sort_unstable();
+        ans
+    };
+    assert_eq!(scan_support(&engine.index(), &q), expect_final);
+}
+
+/// Stale-cache regression at the swap boundary: with re-mining after
+/// every single op, each insert/remove is immediately followed by a query
+/// whose answer must reflect it — a cache entry surviving any swap
+/// (apply or re-mine publication) breaks read-your-writes here.
+#[test]
+fn no_stale_cache_hits_across_remine_swaps() {
+    let (addr, handle) = spawn_remine_server(
+        1,
+        ServeConfig {
+            batch_window: Duration::from_micros(200),
+            ..ServeConfig::default()
+        },
+    );
+    let mut client = Client::connect_retry(&addr.to_string(), Duration::from_secs(5)).unwrap();
+    let q = graph_from(&[0, 0], &[(0, 1, 0)]);
+    let extra = graph_from(&[0, 0], &[(0, 1, 0)]);
+    let base = expect_matches(client.query(&q).unwrap());
+    for round in 0..4 {
+        // Warm the cache, then churn: the repeat after each op must track.
+        expect_matches(client.query(&q).unwrap());
+        let gid = match client.insert(&extra).unwrap().body {
+            ResponseBody::Inserted(gid) => gid,
+            other => panic!("expected insert ack, got {other:?}"),
+        };
+        let with = expect_matches(client.query(&q).unwrap());
+        assert!(with.contains(&gid), "round {round}: stale miss of {gid}");
+        match client.remove(gid).unwrap().body {
+            ResponseBody::Removed(was) => assert!(was),
+            other => panic!("expected remove ack, got {other:?}"),
+        }
+        let without = expect_matches(client.query(&q).unwrap());
+        assert_eq!(without, base, "round {round}: stale positive after remove");
+    }
+    client.shutdown().unwrap();
+    let (_, _, engine) = handle.join().unwrap();
+    engine.wait_remine_idle();
+    let stats = engine.maint_stats();
+    assert_eq!(stats.queued, 8);
+    assert_eq!(stats.remines_completed, stats.remine_triggers);
+    assert!(stats.remine_triggers >= 1, "{stats:?}");
 }

@@ -34,8 +34,10 @@ use graph_core::par::Pool;
 use graph_core::Graph;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use rustc_hash::FxHashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// The per-query deterministic RNG: position `i` of a batch with `seed`.
 ///
@@ -200,21 +202,159 @@ fn batch_on_pool(
     (results, summary)
 }
 
-/// A long-lived serving engine: a [`TreePiIndex`] plus one persistent
-/// worker [`Pool`] reused across every batch, so serving pays thread
-/// spawn/join once per process instead of once per batch. Construction of
-/// the answer is identical to [`TreePiIndex::query_batch`] — bit-identical
-/// results at any pool size, per the determinism contract in this module's
-/// docs.
-pub struct Engine {
-    index: TreePiIndex,
+/// A queued §7.1 maintenance operation (see [`Engine::queue_insert`] /
+/// [`Engine::queue_remove`]).
+#[derive(Clone)]
+enum PendingOp {
+    Insert(Graph),
+    Remove(u32),
+}
+
+/// Pending-write state guarded by one mutex: the op queue, the shadow view
+/// that answers "what gid will this insert get" / "is this gid active"
+/// before the ops are applied, and the background re-mine handshake.
+struct MaintState {
+    /// Queued ops not yet folded into a snapshot.
+    queue: Vec<PendingOp>,
+    /// Active-state overrides for queued ops (gid → active after queue).
+    overlay: FxHashMap<u32, bool>,
+    /// The gid the next queued insert receives (snapshot len + queued
+    /// inserts — [`TreePiIndex::insert`] appends, so ids are predictable).
+    next_gid: u32,
+    /// §7.1 ops applied since the last re-mine (trigger accumulator).
+    repairs_since_mine: u64,
+    /// Snapshot handed to the re-mine thread, not yet picked up.
+    remine_request: Option<Arc<TreePiIndex>>,
+    /// The re-mine thread is between pickup and publish.
+    remine_inflight: bool,
+    /// Ops applied while a re-mine was pending/in flight — replayed onto
+    /// the re-mined index before it is published.
+    journal: Vec<PendingOp>,
+    /// Completed re-mine reports awaiting [`Engine::drain_remine_reports`].
+    completed: Vec<RemineReport>,
+    /// Tells the re-mine thread to exit.
+    shutdown: bool,
+}
+
+/// Monotonic `maint.*` counters (lock-free reads for STATS snapshots).
+#[derive(Default)]
+struct MaintCounters {
+    queued: AtomicU64,
+    applied: AtomicU64,
+    apply_batches: AtomicU64,
+    snapshot_swaps: AtomicU64,
+    remine_triggers: AtomicU64,
+    remines_completed: AtomicU64,
+}
+
+/// State shared between the engine handle and its re-mine thread.
+struct EngineShared {
+    /// The published snapshot. Readers pin it by cloning the `Arc` (the
+    /// lock is held only for the pointer copy — never across a query);
+    /// writers install a successor built off to the side.
+    current: Mutex<Arc<TreePiIndex>>,
     pool: Pool,
+    maint: Mutex<MaintState>,
+    /// Signals the re-mine thread (new request / shutdown) and anyone in
+    /// [`Engine::wait_remine_idle`] (request picked up / published).
+    remine_cv: Condvar,
+    counters: MaintCounters,
+    /// Re-mine trigger: re-mine after this many applied §7.1 ops
+    /// (`0` = never).
+    remine_threshold: u64,
+}
+
+/// What [`Engine::apply_pending`] did: the epoch of the published
+/// snapshot, how many ops it folded in, and how long the clone-apply-swap
+/// took (recorded as the `maint.apply` span by the serving layer).
+#[derive(Clone, Copy, Debug)]
+pub struct ApplyOutcome {
+    /// Maintenance epoch of the newly published snapshot.
+    pub epoch: u64,
+    /// Number of queued ops folded into this snapshot.
+    pub ops: usize,
+    /// Wall time of the clone + apply + swap.
+    pub duration: Duration,
+}
+
+/// A completed background re-mine (see [`Engine::drain_remine_reports`]).
+#[derive(Clone, Copy, Debug)]
+pub struct RemineReport {
+    /// Wall time of the re-mine build (excluding journal replay).
+    pub duration: Duration,
+    /// Feature count of the published index.
+    pub features: usize,
+    /// Epoch the re-mined snapshot was published under.
+    pub epoch: u64,
+    /// Ops applied concurrently with the re-mine and replayed onto it.
+    pub replayed: usize,
+}
+
+/// A point-in-time copy of the engine's maintenance counters/gauges,
+/// surfaced as `maint.*` metrics by the serving layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaintStats {
+    /// Ops accepted by [`Engine::queue_insert`] / [`Engine::queue_remove`].
+    pub queued: u64,
+    /// Ops folded into snapshots by [`Engine::apply_pending`].
+    pub applied: u64,
+    /// Apply batches (snapshots built by `apply_pending`).
+    pub apply_batches: u64,
+    /// Total snapshot publications (apply batches + re-mine swaps).
+    pub snapshot_swaps: u64,
+    /// Background re-mines triggered.
+    pub remine_triggers: u64,
+    /// Background re-mines published.
+    pub remines_completed: u64,
+    /// Ops currently queued (gauge).
+    pub pending: u64,
+    /// §7.1 ops applied since the last re-mine trigger (gauge).
+    pub repairs_since_mine: u64,
+}
+
+/// A long-lived serving engine: a copy-on-write snapshot of a
+/// [`TreePiIndex`] plus one persistent worker [`Pool`] reused across every
+/// batch, so serving pays thread spawn/join once per process instead of
+/// once per batch. Construction of the answer is identical to
+/// [`TreePiIndex::query_batch`] — bit-identical results at any pool size,
+/// per the determinism contract in this module's docs.
+///
+/// # Concurrent maintenance (§7.1 under load)
+///
+/// The index lives behind an atomically swapped `Arc<TreePiIndex>`:
+///
+/// - **Readers never block.** [`Engine::query_batch`] pins the current
+///   snapshot ([`Engine::pin`]) and runs the whole batch against it; a
+///   swap mid-batch retires the old version only when its last pin drops.
+/// - **Writes are queued, then batched.** [`Engine::queue_insert`] /
+///   [`Engine::queue_remove`] record the op and answer immediately from a
+///   shadow view (assigned gid / was-active), touching no index state.
+///   [`Engine::apply_pending`] folds *all* queued ops into one cloned
+///   successor and publishes it with a single swap — N queued mutations
+///   cost one copy, not N.
+/// - **Staleness-triggered re-mine.** Applied §7.1 repairs accumulate;
+///   past `remine_threshold` a background thread re-mines the feature set
+///   from the current snapshot on the engine's own pool
+///   ([`TreePiIndex::remine_with_pool`] — gid-stable, unlike
+///   [`TreePiIndex::rebuild`]), replays ops that landed meanwhile, and
+///   swaps the result in under a fresh epoch. Queries keep dispatching
+///   onto the same pool throughout — the pool's queue accepts concurrent
+///   dispatchers, so the re-mine consumes idle seats rather than blocking
+///   the batch path.
+///
+/// Every publication bumps [`TreePiIndex::maintenance_epoch`] past the
+/// previous snapshot's, so epoch-keyed result caches (the `serve` crate)
+/// keep invalidating correctly across both apply batches and re-mines.
+pub struct Engine {
+    shared: Arc<EngineShared>,
+    remine_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
-            .field("parallelism", &self.pool.parallelism())
+            .field("parallelism", &self.shared.pool.parallelism())
+            .field("remine_threshold", &self.shared.remine_threshold)
             .finish_non_exhaustive()
     }
 }
@@ -222,66 +362,254 @@ impl std::fmt::Debug for Engine {
 impl Engine {
     /// Wrap `index` with a pool of `threads` workers (`0` = available
     /// parallelism). The pool threads are spawned here and live until the
-    /// engine is dropped.
+    /// engine is dropped. Background re-mining is disabled; see
+    /// [`Engine::with_remine`].
     pub fn new(index: TreePiIndex, threads: usize) -> Self {
-        Engine {
-            index,
+        Self::with_remine(index, threads, 0)
+    }
+
+    /// [`Engine::new`] with staleness-triggered background re-mining:
+    /// after `remine_threshold` applied §7.1 ops (`0` = never), a
+    /// dedicated thread re-mines the feature set on the engine's pool and
+    /// swaps the result in (see the type-level docs).
+    pub fn with_remine(index: TreePiIndex, threads: usize, remine_threshold: u64) -> Self {
+        let next_gid = index.db().len() as u32;
+        let shared = Arc::new(EngineShared {
+            current: Mutex::new(Arc::new(index)),
             pool: Pool::new(resolve_threads(threads)),
+            maint: Mutex::new(MaintState {
+                queue: Vec::new(),
+                overlay: FxHashMap::default(),
+                next_gid,
+                repairs_since_mine: 0,
+                remine_request: None,
+                remine_inflight: false,
+                journal: Vec::new(),
+                completed: Vec::new(),
+                shutdown: false,
+            }),
+            remine_cv: Condvar::new(),
+            counters: MaintCounters::default(),
+            remine_threshold,
+        });
+        let remine_thread = (remine_threshold > 0).then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("treepi-remine".into())
+                .spawn(move || remine_loop(&shared))
+                .expect("spawn re-mine thread")
+        });
+        Engine {
+            shared,
+            remine_thread,
         }
     }
 
-    /// The wrapped index.
-    pub fn index(&self) -> &TreePiIndex {
-        &self.index
+    /// Pin the currently published snapshot. The returned `Arc` keeps that
+    /// version alive (and its answers consistent) for as long as the
+    /// caller holds it, regardless of concurrent applies or re-mines.
+    pub fn pin(&self) -> Arc<TreePiIndex> {
+        self.shared.current.lock().expect("engine snapshot").clone()
     }
 
-    /// Mutable access to the wrapped index (inserts/removes between
-    /// batches). Prefer [`Engine::insert`] / [`Engine::remove`] for §7.1
-    /// maintenance; any path that mutates the index bumps its
-    /// [`TreePiIndex::maintenance_epoch`], which is what epoch-keyed
-    /// result caches (the `serve` crate) watch to drop stale answers.
-    pub fn index_mut(&mut self) -> &mut TreePiIndex {
-        &mut self.index
+    /// The currently published snapshot ([`Engine::pin`] under its
+    /// historical name — callers read through the `Arc`).
+    pub fn index(&self) -> Arc<TreePiIndex> {
+        self.pin()
     }
 
-    /// Insert a graph through the running engine
-    /// ([`TreePiIndex::insert`], §7.1). Returns the new graph id; the
+    /// Queue a §7.1 insert. Returns the gid the graph **will** occupy once
+    /// applied — assigned immediately from the shadow view, so callers can
+    /// answer before any snapshot is built. The op becomes visible to
+    /// queries after the next [`Engine::apply_pending`].
+    pub fn queue_insert(&self, g: Graph) -> u32 {
+        let mut m = self.shared.maint.lock().expect("maint state");
+        let gid = m.next_gid;
+        m.next_gid += 1;
+        m.overlay.insert(gid, true);
+        m.queue.push(PendingOp::Insert(g));
+        self.shared.counters.queued.fetch_add(1, Ordering::Relaxed);
+        gid
+    }
+
+    /// Queue a §7.1 remove. Returns whether `gid` is active in the shadow
+    /// view (published snapshot + queued ops); inactive gids are not
+    /// queued (the op would be a no-op).
+    pub fn queue_remove(&self, gid: u32) -> bool {
+        let mut m = self.shared.maint.lock().expect("maint state");
+        let was_active = match m.overlay.get(&gid) {
+            Some(&b) => b,
+            None => self.pin().is_active(gid),
+        };
+        if !was_active {
+            return false;
+        }
+        m.overlay.insert(gid, false);
+        m.queue.push(PendingOp::Remove(gid));
+        self.shared.counters.queued.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Number of queued, not-yet-applied ops.
+    pub fn pending_len(&self) -> usize {
+        self.shared.maint.lock().expect("maint state").queue.len()
+    }
+
+    /// Whether any queued op awaits [`Engine::apply_pending`].
+    pub fn has_pending(&self) -> bool {
+        self.pending_len() > 0
+    }
+
+    /// Fold every queued op into one successor snapshot and publish it:
+    /// clone the current index once, apply the ops in queue order, swap
+    /// the `Arc`. Readers pinned to the old snapshot are unaffected; new
+    /// pins see all queued ops at once (never a prefix — the swap is the
+    /// only publication point). Returns `None` when the queue was empty.
+    pub fn apply_pending(&self) -> Option<ApplyOutcome> {
+        let mut m = self.shared.maint.lock().expect("maint state");
+        if m.queue.is_empty() {
+            return None;
+        }
+        let t0 = Instant::now();
+        let ops = std::mem::take(&mut m.queue);
+        m.overlay.clear();
+        if m.remine_request.is_some() || m.remine_inflight {
+            m.journal.extend(ops.iter().cloned());
+        }
+        let n = ops.len();
+        let mut next = (*self.pin()).clone();
+        for op in ops {
+            match op {
+                PendingOp::Insert(g) => {
+                    next.insert(g);
+                }
+                PendingOp::Remove(gid) => {
+                    next.remove(gid);
+                }
+            }
+        }
+        debug_assert_eq!(next.db().len() as u32, m.next_gid);
+        let epoch = next.maintenance_epoch();
+        *self.shared.current.lock().expect("engine snapshot") = Arc::new(next);
+        m.repairs_since_mine += n as u64;
+        let c = &self.shared.counters;
+        c.applied.fetch_add(n as u64, Ordering::Relaxed);
+        c.apply_batches.fetch_add(1, Ordering::Relaxed);
+        c.snapshot_swaps.fetch_add(1, Ordering::Relaxed);
+        if self.shared.remine_threshold > 0
+            && m.repairs_since_mine >= self.shared.remine_threshold
+            && m.remine_request.is_none()
+            && !m.remine_inflight
+        {
+            m.remine_request = Some(self.pin());
+            m.repairs_since_mine = 0;
+            c.remine_triggers.fetch_add(1, Ordering::Relaxed);
+            self.shared.remine_cv.notify_all();
+        }
+        Some(ApplyOutcome {
+            epoch,
+            ops: n,
+            duration: t0.elapsed(),
+        })
+    }
+
+    /// Insert a graph through the running engine: queue + apply in one
+    /// step ([`TreePiIndex::insert`], §7.1). Returns the new graph id; the
     /// maintenance epoch is bumped so result caches keyed on
-    /// [`Engine::epoch`] invalidate before the next request.
-    pub fn insert(&mut self, g: Graph) -> u32 {
-        self.index.insert(g)
+    /// [`Engine::epoch`] invalidate before the next request. Batching
+    /// callers use [`Engine::queue_insert`] + [`Engine::apply_pending`].
+    pub fn insert(&self, g: Graph) -> u32 {
+        let gid = self.queue_insert(g);
+        self.apply_pending();
+        gid
     }
 
-    /// Remove graph `gid` through the running engine
-    /// ([`TreePiIndex::remove`], §7.1). Returns whether the graph was
+    /// Remove graph `gid` through the running engine: queue + apply in one
+    /// step ([`TreePiIndex::remove`], §7.1). Returns whether the graph was
     /// active; on `true` the maintenance epoch is bumped.
-    pub fn remove(&mut self, gid: u32) -> bool {
-        self.index.remove(gid)
+    pub fn remove(&self, gid: u32) -> bool {
+        let queued = self.queue_remove(gid);
+        if queued {
+            self.apply_pending();
+        }
+        queued
     }
 
-    /// The index's current maintenance epoch — the cache-invalidation
-    /// version number (see [`TreePiIndex::maintenance_epoch`]).
+    /// The published snapshot's maintenance epoch — the cache-invalidation
+    /// version number (see [`TreePiIndex::maintenance_epoch`]). Queued but
+    /// unapplied ops are not reflected; apply first when answering on
+    /// their behalf.
     pub fn epoch(&self) -> u64 {
-        self.index.maintenance_epoch()
+        self.pin().maintenance_epoch()
     }
 
-    /// Recover the index, dropping the pool.
-    pub fn into_index(self) -> TreePiIndex {
-        self.index
+    /// A point-in-time copy of the `maint.*` counters and gauges.
+    pub fn maint_stats(&self) -> MaintStats {
+        let c = &self.shared.counters;
+        let m = self.shared.maint.lock().expect("maint state");
+        MaintStats {
+            queued: c.queued.load(Ordering::Relaxed),
+            applied: c.applied.load(Ordering::Relaxed),
+            apply_batches: c.apply_batches.load(Ordering::Relaxed),
+            snapshot_swaps: c.snapshot_swaps.load(Ordering::Relaxed),
+            remine_triggers: c.remine_triggers.load(Ordering::Relaxed),
+            remines_completed: c.remines_completed.load(Ordering::Relaxed),
+            pending: m.queue.len() as u64,
+            repairs_since_mine: m.repairs_since_mine,
+        }
+    }
+
+    /// Drain reports of background re-mines published since the last
+    /// drain (the serving layer turns them into `maint.remine` spans).
+    pub fn drain_remine_reports(&self) -> Vec<RemineReport> {
+        std::mem::take(&mut self.shared.maint.lock().expect("maint state").completed)
+    }
+
+    /// Block until no re-mine is requested or in flight. Test/teardown
+    /// helper — the serving path never calls this.
+    pub fn wait_remine_idle(&self) {
+        let mut m = self.shared.maint.lock().expect("maint state");
+        while m.remine_request.is_some() || m.remine_inflight {
+            m = self.shared.remine_cv.wait(m).expect("maint state");
+        }
+    }
+
+    /// Recover the index, dropping the pool: applies queued ops, waits for
+    /// any in-flight re-mine to publish, and unwraps the final snapshot.
+    pub fn into_index(mut self) -> TreePiIndex {
+        self.apply_pending();
+        self.wait_remine_idle();
+        self.stop_remine_thread();
+        let placeholder = TreePiIndex::empty_like(self.pin().params().clone());
+        let snapshot = {
+            let mut cur = self.shared.current.lock().expect("engine snapshot");
+            std::mem::replace(&mut *cur, Arc::new(placeholder))
+        };
+        drop(self);
+        Arc::try_unwrap(snapshot).unwrap_or_else(|arc| (*arc).clone())
+    }
+
+    fn stop_remine_thread(&mut self) {
+        if let Some(handle) = self.remine_thread.take() {
+            self.shared.maint.lock().expect("maint state").shutdown = true;
+            self.shared.remine_cv.notify_all();
+            let _ = handle.join();
+        }
     }
 
     /// The engine's worker pool (shared with index builds via
     /// [`TreePiIndex::build_with_pool_obs`] if desired).
     pub fn pool(&self) -> &Pool {
-        &self.pool
+        &self.shared.pool
     }
 
     /// The pool's worker count.
     pub fn parallelism(&self) -> usize {
-        self.pool.parallelism()
+        self.shared.pool.parallelism()
     }
 
-    /// [`TreePiIndex::query_batch`] on the engine's persistent pool.
+    /// [`TreePiIndex::query_batch`] on the engine's persistent pool,
+    /// against a pinned snapshot.
     pub fn query_batch(
         &self,
         queries: &[Graph],
@@ -291,7 +619,8 @@ impl Engine {
         self.query_batch_obs(queries, opts, seed, &obs::Registry::disabled())
     }
 
-    /// [`TreePiIndex::query_batch_obs`] on the engine's persistent pool.
+    /// [`TreePiIndex::query_batch_obs`] on the engine's persistent pool,
+    /// against a pinned snapshot.
     pub fn query_batch_obs(
         &self,
         queries: &[Graph],
@@ -299,7 +628,91 @@ impl Engine {
         seed: u64,
         registry: &obs::Registry,
     ) -> (Vec<QueryResult>, WorkloadSummary) {
-        batch_on_pool(&self.index, queries, opts, &self.pool, seed, registry)
+        let (results, summary, _) = self.query_batch_pinned(queries, opts, seed, registry);
+        (results, summary)
+    }
+
+    /// [`Engine::query_batch_obs`] additionally reporting the epoch of the
+    /// snapshot the whole batch ran against — the consistency witness used
+    /// by the serving layer (cache admission) and the concurrency tests.
+    pub fn query_batch_pinned(
+        &self,
+        queries: &[Graph],
+        opts: QueryOptions,
+        seed: u64,
+        registry: &obs::Registry,
+    ) -> (Vec<QueryResult>, WorkloadSummary, u64) {
+        let snapshot = self.pin();
+        let (results, summary) =
+            batch_on_pool(&snapshot, queries, opts, &self.shared.pool, seed, registry);
+        (results, summary, snapshot.maintenance_epoch())
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.stop_remine_thread();
+    }
+}
+
+/// Body of the `treepi-remine` thread: wait for a snapshot request,
+/// re-mine it on the shared pool (queries keep dispatching concurrently —
+/// the pool queue accepts multiple dispatchers), replay ops applied in the
+/// meantime, and publish under an epoch past the live one.
+fn remine_loop(shared: &EngineShared) {
+    loop {
+        let snapshot = {
+            let mut m = shared.maint.lock().expect("maint state");
+            loop {
+                if m.shutdown {
+                    return;
+                }
+                if let Some(s) = m.remine_request.take() {
+                    m.remine_inflight = true;
+                    break s;
+                }
+                m = shared.remine_cv.wait(m).expect("maint state");
+            }
+        };
+        let t0 = Instant::now();
+        let remined = snapshot.remine_with_pool(&shared.pool);
+        let duration = t0.elapsed();
+        let mut m = shared.maint.lock().expect("maint state");
+        let mut idx = remined;
+        let replayed = m.journal.len();
+        for op in m.journal.drain(..) {
+            match op {
+                PendingOp::Insert(g) => {
+                    idx.insert(g);
+                }
+                PendingOp::Remove(gid) => {
+                    idx.remove(gid);
+                }
+            }
+        }
+        // Publish past the live epoch: replay bumps may still trail the
+        // epochs the live applies reached, and caches require monotonicity.
+        let mut cur = shared.current.lock().expect("engine snapshot");
+        let epoch = cur.maintenance_epoch().max(idx.maintenance_epoch()) + 1;
+        idx.maintenance_epoch = epoch;
+        m.completed.push(RemineReport {
+            duration,
+            features: idx.feature_count(),
+            epoch,
+            replayed,
+        });
+        *cur = Arc::new(idx);
+        drop(cur);
+        shared
+            .counters
+            .snapshot_swaps
+            .fetch_add(1, Ordering::Relaxed);
+        shared
+            .counters
+            .remines_completed
+            .fetch_add(1, Ordering::Relaxed);
+        m.remine_inflight = false;
+        shared.remine_cv.notify_all();
     }
 }
 
@@ -534,7 +947,7 @@ mod tests {
 
     #[test]
     fn engine_maintenance_bumps_epoch_and_changes_answers() {
-        let mut engine = Engine::new(index(), 2);
+        let engine = Engine::new(index(), 2);
         let q = graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]);
         let (before, _) = engine.query_batch(std::slice::from_ref(&q), QueryOptions::default(), 9);
         let e0 = engine.epoch();
@@ -546,7 +959,7 @@ mod tests {
         let (after, _) = engine.query_batch(std::slice::from_ref(&q), QueryOptions::default(), 9);
         assert!(after[0].matches.contains(&gid));
         assert_ne!(before[0].matches, after[0].matches);
-        assert_eq!(after[0].matches, scan_support(engine.index(), &q));
+        assert_eq!(after[0].matches, scan_support(&engine.index(), &q));
 
         // Remove through the engine: epoch bumps again, answer reverts.
         let e1 = engine.epoch();
@@ -564,7 +977,7 @@ mod tests {
         // the database must become queryable — the single-edge tree is
         // registered as a fresh feature, so the query is answered by real
         // support intersection, not a stale MissingFeature short-circuit.
-        let mut engine = Engine::new(index(), 2);
+        let engine = Engine::new(index(), 2);
         let q = graph_from(&[7, 7], &[(0, 1, 3)]);
         let (miss, _) = engine.query_batch(std::slice::from_ref(&q), QueryOptions::default(), 3);
         assert!(miss[0].matches.is_empty());
@@ -577,7 +990,172 @@ mod tests {
             "novel edge must be a feature after the insert"
         );
         assert_eq!(hit[0].matches, vec![gid]);
-        assert_eq!(hit[0].matches, scan_support(engine.index(), &q));
+        assert_eq!(hit[0].matches, scan_support(&engine.index(), &q));
+    }
+
+    #[test]
+    fn queued_ops_batch_into_one_snapshot() {
+        let engine = Engine::new(index(), 2);
+        let q = graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]);
+        let e0 = engine.epoch();
+        let g = graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]);
+        let g1 = engine.queue_insert(g.clone());
+        let g2 = engine.queue_insert(g);
+        assert_eq!(g2, g1 + 1, "gids assigned in queue order");
+        assert!(
+            engine.queue_remove(g1),
+            "queued insert visible to the shadow view"
+        );
+        assert!(!engine.queue_remove(g1), "second remove is a no-op");
+        assert_eq!(engine.pending_len(), 3);
+        assert_eq!(engine.epoch(), e0, "nothing published before apply");
+
+        let out = engine.apply_pending().expect("ops queued");
+        assert_eq!(out.ops, 3);
+        assert!(out.epoch > e0);
+        let stats = engine.maint_stats();
+        assert_eq!(stats.queued, 3);
+        assert_eq!(stats.applied, 3);
+        assert_eq!(stats.apply_batches, 1, "one snapshot for three ops");
+        assert_eq!(stats.snapshot_swaps, 1);
+        assert_eq!(stats.pending, 0);
+        // Net effect visible atomically: g2 in, g1 never observable.
+        let (r, _) = engine.query_batch(std::slice::from_ref(&q), QueryOptions::default(), 1);
+        assert!(r[0].matches.contains(&g2));
+        assert!(!r[0].matches.contains(&g1));
+        assert_eq!(r[0].matches, scan_support(&engine.index(), &q));
+        assert!(engine.apply_pending().is_none(), "queue drained");
+    }
+
+    #[test]
+    fn pinned_snapshot_is_immune_to_later_writes() {
+        let engine = Engine::new(index(), 2);
+        let q = graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]);
+        let pinned = engine.pin();
+        let before = scan_support(&pinned, &q);
+        let gid = engine.insert(graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]));
+        // The old pin keeps answering from its version; a new pin sees the
+        // insert.
+        assert_eq!(scan_support(&pinned, &q), before);
+        assert!(scan_support(&engine.pin(), &q).contains(&gid));
+        assert!(!pinned.is_active(gid));
+    }
+
+    #[test]
+    fn concurrent_batches_see_whole_epochs_under_churn() {
+        use std::collections::HashMap;
+        // Reader threads hammer pinned batches while this thread churns
+        // the index; every batch must equal the scan oracle of exactly the
+        // epoch it reports — never a torn mix of two versions.
+        let engine = std::sync::Arc::new(Engine::new(index(), 2));
+        let q = graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]);
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let engine = std::sync::Arc::clone(&engine);
+                let stop = std::sync::Arc::clone(&stop);
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    let mut seen: Vec<(u64, Vec<u32>)> = Vec::new();
+                    while !stop.load(Ordering::Relaxed) {
+                        let (r, _, epoch) = engine.query_batch_pinned(
+                            std::slice::from_ref(&q),
+                            QueryOptions::default(),
+                            7,
+                            &obs::Registry::disabled(),
+                        );
+                        seen.push((epoch, r[0].matches.clone()));
+                    }
+                    seen
+                })
+            })
+            .collect();
+
+        let mut oracle: HashMap<u64, Vec<u32>> = HashMap::new();
+        oracle.insert(engine.epoch(), scan_support(&engine.pin(), &q));
+        let g = graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]);
+        let mut live: Vec<u32> = Vec::new();
+        for round in 0..20 {
+            if round % 3 == 2 {
+                if let Some(gid) = live.pop() {
+                    engine.queue_remove(gid);
+                }
+            } else {
+                live.push(engine.queue_insert(g.clone()));
+            }
+            if let Some(out) = engine.apply_pending() {
+                oracle.insert(out.epoch, scan_support(&engine.pin(), &q));
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            for (epoch, matches) in r.join().expect("reader") {
+                let expected = oracle.get(&epoch).expect("epoch was published");
+                assert_eq!(&matches, expected, "torn answer at epoch {epoch}");
+            }
+        }
+    }
+
+    #[test]
+    fn background_remine_triggers_and_preserves_answers() {
+        let engine = Engine::with_remine(index(), 2, 3);
+        let q = graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]);
+        let g = graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]);
+        let a = engine.insert(g.clone());
+        assert!(engine.remove(0));
+        let b = engine.insert(g.clone()); // third applied op → trigger
+        engine.wait_remine_idle();
+        let stats = engine.maint_stats();
+        assert_eq!(stats.remine_triggers, 1);
+        assert_eq!(stats.remines_completed, 1);
+        assert!(stats.snapshot_swaps >= 4, "three applies + one re-mine");
+        let reports = engine.drain_remine_reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].epoch, engine.epoch());
+        assert!(engine.drain_remine_reports().is_empty(), "drained");
+        // The re-mined snapshot answers exactly like the scan oracle and
+        // keeps gids stable.
+        let snap = engine.pin();
+        assert!(!snap.is_active(0));
+        assert!(snap.is_active(a) && snap.is_active(b));
+        let (r, _) = engine.query_batch(std::slice::from_ref(&q), QueryOptions::default(), 5);
+        assert_eq!(r[0].matches, scan_support(&snap, &q));
+        assert!(r[0].matches.contains(&a) && r[0].matches.contains(&b));
+        // And it equals a fresh build over the survivors feature-for-feature
+        // (gid-stable re-mine: supports keep original ids).
+        let final_idx = engine.into_index();
+        assert_eq!(final_idx.maintenance_epoch(), reports[0].epoch);
+        for f in final_idx.features() {
+            assert!(!f.support.contains(&0), "removed gid must not resurface");
+        }
+    }
+
+    #[test]
+    fn ops_during_remine_are_replayed_onto_the_result() {
+        // Threshold 1: the first apply triggers a re-mine; ops applied
+        // while it runs land in the journal and must survive the swap.
+        for _ in 0..3 {
+            let engine = Engine::with_remine(index(), 2, 1);
+            let q = graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]);
+            let g = graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]);
+            let mut gids = Vec::new();
+            for _ in 0..5 {
+                gids.push(engine.insert(g.clone()));
+            }
+            assert!(engine.remove(gids[0]));
+            engine.wait_remine_idle();
+            let snap = engine.pin();
+            let expected = scan_support(&snap, &q);
+            for &gid in &gids[1..] {
+                assert!(
+                    expected.contains(&gid),
+                    "journaled insert {gid} lost across re-mine swap"
+                );
+            }
+            assert!(!expected.contains(&gids[0]));
+            let (r, _) = engine.query_batch(std::slice::from_ref(&q), QueryOptions::default(), 3);
+            assert_eq!(r[0].matches, expected);
+        }
     }
 
     #[test]

@@ -58,6 +58,12 @@ pub struct BuildStats {
 /// Graph ids are stable across insertions and deletions; deleted slots
 /// become inactive tombstones (queries never return them because supports
 /// are updated on delete).
+///
+/// The index is `Clone` so the serving layer can publish copy-on-write
+/// snapshots: readers pin an `Arc<TreePiIndex>` while writers clone the
+/// current version, apply §7.1 maintenance to the copy, and atomically
+/// swap it in (see [`crate::Engine`]).
+#[derive(Clone)]
 pub struct TreePiIndex {
     pub(crate) db: Vec<Graph>,
     pub(crate) active: Vec<bool>,
@@ -456,6 +462,59 @@ impl TreePiIndex {
         idx
     }
 
+    /// Re-mine the feature set from the current active graphs *without*
+    /// renumbering graph ids (contrast [`Self::rebuild`], which
+    /// re-densifies): tombstoned slots participate in the mining database
+    /// as empty graphs, so every support set and center table in the
+    /// result uses the same positional gids as the source index and live
+    /// traffic can keep resolving ids across a snapshot swap.
+    ///
+    /// Because σ(s) is an absolute threshold (Eq. 1, not a fraction of
+    /// |D|), blanked tombstones contribute nothing to any support set and
+    /// the mined feature set equals a fresh [`Self::build`] over just the
+    /// active graphs, modulo the gid embedding. Tombstoned graph payloads
+    /// are dropped in the copy, so a re-mine doubles as the tombstone
+    /// memory reclamation `rebuild` would perform.
+    ///
+    /// The maintenance epoch carries over unchanged; the caller advances
+    /// it when publishing the result (an epoch that moved backwards would
+    /// break cache invalidation).
+    pub fn remine_with_pool(&self, pool: &graph_core::par::Pool) -> Self {
+        let db: Vec<Graph> = self
+            .db
+            .iter()
+            .zip(&self.active)
+            .map(|(g, &alive)| {
+                if alive {
+                    g.clone()
+                } else {
+                    graph_core::GraphBuilder::with_capacity(0, 0).build()
+                }
+            })
+            .collect();
+        let mut idx =
+            Self::build_with_pool_obs(db, self.params.clone(), pool, &obs::Shard::disabled());
+        idx.active = self.active.clone();
+        idx.maintenance_epoch = self.maintenance_epoch;
+        idx
+    }
+
+    /// An index over zero graphs with no features — a placeholder used
+    /// when moving the real index out of shared state (see
+    /// [`crate::Engine::into_index`]).
+    pub(crate) fn empty_like(params: TreePiParams) -> Self {
+        Self {
+            db: Vec::new(),
+            active: Vec::new(),
+            features: Vec::new(),
+            trie: CanonTrie::new(),
+            centers: Vec::new(),
+            params,
+            stats: BuildStats::default(),
+            maintenance_epoch: 0,
+        }
+    }
+
     /// Per-structure heap estimate of the whole index (database, feature
     /// trees, support sets, center tables, trie). Length-based, so the
     /// numbers are deterministic for a given index regardless of build
@@ -781,6 +840,37 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn remine_preserves_gids_and_matches_fresh_build() {
+        let mut idx = quick_index();
+        let extra = graph_from(&[1, 1], &[(0, 1, 1)]);
+        let gid = idx.insert(extra.clone());
+        idx.remove(0);
+        let pool = graph_core::par::Pool::new(2);
+        let remined = idx.remine_with_pool(&pool);
+        // Gids survive: same slot count, tombstone stays dead, insert stays live.
+        assert_eq!(remined.db().len(), idx.db().len());
+        assert!(!remined.is_active(0));
+        assert!(remined.is_active(gid));
+        assert_eq!(remined.maintenance_epoch(), idx.maintenance_epoch());
+        // Tombstoned payload bytes are reclaimed by the copy.
+        assert_eq!(remined.memory_breakdown().tombstones_bytes, 0);
+        // Feature set and supports equal a fresh build over the survivors,
+        // modulo the gid embedding (fresh gid i ↔ remined gid i+1 here).
+        let fresh = TreePiIndex::build(
+            vec![tiny_db()[1].clone(), tiny_db()[2].clone(), extra],
+            TreePiParams::quick(),
+        );
+        assert_eq!(remined.feature_count(), fresh.feature_count());
+        let by_canon: FxHashMap<&CanonString, &Feature> =
+            fresh.features().iter().map(|f| (&f.canon, f)).collect();
+        for f in remined.features() {
+            let fresh_f = by_canon.get(&f.canon).expect("feature mined in both");
+            let mapped: Vec<u32> = fresh_f.support.iter().map(|&g| g + 1).collect();
+            assert_eq!(f.support, mapped, "support mismatch for {:?}", f.canon);
+        }
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod verify;
 pub mod workload;
 
 pub use directed::DirectedTreePiIndex;
-pub use engine::{query_rng, resolve_threads, Engine};
+pub use engine::{query_rng, resolve_threads, ApplyOutcome, Engine, MaintStats, RemineReport};
 pub use filter::enumerate_query_features;
 pub use index::{BuildStats, Feature, IndexMemory, TreePiIndex};
 pub use params::{Delta, TreePiParams};

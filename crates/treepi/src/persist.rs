@@ -3,19 +3,29 @@
 //! extraction) is paid once and reloaded instantly, the way the paper's
 //! motivating "search and registration systems" operate.
 //!
-//! Layout (version 1):
+//! Layout (version 2):
 //!
 //! ```text
-//! magic "TPI1"
+//! magic "TPI2"
 //! params   σ(α, β, η) γ δ limits
 //! database |db| × graph, active bitmap
 //! features |F| × { tree-graph, canon, support, center }
 //! centers  |F| × { entries × (gid, positions) }
+//! stats    shape counters
+//! epoch    maintenance epoch (u64)
 //! ```
 //!
 //! The trie is rebuilt from the canonical strings on load; build stats are
 //! restored verbatim. Everything is length-prefixed and validated, so a
 //! truncated or corrupted file yields an error, never a bad index.
+//!
+//! Version 2 appends the maintenance epoch. Epoch-keyed result caches
+//! survive across save/load boundaries only if the epoch does too: were a
+//! reloaded index to restart at 0, a cache that saw epoch N before the
+//! reload would conflate pre- and post-reload states (and any maintenance
+//! applied between save and reload would be invisible to invalidation).
+//! Version-1 files (`TPI1`) are rejected with a clear error — rebuild the
+//! index file with this version.
 
 use crate::index::{BuildStats, Feature, TreePiIndex};
 use crate::params::{Delta, TreePiParams};
@@ -27,7 +37,9 @@ use rustc_hash::FxHashMap;
 use std::io::{self, Read, Write};
 use tree_core::{CanonString, CenterPos, Tree};
 
-const MAGIC: &[u8; 4] = b"TPI1";
+const MAGIC: &[u8; 4] = b"TPI2";
+/// The previous format version, recognized only to produce a better error.
+const MAGIC_V1: &[u8; 4] = b"TPI1";
 
 fn bad(msg: &str) -> io::Error {
     io::Error::new(
@@ -183,6 +195,9 @@ impl TreePiIndex {
         buf.put_u64_le(0); // was t_mine_ms
         buf.put_u64_le(0); // was t_centers_ms
         buf.put_u8(self.stats.truncated as u8);
+        // maintenance epoch (v2): carried across save/load so epoch-keyed
+        // caches never see the version counter move backwards.
+        buf.put_u64_le(self.maintenance_epoch);
         w.write_all(&buf)
     }
 
@@ -191,6 +206,11 @@ impl TreePiIndex {
         let mut data = Vec::new();
         r.read_to_end(&mut data)?;
         let mut buf: &[u8] = &data;
+        if buf.remaining() >= 4 && &buf[..4] == MAGIC_V1 {
+            return Err(bad(
+                "version-1 file (no maintenance epoch); rebuild the index file",
+            ));
+        }
         if buf.remaining() < 4 || &buf[..4] != MAGIC {
             return Err(bad("bad magic"));
         }
@@ -290,6 +310,10 @@ impl TreePiIndex {
             t_centers_ms: buf.get_u64_le() as u128,
             truncated: buf.get_u8() != 0,
         };
+        if buf.remaining() < 8 {
+            return Err(bad("truncated maintenance epoch"));
+        }
+        let maintenance_epoch = buf.get_u64_le();
         if buf.has_remaining() {
             return Err(bad("trailing bytes"));
         }
@@ -301,10 +325,7 @@ impl TreePiIndex {
             centers,
             params,
             stats,
-            // The maintenance epoch is process-local (it versions in-memory
-            // result caches, which never outlive the loaded index), so a
-            // fresh load always starts at 0.
-            maintenance_epoch: 0,
+            maintenance_epoch,
         })
     }
 }
@@ -361,6 +382,45 @@ mod tests {
         let q = graph_from(&[5, 5], &[(0, 1, 9)]);
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         assert_eq!(loaded.query(&q, &mut rng).matches, vec![3]);
+    }
+
+    #[test]
+    fn epoch_survives_save_load_insert_round_trip() {
+        // Churn, save, reload: the epoch must come back verbatim (an
+        // epoch-keyed cache that saw epoch N before the reload must not be
+        // able to conflate pre- and post-reload states), and further
+        // maintenance must keep counting from there, never from 0.
+        let mut idx = sample_index();
+        idx.insert(graph_from(&[5, 5], &[(0, 1, 9)]));
+        idx.remove(0);
+        let epoch = idx.maintenance_epoch();
+        assert_eq!(epoch, 2);
+        let mut bytes = Vec::new();
+        idx.save(&mut bytes).unwrap();
+        let mut loaded = TreePiIndex::load(&mut bytes.as_slice()).unwrap();
+        assert_eq!(loaded.maintenance_epoch(), epoch);
+        let gid = loaded.insert(graph_from(&[6, 6], &[(0, 1, 9)]));
+        assert_eq!(loaded.maintenance_epoch(), epoch + 1);
+        assert!(loaded.remove(gid));
+        assert_eq!(loaded.maintenance_epoch(), epoch + 2);
+        // And a second round trip carries the advanced epoch onward.
+        let mut bytes2 = Vec::new();
+        loaded.save(&mut bytes2).unwrap();
+        let again = TreePiIndex::load(&mut bytes2.as_slice()).unwrap();
+        assert_eq!(again.maintenance_epoch(), epoch + 2);
+    }
+
+    #[test]
+    fn rejects_version_1_files() {
+        let idx = sample_index();
+        let mut bytes = Vec::new();
+        idx.save(&mut bytes).unwrap();
+        bytes[..4].copy_from_slice(b"TPI1");
+        let err = match TreePiIndex::load(&mut bytes.as_slice()) {
+            Err(e) => e,
+            Ok(_) => panic!("v1 accepted"),
+        };
+        assert!(err.to_string().contains("version-1"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! Churn-equivalence property suite: seeded random insert/remove/query
+//! schedules driven through [`Engine`] at 1, 2 and 8 pool workers.
+//!
+//! Two layers of invariants:
+//!
+//! - **Every step**: a query batch dispatched right after each mutation
+//!   must equal the brute-force scan oracle over the snapshot it ran
+//!   against — §7.1 maintenance never costs exactness, at any pool size.
+//! - **Final state**: the churned index is equivalent to a fresh build on
+//!   the surviving graphs *modulo §7.1 repair*. The bound is explicit:
+//!   repairs patch support sets but never mine new features or retire old
+//!   ones, so the churned index keeps the initial build's feature set and
+//!   its answers stay exact (checked per step above); one
+//!   [`TreePiIndex::remine_with_pool`] restores exact fresh-build feature
+//!   parity (same canonical strings — σ is absolute, Eq. 1, so thresholds
+//!   do not shift with churn), and answers agree with the fresh build
+//!   through the survivor-rank gid map (churned gids are stable with
+//!   tombstones; a fresh build densifies).
+
+use graph_core::{ELabel, Graph, GraphBuilder, VLabel, VertexId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use treepi::{scan_support, Engine, QueryOptions, TreePiIndex, TreePiParams};
+
+/// Random connected labeled graph: a random tree plus a few extra edges
+/// (same shape as the proptest generator in `prop.rs`, but driven by a
+/// plain seeded RNG so schedules replay exactly).
+fn random_graph(rng: &mut ChaCha8Rng, nmax: usize) -> Graph {
+    let n = rng.gen_range(2..=nmax);
+    let mut b = GraphBuilder::new();
+    for _ in 0..n {
+        b.add_vertex(VLabel(rng.gen_range(0..3)));
+    }
+    for i in 1..n {
+        let p = rng.gen_range(0..i);
+        b.add_edge(
+            VertexId(i as u32),
+            VertexId(p as u32),
+            ELabel(rng.gen_range(0..2)),
+        )
+        .expect("tree edge");
+    }
+    for _ in 0..rng.gen_range(0..3usize) {
+        let (u, v) = (rng.gen_range(0..n), rng.gen_range(0..n));
+        let (u, v) = (VertexId(u as u32), VertexId(v as u32));
+        if u != v && !b.has_edge(u, v) {
+            let _ = b.add_edge(u, v, ELabel(rng.gen_range(0..2)));
+        }
+    }
+    b.build()
+}
+
+fn sorted_canons(idx: &TreePiIndex) -> Vec<tree_core::CanonString> {
+    let mut v: Vec<_> = idx.features().iter().map(|f| f.canon.clone()).collect();
+    v.sort();
+    v
+}
+
+/// One seeded churn schedule: 30 mutations (60% insert / 40% remove of a
+/// random live gid), an oracle-checked query batch after every step, and
+/// the final fresh-build equivalence described in the module docs.
+fn run_churn(workers: usize, seed: u64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let initial: Vec<Graph> = (0..6).map(|_| random_graph(&mut rng, 7)).collect();
+    let engine = Engine::new(TreePiIndex::build(initial, TreePiParams::quick()), workers);
+    let mut live: Vec<u32> = (0..6).collect();
+    let mut expected_next = 6u32;
+
+    for step in 0..30u64 {
+        if live.is_empty() || rng.gen_bool(0.6) {
+            let gid = engine.insert(random_graph(&mut rng, 7));
+            assert_eq!(gid, expected_next, "gids assign densely in queue order");
+            expected_next += 1;
+            live.push(gid);
+        } else {
+            let i = rng.gen_range(0..live.len());
+            let gid = live.swap_remove(i);
+            assert!(engine.remove(gid), "step {step}: gid {gid} was live");
+        }
+
+        let queries: Vec<Graph> = (0..2).map(|_| random_graph(&mut rng, 4)).collect();
+        let snapshot = engine.index();
+        let (results, _) = engine.query_batch(&queries, QueryOptions::default(), seed ^ step);
+        for (q, r) in queries.iter().zip(&results) {
+            assert_eq!(
+                r.matches,
+                scan_support(&snapshot, q),
+                "step {step}, {workers} workers: batch answer diverged from scan oracle"
+            );
+        }
+    }
+
+    // Final-state equivalence: re-mine the churned index and compare with
+    // a fresh build on the survivors.
+    let churned = engine.index();
+    let remined = churned.remine_with_pool(engine.pool());
+    let mut rank: Vec<Option<u32>> = vec![None; churned.db().len()];
+    let mut fresh_db = Vec::new();
+    for (i, g) in churned.db().iter().enumerate() {
+        if churned.is_active(i as u32) {
+            rank[i] = Some(fresh_db.len() as u32);
+            fresh_db.push(g.clone());
+        }
+    }
+    assert_eq!(fresh_db.len(), live.len());
+    let fresh = TreePiIndex::build(fresh_db, TreePiParams::quick());
+    assert_eq!(
+        sorted_canons(&remined),
+        sorted_canons(&fresh),
+        "one re-mine must restore fresh-build feature parity (σ is absolute)"
+    );
+    for k in 0..8u64 {
+        let q = random_graph(&mut rng, 5);
+        let mut rng_a = ChaCha8Rng::seed_from_u64(seed ^ (k << 17));
+        let mut rng_b = rng_a.clone();
+        let mapped: Vec<u32> = churned
+            .query(&q, &mut rng_a)
+            .matches
+            .iter()
+            .map(|&g| rank[g as usize].expect("churned answers only cite active gids"))
+            .collect();
+        assert_eq!(
+            mapped,
+            fresh.query(&q, &mut rng_b).matches,
+            "probe {k}: churned answers must equal fresh build through the gid map"
+        );
+    }
+
+    // Teardown path: into_index applies/waits/unwraps without losing state.
+    let final_idx = engine.into_index();
+    assert_eq!(final_idx.maintenance_epoch(), churned.maintenance_epoch());
+    assert_eq!(final_idx.active_count(), live.len());
+}
+
+const SEEDS: [u64; 3] = [7, 2007, 0x00C0_FFEE];
+
+#[test]
+fn churn_schedules_1_worker() {
+    for seed in SEEDS {
+        run_churn(1, seed);
+    }
+}
+
+#[test]
+fn churn_schedules_2_workers() {
+    for seed in SEEDS {
+        run_churn(2, seed);
+    }
+}
+
+#[test]
+fn churn_schedules_8_workers() {
+    for seed in SEEDS {
+        run_churn(8, seed);
+    }
+}
+
+/// Pinned snapshots stay internally consistent while a writer churns:
+/// reader threads repeatedly pin, query, and oracle-check the *same* pin —
+/// a torn snapshot (query path and database disagreeing mid-swap) fails
+/// the comparison; a blocked reader fails the join deadline implicitly.
+#[test]
+fn pinned_reads_stay_consistent_under_concurrent_churn() {
+    let mut rng = ChaCha8Rng::seed_from_u64(41);
+    let initial: Vec<Graph> = (0..6).map(|_| random_graph(&mut rng, 7)).collect();
+    let engine = std::sync::Arc::new(Engine::new(
+        TreePiIndex::build(initial, TreePiParams::quick()),
+        2,
+    ));
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..3u64)
+        .map(|r| {
+            let engine = std::sync::Arc::clone(&engine);
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut rng = ChaCha8Rng::seed_from_u64(1000 + r);
+                let mut checked = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let q = random_graph(&mut rng, 4);
+                    let snap = engine.pin();
+                    let got = snap.query(&q, &mut rng).matches;
+                    assert_eq!(got, scan_support(&snap, &q), "reader {r}: torn snapshot");
+                    checked += 1;
+                }
+                checked
+            })
+        })
+        .collect();
+
+    let mut live: Vec<u32> = (0..6).collect();
+    for _ in 0..40 {
+        if live.is_empty() || rng.gen_bool(0.6) {
+            live.push(engine.insert(random_graph(&mut rng, 7)));
+        } else {
+            let i = rng.gen_range(0..live.len());
+            let gid = live.swap_remove(i);
+            assert!(engine.remove(gid));
+        }
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let total: u64 = readers.into_iter().map(|h| h.join().expect("reader")).sum();
+    assert!(total > 0, "readers must have made progress during churn");
+}
+
+/// Background re-mining under churn: with a low staleness threshold the
+/// re-mine thread publishes mid-schedule; answers stay oracle-exact at
+/// every step and the counters reconcile.
+#[test]
+fn background_remine_keeps_answers_exact_under_churn() {
+    let mut rng = ChaCha8Rng::seed_from_u64(97);
+    let initial: Vec<Graph> = (0..6).map(|_| random_graph(&mut rng, 7)).collect();
+    let engine = Engine::with_remine(TreePiIndex::build(initial, TreePiParams::quick()), 2, 4);
+    let mut live: Vec<u32> = (0..6).collect();
+    for step in 0..40u64 {
+        if live.is_empty() || rng.gen_bool(0.6) {
+            live.push(engine.insert(random_graph(&mut rng, 7)));
+        } else {
+            let i = rng.gen_range(0..live.len());
+            let gid = live.swap_remove(i);
+            assert!(engine.remove(gid));
+        }
+        let q = random_graph(&mut rng, 4);
+        let snapshot = engine.index();
+        let (results, _) =
+            engine.query_batch(std::slice::from_ref(&q), QueryOptions::default(), step);
+        assert_eq!(
+            results[0].matches,
+            scan_support(&snapshot, &q),
+            "step {step}"
+        );
+    }
+    engine.wait_remine_idle();
+    let stats = engine.maint_stats();
+    assert!(
+        stats.remines_completed >= 1,
+        "threshold 4 over 40 ops must have re-mined: {stats:?}"
+    );
+    assert_eq!(stats.remines_completed, stats.remine_triggers);
+    assert_eq!(stats.queued, 40);
+    assert_eq!(stats.applied, 40);
+    let idx = engine.into_index();
+    assert_eq!(idx.active_count(), live.len());
+}
