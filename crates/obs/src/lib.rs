@@ -764,10 +764,18 @@ pub mod names {
     pub const SPAN_FILTER: &str = "query.filter";
     /// Center-distance pruning stage (Algorithm 2).
     pub const SPAN_PRUNE: &str = "query.prune";
+    /// Neighborhood-signature kill stage (between filter and prune).
+    pub const SPAN_SIG_FILTER: &str = "query.sig_filter";
     /// Verification stage (Algorithm 3 / naive isomorphism).
     pub const SPAN_VERIFY: &str = "query.verify";
-    /// The four pipeline stages in funnel order.
-    pub const PIPELINE_SPANS: [&str; 4] = [SPAN_PARTITION, SPAN_FILTER, SPAN_PRUNE, SPAN_VERIFY];
+    /// The five pipeline stages in funnel order.
+    pub const PIPELINE_SPANS: [&str; 5] = [
+        SPAN_PARTITION,
+        SPAN_FILTER,
+        SPAN_SIG_FILTER,
+        SPAN_PRUNE,
+        SPAN_VERIFY,
+    ];
 
     /// Queries processed.
     pub const QUERIES: &str = "funnel.queries";
@@ -775,6 +783,9 @@ pub mod names {
     pub const FILTERED: &str = "funnel.filtered";
     /// Candidates surviving CDC pruning (Σ |P'_q|).
     pub const PRUNED: &str = "funnel.pruned";
+    /// Candidates killed by the neighborhood-signature filter before
+    /// verification ever ran (a subset of `funnel.pruned` survivors).
+    pub const SIG_KILLED: &str = "funnel.sig_killed";
     /// Exact answers (Σ |D_q|).
     pub const ANSWERS: &str = "funnel.answers";
     /// Queries short-circuited by a missing feature.
@@ -799,6 +810,8 @@ pub mod names {
     pub const GAUGE_INDEX_SUPPORTS: &str = "mem.index.supports_bytes";
     /// Gauge: heap bytes of the center-position tables.
     pub const GAUGE_INDEX_CENTERS: &str = "mem.index.centers_bytes";
+    /// Gauge: heap bytes of the per-vertex neighborhood signatures.
+    pub const GAUGE_INDEX_SIGS: &str = "mem.index.sigs_bytes";
     /// Gauge: heap bytes of the canonical-code trie.
     pub const GAUGE_INDEX_TRIE: &str = "mem.index.trie_bytes";
     /// Gauge: heap bytes still held by removed (tombstoned) graphs —

@@ -268,9 +268,9 @@ impl AccessLog {
 /// Bounded ring of slow-query captures.
 ///
 /// A query is captured when its verify-stage time meets `threshold`
-/// (`None` disables capture entirely). Each capture stores five trace
+/// (`None` disables capture entirely). Each capture stores six trace
 /// events: an umbrella `serve.slow_query` slice spanning the whole
-/// pipeline with the funnel counters as `args`, plus the four stage
+/// pipeline with the funnel counters as `args`, plus the five stage
 /// slices, reconstructed backwards from the completion instant exactly
 /// like [`treepi::QueryStats::trace_into`].
 #[derive(Debug)]
@@ -343,7 +343,8 @@ impl SlowQueryLog {
         // `QueryStats::trace_into` — the stages run back-to-back.
         let verify_start = end - stats.t_verify;
         let prune_start = verify_start - stats.t_prune;
-        let filter_start = prune_start - stats.t_filter;
+        let sig_start = prune_start - stats.t_sig;
+        let filter_start = sig_start - stats.t_filter;
         let partition_start = filter_start - stats.t_partition;
         let off = |at: Instant| {
             at.checked_duration_since(self.epoch)
@@ -363,6 +364,7 @@ impl SlowQueryLog {
         let mut umbrella_args = vec![
             ("funnel.filtered".to_string(), stats.filtered as u64),
             ("funnel.pruned".to_string(), stats.pruned as u64),
+            ("funnel.sig_killed".to_string(), stats.sig_killed as u64),
             ("funnel.answers".to_string(), stats.answers as u64),
             (
                 "funnel.missing_feature".to_string(),
@@ -387,6 +389,12 @@ impl SlowQueryLog {
                 obs::names::SPAN_FILTER,
                 filter_start,
                 stats.t_filter,
+                Vec::new(),
+            ),
+            slice(
+                obs::names::SPAN_SIG_FILTER,
+                sig_start,
+                stats.t_sig,
                 Vec::new(),
             ),
             slice(
@@ -423,11 +431,13 @@ mod tests {
             sf_size: 3,
             filtered: 17,
             pruned: 9,
+            sig_killed: 3,
             answers: 4,
             missing_feature: false,
             t_partition: Duration::from_micros(10),
             t_filter: Duration::from_micros(20),
             t_prune: Duration::from_micros(5),
+            t_sig: Duration::from_micros(2),
             t_verify: Duration::from_micros(500),
         }
     }
@@ -474,8 +484,8 @@ mod tests {
             .iter()
             .filter(|e| e.get("ph").and_then(obs::json::Value::as_str) == Some("X"))
             .collect();
-        // Umbrella + 4 stages.
-        assert_eq!(slices.len(), 5);
+        // Umbrella + 5 stages.
+        assert_eq!(slices.len(), 6);
         let umbrella = slices
             .iter()
             .find(|s| s.get("name").and_then(obs::json::Value::as_str) == Some("serve.slow_query"))
@@ -485,6 +495,11 @@ mod tests {
             args.get("funnel.filtered")
                 .and_then(obs::json::Value::as_u64),
             Some(17)
+        );
+        assert_eq!(
+            args.get("funnel.sig_killed")
+                .and_then(obs::json::Value::as_u64),
+            Some(3)
         );
         assert_eq!(
             args.get("query").and_then(obs::json::Value::as_u64),

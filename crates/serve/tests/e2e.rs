@@ -359,7 +359,7 @@ fn telemetry_captures_slow_queries_and_samples_series() {
         .iter()
         .filter(|e| e.get("ph").and_then(obs::json::Value::as_str) == Some("X"))
         .count();
-    assert_eq!(slices, 3 * 5, "3 captures × (umbrella + 4 stages)");
+    assert_eq!(slices, 3 * 6, "3 captures × (umbrella + 5 stages)");
     // The sampler ticked (poll iterations happen even while idle) and its
     // timestamps are monotone.
     assert!(!telemetry.sampler.is_empty(), "sampler never fired");

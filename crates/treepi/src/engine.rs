@@ -1028,6 +1028,29 @@ mod tests {
     }
 
     #[test]
+    fn signatures_stay_consistent_through_maintenance_and_remine() {
+        // The sigs invariant (`sigs[gid] == sig::graph_sigs(&db[gid])`) must
+        // survive every §7.1 maintenance path: queued inserts/removes, the
+        // batched apply, and a background re-mine publishing mid-stream.
+        let engine = Engine::with_remine(index(), 2, 3);
+        assert!(engine.index().sigs_consistent());
+        let g1 = engine.queue_insert(graph_from(&[0, 1, 2], &[(0, 1, 0), (1, 2, 1)]));
+        let _g2 = engine.queue_insert(graph_from(&[0, 0], &[(0, 1, 0)]));
+        engine.apply_pending();
+        assert!(engine.index().sigs_consistent(), "after batched inserts");
+        assert!(engine.queue_remove(g1));
+        engine.queue_insert(graph_from(&[1, 1, 1], &[(0, 1, 1), (1, 2, 1)]));
+        engine.apply_pending();
+        assert!(
+            engine.index().sigs_consistent(),
+            "after remove + insert batch"
+        );
+        engine.wait_remine_idle();
+        assert!(engine.index().sigs_consistent(), "after background re-mine");
+        assert!(engine.into_index().sigs_consistent());
+    }
+
+    #[test]
     fn pinned_snapshot_is_immune_to_later_writes() {
         let engine = Engine::new(index(), 2);
         let q = graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]);

@@ -8,6 +8,7 @@
 //! verification.
 
 use crate::params::TreePiParams;
+use crate::sig::{self, VertexSig};
 use crate::trie::{CanonTrie, FeatureId};
 use graph_core::Graph;
 use mining::{shrink_features_pool, SupportSet};
@@ -72,6 +73,11 @@ pub struct TreePiIndex {
     /// centers[feature][graph id] = positions where an embedding of the
     /// feature is centered (paper §4.2.1 bit-per-vertex/edge store).
     pub(crate) centers: Vec<FxHashMap<u32, Vec<CenterPos>>>,
+    /// sigs[graph id] = per-vertex neighborhood signatures (see
+    /// [`crate::sig`]). Invariant: always equal to
+    /// [`sig::graph_sigs`] of the stored payload — a pure function of
+    /// `db[gid]`, maintained through build, §7.1 repairs, and re-mining.
+    pub(crate) sigs: Vec<Vec<VertexSig>>,
     pub(crate) params: TreePiParams,
     pub(crate) stats: BuildStats,
     /// Bumped by every successful [`Self::insert`] / [`Self::remove`]
@@ -82,6 +88,27 @@ pub struct TreePiIndex {
 
 /// Per-feature center store: graph id → positions.
 type CenterTable = FxHashMap<u32, Vec<CenterPos>>;
+
+/// Per-vertex signatures of every graph, computed on `pool` in contiguous
+/// chunks placed back in rank order — identical at any pool size because
+/// [`sig::graph_sigs`] is a pure function of each graph.
+fn compute_sigs_pool(
+    db: &[Graph],
+    pool: &graph_core::par::Pool,
+    shard: &obs::Shard,
+) -> Vec<Vec<VertexSig>> {
+    let threads = pool.parallelism().max(1).min(db.len().max(1));
+    if threads <= 1 {
+        return db.iter().map(sig::graph_sigs).collect();
+    }
+    let chunk = db.len().div_ceil(threads);
+    let outs = pool.fork_join_obs(threads, shard, |rank, _wshard| {
+        let lo = (rank * chunk).min(db.len());
+        let hi = ((rank + 1) * chunk).min(db.len());
+        db[lo..hi].iter().map(sig::graph_sigs).collect::<Vec<_>>()
+    });
+    outs.into_iter().flatten().collect()
+}
 
 /// Center extraction for one mined tree: re-validate each supporting graph
 /// (mining may over-approximate under truncation) and collect the center
@@ -271,6 +298,17 @@ impl TreePiIndex {
             centers.push(per_graph);
             features.push(feature);
         }
+        // Per-vertex neighborhood signatures (see `crate::sig`): a pure
+        // function of each graph, so contiguous chunks + rank-order
+        // placement make the result identical at any pool size.
+        let sigs_span = shard.span("build.sigs");
+        let sigs = compute_sigs_pool(&db, pool, shard);
+        drop(sigs_span);
+        shard.add(
+            "build.sig_vertices",
+            sigs.iter().map(|s| s.len() as u64).sum(),
+        );
+
         sample_phase("build.centers", features.len());
         shard.add("build.features", features.len() as u64);
         shard.add("build.center_entries", center_entries as u64);
@@ -291,6 +329,7 @@ impl TreePiIndex {
             features,
             trie,
             centers,
+            sigs,
             params,
             stats,
             maintenance_epoch: 0,
@@ -360,6 +399,26 @@ impl TreePiIndex {
             .unwrap_or(&[])
     }
 
+    /// Per-vertex neighborhood signatures of graph `gid` (see
+    /// [`crate::sig`]); empty for the blank payload of a re-mined
+    /// tombstone. Indexing a gid ≥ `db.len()` panics, like `db()` would.
+    pub fn vertex_sigs(&self, gid: u32) -> &[VertexSig] {
+        &self.sigs[gid as usize]
+    }
+
+    /// Does every stored signature vector equal a fresh recompute from its
+    /// graph payload? This is the invariant §7.1 maintenance and re-mining
+    /// must preserve (and what lets v2 index files reload losslessly);
+    /// exposed for tests and debug assertions.
+    pub fn sigs_consistent(&self) -> bool {
+        self.sigs.len() == self.db.len()
+            && self
+                .db
+                .iter()
+                .zip(&self.sigs)
+                .all(|(g, s)| sig::graph_sigs(g) == *s)
+    }
+
     /// Insert a graph (paper §7.1): "we simply update the support sets and
     /// center positions of the existing feature trees". Returns the new
     /// graph's id. The feature set itself is not re-mined — call
@@ -421,6 +480,7 @@ impl TreePiIndex {
                 support: vec![gid],
             });
         }
+        self.sigs.push(sig::graph_sigs(&g));
         self.db.push(g);
         self.active.push(true);
         self.maintenance_epoch += 1;
@@ -509,6 +569,7 @@ impl TreePiIndex {
             features: Vec::new(),
             trie: CanonTrie::new(),
             centers: Vec::new(),
+            sigs: Vec::new(),
             params,
             stats: BuildStats::default(),
             maintenance_epoch: 0,
@@ -556,12 +617,19 @@ impl TreePiIndex {
                         .sum::<usize>()
             })
             .sum();
+        let sigs_bytes = self.sigs.len() * size_of::<Vec<VertexSig>>()
+            + self
+                .sigs
+                .iter()
+                .map(|v| v.len() * size_of::<VertexSig>())
+                .sum::<usize>();
         IndexMemory {
             db_bytes,
             tombstones_bytes,
             features_bytes,
             supports_bytes,
             centers_bytes,
+            sigs_bytes,
             trie_bytes: self.trie.heap_bytes(),
         }
     }
@@ -589,6 +657,7 @@ impl TreePiIndex {
         registry.set_gauge(obs::names::GAUGE_INDEX_FEATURES, m.features_bytes as u64);
         registry.set_gauge(obs::names::GAUGE_INDEX_SUPPORTS, m.supports_bytes as u64);
         registry.set_gauge(obs::names::GAUGE_INDEX_CENTERS, m.centers_bytes as u64);
+        registry.set_gauge(obs::names::GAUGE_INDEX_SIGS, m.sigs_bytes as u64);
         registry.set_gauge(obs::names::GAUGE_INDEX_TRIE, m.trie_bytes as u64);
         registry.set_gauge(
             obs::names::GAUGE_INDEX_TOMBSTONES,
@@ -613,6 +682,8 @@ pub struct IndexMemory {
     pub supports_bytes: usize,
     /// Center-position tables (graph id → positions, per feature).
     pub centers_bytes: usize,
+    /// Per-vertex neighborhood signatures ([`crate::sig`]).
+    pub sigs_bytes: usize,
     /// The canonical-string trie.
     pub trie_bytes: usize,
 }
@@ -624,6 +695,7 @@ impl IndexMemory {
             + self.features_bytes
             + self.supports_bytes
             + self.centers_bytes
+            + self.sigs_bytes
             + self.trie_bytes
     }
 }
@@ -898,9 +970,15 @@ mod tests {
         assert!(m.supports_bytes > 0);
         assert!(m.centers_bytes > 0);
         assert!(m.trie_bytes > 0);
+        assert!(m.sigs_bytes > 0);
         assert_eq!(
             m.total(),
-            m.db_bytes + m.features_bytes + m.supports_bytes + m.centers_bytes + m.trie_bytes
+            m.db_bytes
+                + m.features_bytes
+                + m.supports_bytes
+                + m.centers_bytes
+                + m.trie_bytes
+                + m.sigs_bytes
         );
         assert_eq!(idx.heap_bytes(), m.total());
         assert_eq!(

@@ -41,6 +41,7 @@ pub mod persist;
 pub mod prune;
 pub mod query;
 pub mod scoped_ref;
+pub mod sig;
 pub mod trie;
 pub mod verify;
 pub mod workload;
@@ -55,6 +56,7 @@ pub use partition::{
     PartitionOutcome, PartitionRuns,
 };
 pub use query::{QueryOptions, QueryResult, QueryStats, SfMode, INTRA_PAR_THRESHOLD};
+pub use sig::VertexSig;
 pub use trie::{CanonTrie, FeatureId};
 pub use verify::{scan_support, verify_all_threaded_obs};
 pub use workload::{query_batch, summarize, WorkloadSummary};

@@ -3,16 +3,17 @@
 //! extraction) is paid once and reloaded instantly, the way the paper's
 //! motivating "search and registration systems" operate.
 //!
-//! Layout (version 2):
+//! Layout (version 3):
 //!
 //! ```text
-//! magic "TPI2"
+//! magic "TPI3"
 //! params   σ(α, β, η) γ δ limits
 //! database |db| × graph, active bitmap
 //! features |F| × { tree-graph, canon, support, center }
 //! centers  |F| × { entries × (gid, positions) }
 //! stats    shape counters
 //! epoch    maintenance epoch (u64)
+//! sigs     |db| × { n × (label u32, degree u32, mask u64) }
 //! ```
 //!
 //! The trie is rebuilt from the canonical strings on load; build stats are
@@ -24,11 +25,17 @@
 //! reloaded index to restart at 0, a cache that saw epoch N before the
 //! reload would conflate pre- and post-reload states (and any maintenance
 //! applied between save and reload would be invisible to invalidation).
-//! Version-1 files (`TPI1`) are rejected with a clear error — rebuild the
-//! index file with this version.
+//!
+//! Version 3 appends the per-vertex neighborhood signatures
+//! ([`crate::sig`]). Because signatures are a pure function of each stored
+//! graph, version-2 files still load **losslessly**: the missing section
+//! is recomputed from the payload, byte-equivalent to what a v3 save of
+//! the same index would have stored. Version-1 files (`TPI1`) are
+//! rejected with a clear error — rebuild the index file with this version.
 
 use crate::index::{BuildStats, Feature, TreePiIndex};
 use crate::params::{Delta, TreePiParams};
+use crate::sig::{self, VertexSig};
 use crate::trie::{CanonTrie, FeatureId};
 use bytes::{Buf, BufMut};
 use graph_core::{EdgeId, Graph, GraphBuilder, VertexId};
@@ -37,8 +44,10 @@ use rustc_hash::FxHashMap;
 use std::io::{self, Read, Write};
 use tree_core::{CanonString, CenterPos, Tree};
 
-const MAGIC: &[u8; 4] = b"TPI2";
-/// The previous format version, recognized only to produce a better error.
+const MAGIC: &[u8; 4] = b"TPI3";
+/// Version 2 (no signature section): accepted, signatures recomputed.
+const MAGIC_V2: &[u8; 4] = b"TPI2";
+/// Version 1, recognized only to produce a better error.
 const MAGIC_V1: &[u8; 4] = b"TPI1";
 
 fn bad(msg: &str) -> io::Error {
@@ -198,6 +207,18 @@ impl TreePiIndex {
         // maintenance epoch (v2): carried across save/load so epoch-keyed
         // caches never see the version counter move backwards.
         buf.put_u64_le(self.maintenance_epoch);
+        // neighborhood signatures (v3), one vector per db slot in gid
+        // order. The per-graph count always equals the graph's vertex
+        // count (the sigs-are-a-pure-function invariant) and is validated
+        // against it on load.
+        for sigs in &self.sigs {
+            buf.put_u32_le(sigs.len() as u32);
+            for s in sigs {
+                buf.put_u32_le(s.label);
+                buf.put_u32_le(s.degree);
+                buf.put_u64_le(s.mask);
+            }
+        }
         w.write_all(&buf)
     }
 
@@ -211,9 +232,14 @@ impl TreePiIndex {
                 "version-1 file (no maintenance epoch); rebuild the index file",
             ));
         }
-        if buf.remaining() < 4 || &buf[..4] != MAGIC {
+        if buf.remaining() < 4 {
             return Err(bad("bad magic"));
         }
+        let version = match &buf[..4] {
+            m if m == MAGIC => 3u8,
+            m if m == MAGIC_V2 => 2,
+            _ => return Err(bad("bad magic")),
+        };
         buf.advance(4);
         if buf.remaining() < 4 + 8 + 4 + 8 + 9 + 16 {
             return Err(bad("truncated params"));
@@ -314,6 +340,35 @@ impl TreePiIndex {
             return Err(bad("truncated maintenance epoch"));
         }
         let maintenance_epoch = buf.get_u64_le();
+        let sigs: Vec<Vec<VertexSig>> = if version >= 3 {
+            let mut sigs = Vec::with_capacity(n_db);
+            for g in &db {
+                if buf.remaining() < 4 {
+                    return Err(bad("truncated signature header"));
+                }
+                let n = buf.get_u32_le() as usize;
+                if n != g.vertex_count() {
+                    return Err(bad("signature count does not match graph"));
+                }
+                if buf.remaining() < n * 16 {
+                    return Err(bad("truncated signatures"));
+                }
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(VertexSig {
+                        label: buf.get_u32_le(),
+                        degree: buf.get_u32_le(),
+                        mask: buf.get_u64_le(),
+                    });
+                }
+                sigs.push(v);
+            }
+            sigs
+        } else {
+            // v2 predates the signature section; signatures are a pure
+            // function of the payload, so recomputing is lossless.
+            db.iter().map(sig::graph_sigs).collect()
+        };
         if buf.has_remaining() {
             return Err(bad("trailing bytes"));
         }
@@ -323,6 +378,7 @@ impl TreePiIndex {
             features,
             trie,
             centers,
+            sigs,
             params,
             stats,
             maintenance_epoch,
@@ -354,6 +410,10 @@ mod tests {
         let loaded = TreePiIndex::load(&mut bytes.as_slice()).unwrap();
         assert_eq!(loaded.db(), idx.db());
         assert_eq!(loaded.feature_count(), idx.feature_count());
+        for gid in 0..idx.db().len() as u32 {
+            assert_eq!(loaded.vertex_sigs(gid), idx.vertex_sigs(gid));
+        }
+        assert!(loaded.sigs_consistent());
         for (a, b) in idx.features().iter().zip(loaded.features()) {
             assert_eq!(a.canon, b.canon);
             assert_eq!(a.support, b.support);
@@ -408,6 +468,48 @@ mod tests {
         loaded.save(&mut bytes2).unwrap();
         let again = TreePiIndex::load(&mut bytes2.as_slice()).unwrap();
         assert_eq!(again.maintenance_epoch(), epoch + 2);
+    }
+
+    #[test]
+    fn version_2_files_load_with_recomputed_signatures() {
+        // Synthesize a v2 file from a v3 one: the signature section is the
+        // final section, so chop it off and patch the magic. The load must
+        // succeed and recompute signatures identical to the stored ones.
+        let idx = sample_index();
+        let mut bytes = Vec::new();
+        idx.save(&mut bytes).unwrap();
+        let sig_section: usize = idx.db().iter().map(|g| 4 + 16 * g.vertex_count()).sum();
+        bytes.truncate(bytes.len() - sig_section);
+        bytes[..4].copy_from_slice(b"TPI2");
+        let loaded = TreePiIndex::load(&mut bytes.as_slice()).unwrap();
+        assert!(loaded.sigs_consistent());
+        for gid in 0..idx.db().len() as u32 {
+            assert_eq!(loaded.vertex_sigs(gid), idx.vertex_sigs(gid));
+        }
+        // And a re-save of the v2-loaded index is byte-identical to the
+        // original v3 file (the "lossless recompute" claim).
+        let mut resaved = Vec::new();
+        loaded.save(&mut resaved).unwrap();
+        let mut original = Vec::new();
+        idx.save(&mut original).unwrap();
+        assert_eq!(resaved, original);
+    }
+
+    #[test]
+    fn rejects_signature_count_mismatch() {
+        let idx = sample_index();
+        let mut bytes = Vec::new();
+        idx.save(&mut bytes).unwrap();
+        // Corrupt the first signature-vector length (first 4 bytes of the
+        // final section).
+        let sig_section: usize = idx.db().iter().map(|g| 4 + 16 * g.vertex_count()).sum();
+        let at = bytes.len() - sig_section;
+        bytes[at] ^= 0x01;
+        let err = match TreePiIndex::load(&mut bytes.as_slice()) {
+            Ok(_) => panic!("corrupt signature section must not load"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("signature count"), "{err}");
     }
 
     #[test]

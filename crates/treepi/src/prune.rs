@@ -12,9 +12,19 @@
 //! Distances between centers (which may be edges) are measured as the
 //! minimum over representative endpoint pairs, identically in `q` and `g`,
 //! preserving the soundness argument above.
+//!
+//! Candidate center positions are additionally gated by the per-vertex
+//! neighborhood signatures ([`crate::sig`]): an embedding maps each part's
+//! center representatives onto the stored position's representatives, so a
+//! position that is not signature-compatible with them can never be part
+//! of a satisfying assignment. The gate shrinks the backtracking search
+//! and kills candidates whose every position for some part is
+//! incompatible — both sound, for the same reason the distance constraint
+//! is.
 
 use crate::index::TreePiIndex;
 use crate::partition::Part;
+use crate::sig::{self, VertexSig};
 use graph_core::{bfs_distances, DistanceOracle, Graph, VertexId};
 use rustc_hash::FxHashMap;
 use tree_core::CenterPos;
@@ -70,17 +80,34 @@ pub(crate) fn pos_distance(
 
 /// Whether graph `gid` admits an assignment of stored center positions to
 /// the parts that satisfies all Center Distance Constraints (Algorithm 2's
-/// per-graph test).
-pub fn satisfies_cdc(index: &TreePiIndex, gid: u32, parts: &[Part], dq: &[Vec<u32>]) -> bool {
-    satisfies_cdc_obs(index, gid, parts, dq, &obs::Shard::disabled())
+/// per-graph test), with candidate positions signature-gated against the
+/// query's vertex signatures.
+pub fn satisfies_cdc(
+    index: &TreePiIndex,
+    q: &Graph,
+    gid: u32,
+    parts: &[Part],
+    dq: &[Vec<u32>],
+) -> bool {
+    satisfies_cdc_obs(
+        index,
+        &sig::graph_sigs(q),
+        gid,
+        parts,
+        dq,
+        &obs::Shard::disabled(),
+    )
 }
 
-/// [`satisfies_cdc`] recording `prune.cdc_tests` and the BFS runs its
+/// [`satisfies_cdc`] taking the query's precomputed vertex signatures
+/// (compute them once per query with [`sig::graph_sigs`], not per
+/// candidate) and recording `prune.cdc_tests` and the BFS runs its
 /// distance oracle performed (`graph.bfs`) into `shard`. Both counts depend
 /// only on the candidate and the partition, never on which worker runs the
 /// test, so batch totals stay thread-count invariant.
 pub fn satisfies_cdc_obs(
     index: &TreePiIndex,
+    qsigs: &[VertexSig],
     gid: u32,
     parts: &[Part],
     dq: &[Vec<u32>],
@@ -88,26 +115,43 @@ pub fn satisfies_cdc_obs(
 ) -> bool {
     shard.add("prune.cdc_tests", 1);
     let g = &index.db()[gid as usize];
-    // Candidates per part; fail fast on an empty list.
+    let hsigs = index.vertex_sigs(gid);
+    // Candidates per part; fail fast when a part has no stored position at
+    // all, or none its center representatives are signature-compatible
+    // with. Incompatible positions are skipped inside the backtracking loop
+    // rather than materialized into filtered lists — no allocation, and
+    // each position's compatibility is evaluated at most once per level.
     let mut cands: Vec<&[CenterPos]> = Vec::with_capacity(parts.len());
+    let mut compat: Vec<usize> = Vec::with_capacity(parts.len());
     for p in parts {
         let c = index.center_positions_of(p.feature, gid);
-        if c.is_empty() {
+        let n = c
+            .iter()
+            .filter(|&&cp| sig::center_compatible(qsigs, hsigs, &p.center_reps_in_q, cp, g))
+            .count();
+        if n == 0 {
+            shard.add("prune.center_sig_kills", 1);
             return false;
         }
         cands.push(c);
+        compat.push(n);
     }
-    // Assign most-constrained parts first.
+    // Assign most-constrained parts first: fewest *compatible* positions,
+    // the actual branching factor of the search below.
     let mut order: Vec<usize> = (0..parts.len()).collect();
-    order.sort_by_key(|&i| cands[i].len());
+    order.sort_by_key(|&i| compat[i]);
 
     let mut oracle = DistanceOracle::new(g);
     let mut assigned: Vec<(usize, CenterPos)> = Vec::with_capacity(parts.len());
 
+    #[allow(clippy::too_many_arguments)]
     fn backtrack(
         order: &[usize],
         k: usize,
         cands: &[&[CenterPos]],
+        parts: &[Part],
+        qsigs: &[VertexSig],
+        hsigs: &[VertexSig],
         dq: &[Vec<u32>],
         g: &Graph,
         oracle: &mut DistanceOracle,
@@ -118,6 +162,9 @@ pub fn satisfies_cdc_obs(
         }
         let part_i = order[k];
         'cand: for &c in cands[part_i] {
+            if !sig::center_compatible(qsigs, hsigs, &parts[part_i].center_reps_in_q, c, g) {
+                continue 'cand;
+            }
             for &(part_j, cj) in assigned.iter() {
                 let limit = dq[part_i][part_j];
                 // BFS from the assigned center: its row is shared by every
@@ -127,7 +174,18 @@ pub fn satisfies_cdc_obs(
                 }
             }
             assigned.push((part_i, c));
-            if backtrack(order, k + 1, cands, dq, g, oracle, assigned) {
+            if backtrack(
+                order,
+                k + 1,
+                cands,
+                parts,
+                qsigs,
+                hsigs,
+                dq,
+                g,
+                oracle,
+                assigned,
+            ) {
                 return true;
             }
             assigned.pop();
@@ -135,19 +193,45 @@ pub fn satisfies_cdc_obs(
         false
     }
 
-    let ok = backtrack(&order, 0, &cands, dq, g, &mut oracle, &mut assigned);
+    let ok = backtrack(
+        &order,
+        0,
+        &cands,
+        parts,
+        qsigs,
+        hsigs,
+        dq,
+        g,
+        &mut oracle,
+        &mut assigned,
+    );
     shard.add("graph.bfs", oracle.bfs_runs());
     ok
 }
 
 /// Algorithm 2: reduce the filtered set `P_q` to `P'_q`.
-pub fn center_prune(index: &TreePiIndex, pq: &[u32], parts: &[Part], dq: &[Vec<u32>]) -> Vec<u32> {
-    center_prune_obs(index, pq, parts, dq, &obs::Shard::disabled())
+pub fn center_prune(
+    index: &TreePiIndex,
+    q: &Graph,
+    pq: &[u32],
+    parts: &[Part],
+    dq: &[Vec<u32>],
+) -> Vec<u32> {
+    center_prune_obs(
+        index,
+        &sig::graph_sigs(q),
+        pq,
+        parts,
+        dq,
+        &obs::Shard::disabled(),
+    )
 }
 
-/// [`center_prune`] recording per-candidate CDC metrics into `shard`.
+/// [`center_prune`] over precomputed query signatures, recording
+/// per-candidate CDC metrics into `shard`.
 pub fn center_prune_obs(
     index: &TreePiIndex,
+    qsigs: &[VertexSig],
     pq: &[u32],
     parts: &[Part],
     dq: &[Vec<u32>],
@@ -155,7 +239,7 @@ pub fn center_prune_obs(
 ) -> Vec<u32> {
     pq.iter()
         .copied()
-        .filter(|&gid| satisfies_cdc_obs(index, gid, parts, dq, shard))
+        .filter(|&gid| satisfies_cdc_obs(index, qsigs, gid, parts, dq, shard))
         .collect()
 }
 
@@ -165,12 +249,13 @@ pub fn center_prune_obs(
 /// concatenated in chunk order — the output is exactly `center_prune`'s.
 pub fn center_prune_threaded(
     index: &TreePiIndex,
+    q: &Graph,
     pq: &[u32],
     parts: &[Part],
     dq: &[Vec<u32>],
     threads: usize,
 ) -> Vec<u32> {
-    center_prune_threaded_obs(index, pq, parts, dq, threads, &obs::Shard::disabled())
+    center_prune_threaded_obs(index, q, pq, parts, dq, threads, &obs::Shard::disabled())
 }
 
 /// [`center_prune_threaded`] with metrics: each worker records into a
@@ -182,15 +267,19 @@ pub fn center_prune_threaded(
 /// two share chunking and merge order, so their outputs are identical.
 pub fn center_prune_threaded_obs(
     index: &TreePiIndex,
+    q: &Graph,
     pq: &[u32],
     parts: &[Part],
     dq: &[Vec<u32>],
     threads: usize,
     shard: &obs::Shard,
 ) -> Vec<u32> {
+    // Query signatures are computed once and shared read-only by every
+    // worker — they depend only on q.
+    let qsigs = sig::graph_sigs(q);
     let threads = threads.clamp(1, pq.len().max(1));
     if threads == 1 {
-        return center_prune_obs(index, pq, parts, dq, shard);
+        return center_prune_obs(index, &qsigs, pq, parts, dq, shard);
     }
     let chunk_size = pq.len().div_ceil(threads);
     std::thread::scope(|s| {
@@ -198,8 +287,9 @@ pub fn center_prune_threaded_obs(
             .chunks(chunk_size)
             .map(|chunk| {
                 let worker = shard.fork();
+                let qsigs = &qsigs;
                 s.spawn(move || {
-                    let kept = center_prune_obs(index, chunk, parts, dq, &worker);
+                    let kept = center_prune_obs(index, qsigs, chunk, parts, dq, &worker);
                     (kept, worker)
                 })
             })
@@ -220,8 +310,10 @@ pub fn center_prune_threaded_obs(
 /// seats (`Pool::fork_join_obs`, shard forks merged in rank order), so the
 /// output and every merged counter are bit-identical to the scoped and
 /// serial paths.
+#[allow(clippy::too_many_arguments)]
 pub fn center_prune_pool_obs(
     index: &TreePiIndex,
+    q: &Graph,
     pq: &[u32],
     parts: &[Part],
     dq: &[Vec<u32>],
@@ -229,14 +321,15 @@ pub fn center_prune_pool_obs(
     threads: usize,
     shard: &obs::Shard,
 ) -> Vec<u32> {
+    let qsigs = sig::graph_sigs(q);
     let threads = threads.clamp(1, pq.len().max(1));
     if threads == 1 {
-        return center_prune_obs(index, pq, parts, dq, shard);
+        return center_prune_obs(index, &qsigs, pq, parts, dq, shard);
     }
     let chunk_size = pq.len().div_ceil(threads);
     let chunks: Vec<&[u32]> = pq.chunks(chunk_size).collect();
     pool.fork_join_obs(chunks.len(), shard, |rank, worker| {
-        center_prune_obs(index, chunks[rank], parts, dq, worker)
+        center_prune_obs(index, &qsigs, chunks[rank], parts, dq, worker)
     })
     .into_iter()
     .flatten()
@@ -293,7 +386,7 @@ mod tests {
         let pq = crate::filter::filter(&idx, &sf);
         assert_eq!(pq, vec![0, 1], "filtering alone keeps the false positive");
         let dq = query_center_distances(&q, &min_partition);
-        let pruned = center_prune(&idx, &pq, &min_partition, &dq);
+        let pruned = center_prune(&idx, &q, &pq, &min_partition, &dq);
         assert_eq!(pruned, vec![0], "CDC must prune the far-apart graph");
     }
 
@@ -325,7 +418,7 @@ mod tests {
             };
             let pq = crate::filter::filter(&idx, &sf);
             let dq = query_center_distances(&q, &min_partition);
-            let pruned = center_prune(&idx, &pq, &min_partition, &dq);
+            let pruned = center_prune(&idx, &q, &pq, &min_partition, &dq);
             for t in &truth {
                 assert!(pruned.contains(t), "true positive {t} was pruned");
             }

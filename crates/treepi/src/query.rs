@@ -1,11 +1,15 @@
 //! The full TreePi query pipeline (paper §3, "Query Processing"):
-//! partition → filter → center-distance prune → reconstruction verify,
-//! with per-stage statistics (the quantities plotted in Figures 10–13).
+//! partition → filter → signature kill → center-distance prune →
+//! reconstruction verify, with per-stage statistics (the quantities
+//! plotted in Figures 10–13). The signature stage sits before CDC
+//! because it is the cheapest per-candidate check in the funnel: a
+//! candidate it kills never pays for distance oracles or reconstruction.
 
 use crate::filter::filter;
 use crate::index::TreePiIndex;
 use crate::partition::{partition_runs_with, PartitionRuns};
 use crate::prune::{center_prune_pool_obs, center_prune_threaded_obs, query_center_distances};
+use crate::sig;
 use crate::verify::{verify_all_pool_obs, verify_all_threaded_obs};
 use graph_core::par::Pool;
 use graph_core::Graph;
@@ -59,6 +63,11 @@ pub struct QueryOptions {
     /// Verify by reconstruction from stored centers (Algorithm 3). Off =
     /// naive VF2 subgraph isomorphism per candidate, like gIndex.
     pub use_reconstruction: bool,
+    /// Kill candidates whose vertex signatures cannot host the query
+    /// before CDC pruning and verification run (see [`crate::sig`]).
+    /// Sound — the filter only discards non-answers — so turning it off
+    /// is purely an ablation/debugging aid.
+    pub use_sig_filter: bool,
     /// Override the index's δ (partition run count); `None` keeps the
     /// configured policy.
     pub delta_override: Option<usize>,
@@ -70,6 +79,7 @@ impl Default for QueryOptions {
             sf_mode: SfMode::FullEnumeration,
             use_cdc: true,
             use_reconstruction: true,
+            use_sig_filter: true,
             delta_override: None,
         }
     }
@@ -86,6 +96,9 @@ pub struct QueryStats {
     pub filtered: usize,
     /// `|P'_q|` — candidates after Center Distance pruning.
     pub pruned: usize,
+    /// Filter survivors killed by the neighborhood-signature stage before
+    /// CDC pruning and verification ran.
+    pub sig_killed: usize,
     /// `|D_q|` — the exact answer count.
     pub answers: usize,
     /// The query contained an edge that is not a feature (empty support
@@ -97,6 +110,8 @@ pub struct QueryStats {
     pub t_filter: Duration,
     /// Time in the prune stage.
     pub t_prune: Duration,
+    /// Time in the signature kill stage.
+    pub t_sig: Duration,
     /// Time in the verify stage.
     pub t_verify: Duration,
 }
@@ -104,12 +119,12 @@ pub struct QueryStats {
 impl QueryStats {
     /// Total processing time.
     pub fn total(&self) -> Duration {
-        self.t_partition + self.t_filter + self.t_prune + self.t_verify
+        self.t_partition + self.t_filter + self.t_prune + self.t_sig + self.t_verify
     }
 
     /// Record this query's funnel counters and stage timings into `shard`.
     ///
-    /// All four pipeline spans ([`obs::names::PIPELINE_SPANS`]) are observed
+    /// All five pipeline spans ([`obs::names::PIPELINE_SPANS`]) are observed
     /// unconditionally — short-circuited queries (feature-tree shortcut,
     /// missing feature) contribute zero-duration observations — so a metrics
     /// snapshot always carries the full stage breakdown. Everything recorded
@@ -119,28 +134,31 @@ impl QueryStats {
         shard.add(obs::names::QUERIES, 1);
         shard.add(obs::names::FILTERED, self.filtered as u64);
         shard.add(obs::names::PRUNED, self.pruned as u64);
+        shard.add(obs::names::SIG_KILLED, self.sig_killed as u64);
         shard.add(obs::names::ANSWERS, self.answers as u64);
         shard.add(obs::names::MISSING_FEATURE, self.missing_feature as u64);
         shard.add("funnel.partition_parts", self.partition_size as u64);
         shard.add("funnel.sf_features", self.sf_size as u64);
         shard.observe(obs::names::SPAN_PARTITION, self.t_partition);
         shard.observe(obs::names::SPAN_FILTER, self.t_filter);
+        shard.observe(obs::names::SPAN_SIG_FILTER, self.t_sig);
         shard.observe(obs::names::SPAN_PRUNE, self.t_prune);
         shard.observe(obs::names::SPAN_VERIFY, self.t_verify);
     }
 
-    /// Emit the four stage intervals as trace timeline events, anchored to
+    /// Emit the five stage intervals as trace timeline events, anchored to
     /// `end` — the instant the query finished. The stages run back-to-back
-    /// (partition → filter → prune → verify), so their start offsets are
-    /// reconstructed backwards from `end` without instrumenting the hot
-    /// `query_impl` internals. A no-op unless `shard` is tracing.
+    /// (partition → filter → sig-filter → prune → verify), so their start
+    /// offsets are reconstructed backwards from `end` without instrumenting
+    /// the hot `query_impl` internals. A no-op unless `shard` is tracing.
     pub fn trace_into(&self, shard: &obs::Shard, end: std::time::Instant) {
         if !shard.is_tracing() {
             return;
         }
         let verify_start = end - self.t_verify;
         let prune_start = verify_start - self.t_prune;
-        let filter_start = prune_start - self.t_filter;
+        let sig_start = prune_start - self.t_sig;
+        let filter_start = sig_start - self.t_filter;
         let partition_start = filter_start - self.t_partition;
         shard.trace_complete(
             obs::names::SPAN_PARTITION,
@@ -148,6 +166,7 @@ impl QueryStats {
             self.t_partition,
         );
         shard.trace_complete(obs::names::SPAN_FILTER, filter_start, self.t_filter);
+        shard.trace_complete(obs::names::SPAN_SIG_FILTER, sig_start, self.t_sig);
         shard.trace_complete(obs::names::SPAN_PRUNE, prune_start, self.t_prune);
         shard.trace_complete(obs::names::SPAN_VERIFY, verify_start, self.t_verify);
     }
@@ -321,6 +340,27 @@ impl TreePiIndex {
             }
         };
 
+        // ---- Signature kill (pre-prune) ----
+        // A candidate lacking a signature-compatible host vertex for some
+        // query vertex cannot contain q (see `crate::sig` for the
+        // soundness argument) — discard it before CDC distance oracles or
+        // reconstruction ever touch it. O(|q| × |g|) branch-free word
+        // compares per candidate, versus BFS runs and a search.
+        let t = Instant::now();
+        let pq = if opts.use_sig_filter {
+            let qsigs = sig::graph_sigs(q);
+            let before = pq.len();
+            let kept: Vec<u32> = pq
+                .into_iter()
+                .filter(|&gid| sig::graph_compatible(&qsigs, self.vertex_sigs(gid)))
+                .collect();
+            stats.sig_killed = before - kept.len();
+            kept
+        } else {
+            pq
+        };
+        stats.t_sig = t.elapsed();
+
         // ---- Prune (Algorithm 2) ----
         let t = Instant::now();
         let dq = query_center_distances(q, &parts);
@@ -328,6 +368,7 @@ impl TreePiIndex {
             match par {
                 Par::Scoped(_) => center_prune_threaded_obs(
                     self,
+                    q,
                     &pq,
                     &parts,
                     &dq,
@@ -336,6 +377,7 @@ impl TreePiIndex {
                 ),
                 Par::Pool(pool, _) => center_prune_pool_obs(
                     self,
+                    q,
                     &pq,
                     &parts,
                     &dq,
@@ -424,7 +466,7 @@ mod tests {
             assert!(s.partition_size >= 1);
             assert!(s.sf_size >= 1);
             // the funnel only narrows
-            assert!(s.filtered >= s.pruned);
+            assert!(s.filtered - s.sig_killed >= s.pruned);
             assert!(s.pruned >= s.answers);
             assert_eq!(s.answers, r.matches.len());
             assert!(!s.missing_feature);
@@ -479,6 +521,40 @@ mod tests {
         );
         assert!(with.stats.pruned <= without.stats.pruned);
         assert_eq!(with.matches, without.matches);
+    }
+
+    #[test]
+    fn sig_filter_preserves_answers_and_reports_kills() {
+        let idx = index();
+        let queries = [
+            graph_from(&[0, 0], &[(0, 1, 0)]),
+            graph_from(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 0, 1)]),
+            graph_from(&[0, 1, 0, 1], &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 0, 0)]),
+        ];
+        for (i, q) in queries.iter().enumerate() {
+            let mut rng = ChaCha8Rng::seed_from_u64(13 + i as u64);
+            let on = idx.query(q, &mut rng);
+            let mut rng = ChaCha8Rng::seed_from_u64(13 + i as u64);
+            let off = idx.query_with(
+                q,
+                QueryOptions {
+                    use_sig_filter: false,
+                    ..QueryOptions::default()
+                },
+                &mut rng,
+            );
+            assert_eq!(
+                on.matches, off.matches,
+                "query {i}: sig filter changed answers"
+            );
+            assert_eq!(off.stats.sig_killed, 0, "filter off must report no kills");
+            assert_eq!(
+                on.stats.filtered, off.stats.filtered,
+                "the kill stage must not change the upstream funnel"
+            );
+            assert!(on.stats.filtered - on.stats.sig_killed >= on.stats.pruned);
+            assert!(on.stats.pruned >= on.stats.answers);
+        }
     }
 
     #[test]

@@ -16,27 +16,100 @@
 use crate::index::TreePiIndex;
 use crate::partition::Part;
 use crate::prune::pos_distance;
+use crate::sig::{self, VertexSig};
 use graph_core::{DistanceOracle, Graph, VertexId};
-use rustc_hash::FxHashSet;
+use rustc_hash::FxHashMap;
+use smallvec::SmallVec;
+use std::hash::{Hash, Hasher};
 use std::ops::ControlFlow;
 use tree_core::{CenterPos, CenteredMatcher};
 
 const UNMAPPED: VertexId = VertexId(u32::MAX);
 
-/// Join state shared across recursion levels. Immutable inputs are passed
-/// separately so embedding enumeration can borrow them while the state is
-/// mutated.
-struct JoinState<'g> {
+/// Arena-backed CRF dedup set for one join level. Signatures live
+/// back-to-back in one buffer with a hash → signature-indices map for
+/// membership; inserts compare slices exactly (the hash only narrows
+/// the probe), so the semantics equal a `HashSet<Vec<u32>>` — with zero
+/// steady-state allocations once the buffers reach the query's
+/// high-water mark, instead of one `Vec` clone per distinct signature.
+#[derive(Default)]
+struct LevelDedup {
+    arena: Vec<u32>,
+    /// Prefix ends: signature `i` is `arena[ends[i-1]..ends[i]]`.
+    ends: Vec<u32>,
+    map: FxHashMap<u64, SmallVec<[u32; 2]>>,
+}
+
+impl LevelDedup {
+    fn clear(&mut self) {
+        self.arena.clear();
+        self.ends.clear();
+        self.map.clear();
+    }
+
+    fn slice(&self, i: usize) -> &[u32] {
+        let lo = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        &self.arena[lo..self.ends[i] as usize]
+    }
+
+    /// Insert `sig`; false (and nothing stored) if already present.
+    fn insert_if_new(&mut self, sig: &[u32]) -> bool {
+        let mut h = rustc_hash::FxHasher::default();
+        sig.hash(&mut h);
+        let key = h.finish();
+        if let Some(bucket) = self.map.get(&key) {
+            if bucket.iter().any(|&i| self.slice(i as usize) == sig) {
+                return false;
+            }
+        }
+        let idx = self.ends.len() as u32;
+        self.arena.extend_from_slice(sig);
+        self.ends.push(self.arena.len() as u32);
+        self.map.entry(key).or_default().push(idx);
+        true
+    }
+}
+
+/// Caller-owned verification scratch, reused across every candidate a
+/// worker verifies (the caller-owned-scratch discipline the intersection
+/// paths already follow): join state, per-level CRF dedup arenas,
+/// selectivity ordering, and the query's vertex signatures — all retained
+/// at their high-water marks. The distance oracle is the one piece that
+/// cannot live here: it borrows the candidate graph.
+pub(crate) struct VerifyScratch {
+    /// Signatures of the query's vertices, computed once per query.
+    qsigs: Vec<VertexSig>,
     /// query vertex → host vertex
     m: Vec<VertexId>,
     /// host vertices already used by the join (injectivity)
     used: Vec<bool>,
     assigned_centers: Vec<(usize, CenterPos)>,
-    oracle: DistanceOracle<'g>,
-    /// Scratch for CRF signature assembly, reused across every enumerated
+    /// CRF signature assembly scratch, reused across every enumerated
     /// embedding instead of allocating two fresh `Vec`s per candidate.
     sig: Vec<u32>,
     interior: Vec<u32>,
+    /// One CRF dedup set per join level.
+    levels: Vec<LevelDedup>,
+    /// Per-part signature-compatible center counts and the join order
+    /// derived from them.
+    counts: Vec<usize>,
+    order: Vec<usize>,
+}
+
+impl VerifyScratch {
+    pub(crate) fn for_query(q: &Graph) -> Self {
+        Self {
+            qsigs: sig::graph_sigs(q),
+            m: Vec::new(),
+            used: Vec::new(),
+            assigned_centers: Vec::new(),
+            sig: Vec::with_capacity(q.vertex_count() + 1),
+            interior: Vec::new(),
+            levels: Vec::new(),
+            counts: Vec::new(),
+            order: Vec::new(),
+        }
+    }
 }
 
 /// Fill `sig` with the embedding's CRF-deduplication signature: boundary
@@ -62,33 +135,33 @@ fn signature_into(
     sig.extend(interior.iter().copied());
 }
 
-#[cfg(test)]
-fn signature(emb: &[VertexId], boundary: &[bool]) -> Vec<u32> {
-    let (mut sig, mut interior) = (Vec::new(), Vec::new());
-    signature_into(emb, boundary, &mut sig, &mut interior);
-    sig
-}
-
 #[allow(clippy::too_many_arguments)]
 fn search(
     index: &TreePiIndex,
     g: &Graph,
     gid: u32,
+    hsigs: &[VertexSig],
     parts: &[Part],
     dq: &[Vec<u32>],
-    order: &[usize],
     boundaries: &[Vec<bool>],
     matchers: &[CenteredMatcher<'_>],
-    st: &mut JoinState<'_>,
+    st: &mut VerifyScratch,
+    oracle: &mut DistanceOracle<'_>,
     k: usize,
 ) -> bool {
-    if k == order.len() {
+    if k == st.order.len() {
         return true;
     }
-    let pi = order[k];
+    let pi = st.order[k];
     let part = &parts[pi];
     let centers = index.center_positions_of(part.feature, gid);
     'center: for &c in centers {
+        // Signature gate: no embedding of the full query can land the
+        // part's center representatives on this position's representatives
+        // unless they are signature-compatible (see `crate::sig`).
+        if !sig::center_compatible(&st.qsigs, hsigs, &part.center_reps_in_q, c, g) {
+            continue 'center;
+        }
         // Cheap rejection: the part's center corresponds to known query
         // vertices (`center_reps_in_q`); if the join has already mapped
         // one of them, the candidate center must sit on that image.
@@ -114,15 +187,15 @@ fn search(
                 let limit = dq[pi][pj];
                 // BFS rows are cached per source; source from the *assigned*
                 // center so all candidate centers share one row.
-                if limit != u32::MAX && pos_distance(g, &mut st.oracle, cj, c) > limit {
+                if limit != u32::MAX && pos_distance(g, oracle, cj, c) > limit {
                     continue 'center;
                 }
             }
         }
         st.assigned_centers.push((pi, c));
         // Lazily enumerate embeddings centered at c; dedupe by CRF
-        // signature; unwind on first success.
-        let mut seen: FxHashSet<Vec<u32>> = FxHashSet::default();
+        // signature in this level's arena; unwind on first success.
+        st.levels[k].clear();
         let mut found = false;
         let _ = matchers[pi].for_each_embedding_centered(g, c, |emb| {
             // Compatibility with the partial join.
@@ -137,16 +210,23 @@ fn search(
                     return ControlFlow::Continue(());
                 }
             }
-            // CRF dedup: build the signature in the state's scratch (used
-            // and copied out before the recursion below can clobber it); a
-            // heap allocation is paid only for distinct signatures.
-            signature_into(emb, &boundaries[pi], &mut st.sig, &mut st.interior);
-            if seen.contains(st.sig.as_slice()) {
-                return ControlFlow::Continue(());
+            // CRF dedup: build the signature in the scratch buffers (used
+            // and archived into the arena before the recursion below can
+            // clobber them); nothing is allocated per embedding.
+            {
+                let VerifyScratch {
+                    sig,
+                    interior,
+                    levels,
+                    ..
+                } = &mut *st;
+                signature_into(emb, &boundaries[pi], sig, interior);
+                if !levels[k].insert_if_new(sig) {
+                    return ControlFlow::Continue(());
+                }
             }
-            seen.insert(st.sig.clone());
             // Apply, recurse, undo.
-            let mut newly: smallvec::SmallVec<[VertexId; 12]> = smallvec::SmallVec::new();
+            let mut newly: SmallVec<[VertexId; 12]> = SmallVec::new();
             for (i, &gv) in emb.iter().enumerate() {
                 let qv = part.q_vertices[i];
                 if st.m[qv.idx()] == UNMAPPED {
@@ -159,12 +239,13 @@ fn search(
                 index,
                 g,
                 gid,
+                hsigs,
                 parts,
                 dq,
-                order,
                 boundaries,
                 matchers,
                 st,
+                oracle,
                 k + 1,
             ) {
                 found = true;
@@ -193,7 +274,18 @@ pub fn verify(index: &TreePiIndex, q: &Graph, gid: u32, parts: &[Part], dq: &[Ve
         .iter()
         .map(|p| CenteredMatcher::new(&p.tree))
         .collect();
-    verify_with_boundaries(index, q, gid, parts, dq, &boundaries, &matchers)
+    let mut scratch = VerifyScratch::for_query(q);
+    verify_with_boundaries_obs(
+        index,
+        q,
+        gid,
+        parts,
+        dq,
+        &boundaries,
+        &matchers,
+        &mut scratch,
+        &obs::Shard::disabled(),
+    )
 }
 
 /// Boundary flags per part: a part-tree vertex is boundary iff its query
@@ -216,27 +308,6 @@ pub(crate) fn part_boundaries(q: &Graph, parts: &[Part]) -> Vec<Vec<bool>> {
         .collect()
 }
 
-pub(crate) fn verify_with_boundaries(
-    index: &TreePiIndex,
-    q: &Graph,
-    gid: u32,
-    parts: &[Part],
-    dq: &[Vec<u32>],
-    boundaries: &[Vec<bool>],
-    matchers: &[CenteredMatcher<'_>],
-) -> bool {
-    verify_with_boundaries_obs(
-        index,
-        q,
-        gid,
-        parts,
-        dq,
-        boundaries,
-        matchers,
-        &obs::Shard::disabled(),
-    )
-}
-
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn verify_with_boundaries_obs(
     index: &TreePiIndex,
@@ -246,40 +317,72 @@ pub(crate) fn verify_with_boundaries_obs(
     dq: &[Vec<u32>],
     boundaries: &[Vec<bool>],
     matchers: &[CenteredMatcher<'_>],
+    scratch: &mut VerifyScratch,
     shard: &obs::Shard,
 ) -> bool {
     shard.add("verify.tests", 1);
     let g = &index.db()[gid as usize];
+    let hsigs = index.vertex_sigs(gid);
 
-    // Every part needs at least one stored center; most-constrained first.
-    let mut counts: Vec<usize> = Vec::with_capacity(parts.len());
+    // Every part needs at least one stored center.
     for p in parts {
-        let c = index.center_positions_of(p.feature, gid);
-        if c.is_empty() {
+        if index.center_positions_of(p.feature, gid).is_empty() {
             return false;
         }
-        counts.push(c.len());
     }
     // A single-part partition means the query *is* that feature tree and a
     // stored center position is itself proof of containment.
     if parts.len() == 1 {
         return true;
     }
-    let mut order: Vec<usize> = (0..parts.len()).collect();
-    order.sort_by_key(|&i| counts[i]);
 
-    let mut st = JoinState {
-        m: vec![UNMAPPED; q.vertex_count()],
-        used: vec![false; g.vertex_count()],
-        assigned_centers: Vec::with_capacity(parts.len()),
-        oracle: DistanceOracle::new(g),
-        sig: Vec::with_capacity(q.vertex_count() + 1),
-        interior: Vec::new(),
-    };
+    // Selectivity order: each part's estimated match count is its number
+    // of signature-compatible stored centers; join the most selective part
+    // first (ascending, ties stable in part order). A part with zero
+    // compatible centers proves non-containment before the search starts.
+    scratch.counts.clear();
+    for p in parts {
+        let n = index
+            .center_positions_of(p.feature, gid)
+            .iter()
+            .filter(|&&c| sig::center_compatible(&scratch.qsigs, hsigs, &p.center_reps_in_q, c, g))
+            .count();
+        if n == 0 {
+            shard.add("verify.center_sig_kills", 1);
+            return false;
+        }
+        scratch.counts.push(n);
+    }
+    scratch.order.clear();
+    scratch.order.extend(0..parts.len());
+    {
+        let VerifyScratch { counts, order, .. } = &mut *scratch;
+        order.sort_by_key(|&i| counts[i]);
+    }
+
+    scratch.m.clear();
+    scratch.m.resize(q.vertex_count(), UNMAPPED);
+    scratch.used.clear();
+    scratch.used.resize(g.vertex_count(), false);
+    scratch.assigned_centers.clear();
+    while scratch.levels.len() < parts.len() {
+        scratch.levels.push(LevelDedup::default());
+    }
+    let mut oracle = DistanceOracle::new(g);
     let ok = search(
-        index, g, gid, parts, dq, &order, boundaries, matchers, &mut st, 0,
+        index,
+        g,
+        gid,
+        hsigs,
+        parts,
+        dq,
+        boundaries,
+        matchers,
+        scratch,
+        &mut oracle,
+        0,
     );
-    shard.add("graph.bfs", st.oracle.bfs_runs());
+    shard.add("graph.bfs", oracle.bfs_runs());
     ok
 }
 
@@ -342,11 +445,22 @@ pub fn verify_all_threaded_obs(
         .collect();
     let threads = threads.clamp(1, pruned.len().max(1));
     if threads == 1 {
+        let mut scratch = VerifyScratch::for_query(q);
         return pruned
             .iter()
             .copied()
             .filter(|&gid| {
-                verify_with_boundaries_obs(index, q, gid, parts, dq, &boundaries, &matchers, shard)
+                verify_with_boundaries_obs(
+                    index,
+                    q,
+                    gid,
+                    parts,
+                    dq,
+                    &boundaries,
+                    &matchers,
+                    &mut scratch,
+                    shard,
+                )
             })
             .collect();
     }
@@ -359,12 +473,21 @@ pub fn verify_all_threaded_obs(
                 let matchers = &matchers;
                 let worker = shard.fork();
                 s.spawn(move || {
+                    let mut scratch = VerifyScratch::for_query(q);
                     let kept = chunk
                         .iter()
                         .copied()
                         .filter(|&gid| {
                             verify_with_boundaries_obs(
-                                index, q, gid, parts, dq, boundaries, matchers, &worker,
+                                index,
+                                q,
+                                gid,
+                                parts,
+                                dq,
+                                boundaries,
+                                matchers,
+                                &mut scratch,
+                                &worker,
                             )
                         })
                         .collect::<Vec<u32>>();
@@ -406,22 +529,44 @@ pub fn verify_all_pool_obs(
         .collect();
     let threads = threads.clamp(1, pruned.len().max(1));
     if threads == 1 {
+        let mut scratch = VerifyScratch::for_query(q);
         return pruned
             .iter()
             .copied()
             .filter(|&gid| {
-                verify_with_boundaries_obs(index, q, gid, parts, dq, &boundaries, &matchers, shard)
+                verify_with_boundaries_obs(
+                    index,
+                    q,
+                    gid,
+                    parts,
+                    dq,
+                    &boundaries,
+                    &matchers,
+                    &mut scratch,
+                    shard,
+                )
             })
             .collect();
     }
     let chunk_size = pruned.len().div_ceil(threads);
     let chunks: Vec<&[u32]> = pruned.chunks(chunk_size).collect();
     pool.fork_join_obs(chunks.len(), shard, |rank, worker| {
+        let mut scratch = VerifyScratch::for_query(q);
         chunks[rank]
             .iter()
             .copied()
             .filter(|&gid| {
-                verify_with_boundaries_obs(index, q, gid, parts, dq, &boundaries, &matchers, worker)
+                verify_with_boundaries_obs(
+                    index,
+                    q,
+                    gid,
+                    parts,
+                    dq,
+                    &boundaries,
+                    &matchers,
+                    &mut scratch,
+                    worker,
+                )
             })
             .collect::<Vec<u32>>()
     })
@@ -472,7 +617,7 @@ mod tests {
             PartitionRuns::Ok { min_partition, sf } => {
                 let pq = crate::filter::filter(idx, &sf);
                 let dq = query_center_distances(q, &min_partition);
-                let pruned = crate::prune::center_prune(idx, &pq, &min_partition, &dq);
+                let pruned = crate::prune::center_prune(idx, q, &pq, &min_partition, &dq);
                 verify_all(idx, q, &pruned, &min_partition, &dq)
             }
         }
@@ -531,15 +676,34 @@ mod tests {
     fn crf_signatures_collapse_interchangeable_embeddings() {
         // Star embeddings that permute interior leaves share a signature;
         // boundary differences keep signatures distinct.
+        let (mut sig, mut interior) = (Vec::new(), Vec::new());
+        let mut sig_of = |emb: &[VertexId], boundary: &[bool]| {
+            signature_into(emb, boundary, &mut sig, &mut interior);
+            sig.clone()
+        };
         let e1 = [VertexId(0), VertexId(1), VertexId(2)];
         let e2 = [VertexId(0), VertexId(2), VertexId(1)];
         let e3 = [VertexId(3), VertexId(1), VertexId(2)];
         let boundary = [true, false, false];
-        assert_eq!(signature(&e1, &boundary), signature(&e2, &boundary));
-        assert_ne!(signature(&e1, &boundary), signature(&e3, &boundary));
+        assert_eq!(sig_of(&e1, &boundary), sig_of(&e2, &boundary));
+        assert_ne!(sig_of(&e1, &boundary), sig_of(&e3, &boundary));
         // fully-boundary parts keep everything distinct
         let all = [true, true, true];
-        assert_ne!(signature(&e1, &all), signature(&e2, &all));
+        assert_ne!(sig_of(&e1, &all), sig_of(&e2, &all));
+    }
+
+    #[test]
+    fn level_dedup_matches_exact_set_semantics() {
+        let mut d = LevelDedup::default();
+        assert!(d.insert_if_new(&[1, 2, 3]));
+        assert!(!d.insert_if_new(&[1, 2, 3]), "duplicate must be rejected");
+        assert!(d.insert_if_new(&[1, 2]), "prefix is a distinct signature");
+        assert!(d.insert_if_new(&[3, 2, 1]));
+        assert!(!d.insert_if_new(&[3, 2, 1]));
+        assert!(d.insert_if_new(&[]), "empty signature is a valid member");
+        assert!(!d.insert_if_new(&[]));
+        d.clear();
+        assert!(d.insert_if_new(&[1, 2, 3]), "clear() must forget members");
     }
 
     #[test]

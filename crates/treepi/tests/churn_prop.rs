@@ -168,11 +168,13 @@ fn pinned_reads_stay_consistent_under_concurrent_churn() {
         2,
     ));
     let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let progress = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
 
     let readers: Vec<_> = (0..3u64)
         .map(|r| {
             let engine = std::sync::Arc::clone(&engine);
             let stop = std::sync::Arc::clone(&stop);
+            let progress = std::sync::Arc::clone(&progress);
             std::thread::spawn(move || {
                 let mut rng = ChaCha8Rng::seed_from_u64(1000 + r);
                 let mut checked = 0u64;
@@ -182,6 +184,7 @@ fn pinned_reads_stay_consistent_under_concurrent_churn() {
                     let got = snap.query(&q, &mut rng).matches;
                     assert_eq!(got, scan_support(&snap, &q), "reader {r}: torn snapshot");
                     checked += 1;
+                    progress.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 }
                 checked
             })
@@ -189,13 +192,22 @@ fn pinned_reads_stay_consistent_under_concurrent_churn() {
         .collect();
 
     let mut live: Vec<u32> = (0..6).collect();
-    for _ in 0..40 {
+    let mut ops = 0u32;
+    // At least 40 churn ops, then keep churning (lightly) until the readers
+    // have demonstrably overlapped with the writer — otherwise a slow thread
+    // spawn on a loaded machine lets the writer finish before any reader
+    // completes a single check.
+    while ops < 40 || progress.load(std::sync::atomic::Ordering::Relaxed) == 0 {
         if live.is_empty() || rng.gen_bool(0.6) {
             live.push(engine.insert(random_graph(&mut rng, 7)));
         } else {
             let i = rng.gen_range(0..live.len());
             let gid = live.swap_remove(i);
             assert!(engine.remove(gid));
+        }
+        ops += 1;
+        if ops >= 40 {
+            std::thread::yield_now();
         }
     }
     stop.store(true, std::sync::atomic::Ordering::Relaxed);

@@ -73,18 +73,29 @@ proptest! {
         for sf in [SfMode::FullEnumeration, SfMode::PartitionOnly] {
             for cdc in [true, false] {
                 for recon in [true, false] {
-                    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-                    let r = idx.query_with(
-                        &q,
-                        QueryOptions {
-                            sf_mode: sf,
-                            use_cdc: cdc,
-                            use_reconstruction: recon,
-                            delta_override: None,
-                        },
-                        &mut rng,
-                    );
-                    prop_assert_eq!(&r.matches, &truth, "sf={:?} cdc={} recon={}", sf, cdc, recon);
+                    for sig in [true, false] {
+                        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                        let r = idx.query_with(
+                            &q,
+                            QueryOptions {
+                                sf_mode: sf,
+                                use_cdc: cdc,
+                                use_reconstruction: recon,
+                                use_sig_filter: sig,
+                                delta_override: None,
+                            },
+                            &mut rng,
+                        );
+                        prop_assert_eq!(
+                            &r.matches,
+                            &truth,
+                            "sf={:?} cdc={} recon={} sig={}",
+                            sf,
+                            cdc,
+                            recon,
+                            sig
+                        );
+                    }
                 }
             }
         }
